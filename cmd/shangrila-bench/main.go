@@ -1,0 +1,81 @@
+// Command shangrila-bench regenerates the paper's evaluation: Figure 6
+// (memory micro-benchmark), Table 1 (per-packet dynamic memory accesses)
+// and Figures 13-15 (forwarding rate vs enabled MEs per optimization
+// level for L3-Switch, Firewall and MPLS).
+//
+// Usage:
+//
+//	shangrila-bench [-exp all|fig6|table1|fig13|fig14|fig15] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shangrila/internal/apps"
+	"shangrila/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all|fig6|table1|fig13|fig14|fig15")
+	quick := flag.Bool("quick", false, "shorter measurement windows (noisier)")
+	seed := flag.Uint64("seed", 1234, "traffic seed")
+	flag.Parse()
+
+	cfg := harness.DefaultRunConfig()
+	cfg.Seed = *seed
+	figWarm, figMeas := int64(60_000), int64(400_000)
+	if *quick {
+		cfg.Warmup, cfg.Measure = 60_000, 250_000
+		figWarm, figMeas = 30_000, 150_000
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "shangrila-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("fig6", func() error {
+		pts, err := harness.Figure6(figWarm, figMeas)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatFigure6(pts))
+		return nil
+	})
+	run("table1", func() error {
+		rows, err := harness.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 1 — dynamic memory accesses per packet")
+		fmt.Println(harness.FormatTable1(rows))
+		return nil
+	})
+	figs := []struct {
+		name  string
+		app   func() *apps.App
+		title string
+	}{
+		{"fig13", apps.L3Switch, "Figure 13: L3-Switch"},
+		{"fig14", apps.Firewall, "Figure 14: Firewall"},
+		{"fig15", apps.MPLS, "Figure 15: MPLS"},
+	}
+	for _, f := range figs {
+		f := f
+		run(f.name, func() error {
+			series, err := harness.FigureRates(f.app(), cfg, 6)
+			if err != nil {
+				return err
+			}
+			fmt.Println(harness.FormatFigure(f.title, series))
+			return nil
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module shangrila
+
+go 1.22

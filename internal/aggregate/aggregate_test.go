@@ -1,0 +1,321 @@
+package aggregate_test
+
+import (
+	"testing"
+
+	"shangrila/internal/aggregate"
+	"shangrila/internal/baker/types"
+	"shangrila/internal/ir"
+	"shangrila/internal/packet"
+	"shangrila/internal/profiler"
+	"shangrila/internal/testutil"
+	"shangrila/internal/trace"
+)
+
+const appSrc = `
+protocol ether { dst_hi:16; dst_lo:32; src_hi:16; src_lo:32; type:16; demux { 14 }; }
+protocol ipv4 { ver:4; hlen:4; tos:8; length:16; id:16; flags:3; frag:13;
+                ttl:8; proto:8; cksum:16; src:32; dst:32; demux { hlen << 2 }; }
+protocol arp  { htype:16; ptype:16; op:16; demux { 28 }; }
+metadata { rx_port:16; next_hop:16; }
+
+module app {
+	struct Rt { dst:uint; nh:uint; }
+	Rt table[64];
+	channel ip_cc : ipv4;
+	channel arp_cc : arp;
+	channel out_cc : ether;
+	ppf clsfr(ether ph) {
+		if (ph->type == 0x0800) {
+			ipv4 iph = packet_decap(ph);
+			channel_put(ip_cc, iph);
+		} else {
+			if (ph->type == 0x0806) {
+				arp ah = packet_decap(ph);
+				channel_put(arp_cc, ah);
+			} else { packet_drop(ph); }
+		}
+	}
+	ppf fwd(ipv4 ph) {
+		uint nh = 0;
+		uint dst = ph->dst;
+		for (uint i = 0; i < 64; i++) {
+			if (table[i].dst == dst) { nh = table[i].nh; break; }
+		}
+		if (nh == 0) { packet_drop(ph); }
+		else {
+			ph->meta.next_hop = nh;
+			ether eph = packet_encap(ph);
+			channel_put(out_cc, eph);
+		}
+	}
+	ppf arp_handler(arp ph) {
+		// Control path: rare.
+		uint op = ph->op;
+		packet_drop(ph);
+	}
+	control func add_route(uint idx, uint dst, uint nh) {
+		table[idx].dst = dst; table[idx].nh = nh;
+	}
+	wiring { rx -> clsfr; ip_cc -> fwd; arp_cc -> arp_handler; out_cc -> tx; }
+}
+`
+
+func buildTrace(tp *types.Program, n int) []*packet.Packet {
+	r := trace.NewRand(11)
+	var out []*packet.Packet
+	for i := 0; i < n; i++ {
+		ethType := uint32(0x0800)
+		if i == 0 { // one rare ARP packet (<1%)
+			ethType = 0x0806
+		}
+		p, err := trace.Build([]trace.Layer{
+			{Proto: tp.Protocols["ether"], Fields: map[string]uint32{"type": ethType}},
+			{Proto: tp.Protocols["ipv4"], Fields: map[string]uint32{
+				"ver": 4, "hlen": 5, "ttl": 64, "dst": 0x0a000001 + uint32(r.Intn(4))}, Size: 20},
+		}, 64, tp.Metadata.Bytes)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func profileApp(t *testing.T) (*ir.Program, *profiler.Stats) {
+	t.Helper()
+	prog := testutil.BuildIR(t, appSrc)
+	s, err := profiler.NewSession(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Control("app.add_route", 0, 0x0a000001, 3); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := profiler.Profile(prog, buildTrace(prog.Types, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, stats
+}
+
+func TestThroughputModelEquation1(t *testing.T) {
+	// Equation 1: t = floor(n/p) * k with k the slowest stage rate.
+	mk := func(cost float64, dup int) *aggregate.Aggregate {
+		return &aggregate.Aggregate{Cost: cost, Dup: dup}
+	}
+	// One stage, cost 100, 6 MEs: 6 replicas, rate 6/100.
+	if got := aggregate.Throughput(6, []*aggregate.Aggregate{mk(100, 1)}); got != 0.06 {
+		t.Errorf("single stage = %v, want 0.06", got)
+	}
+	// Two balanced stages of 50: floor(6/2)=3 replicas, k=1/50 -> 0.06.
+	two := []*aggregate.Aggregate{mk(50, 1), mk(50, 1)}
+	if got := aggregate.Throughput(6, two); got != 0.06 {
+		t.Errorf("balanced pipeline = %v, want 0.06", got)
+	}
+	// Unbalanced 80/20: k = 1/80, 3 replicas -> 0.0375 < merged 0.06:
+	// the model prefers merging, as §5.1 observes.
+	unb := []*aggregate.Aggregate{mk(80, 1), mk(20, 1)}
+	if got := aggregate.Throughput(6, unb); got >= 0.06 {
+		t.Errorf("unbalanced pipeline = %v, should be worse than merged 0.06", got)
+	}
+	// Duplicating the slow stage: dup=2 -> per-stage 40 vs 20; uses 3 MEs,
+	// 2 replicas, k=1/40 -> 0.05.
+	dup := []*aggregate.Aggregate{mk(80, 2), mk(20, 1)}
+	if got := aggregate.Throughput(6, dup); got != 0.05 {
+		t.Errorf("duplicated stage = %v, want 0.05", got)
+	}
+	// Does not fit: 7 stages on 6 MEs -> 0.
+	var seven []*aggregate.Aggregate
+	for i := 0; i < 7; i++ {
+		seven = append(seven, mk(10, 1))
+	}
+	if got := aggregate.Throughput(6, seven); got != 0 {
+		t.Errorf("overcommitted = %v, want 0", got)
+	}
+}
+
+func TestPlanMergesHotPathAndOffloadsARP(t *testing.T) {
+	prog, stats := profileApp(t)
+	plan, err := aggregate.Build(prog, stats, aggregate.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// clsfr+fwd merge into one ME aggregate; arp_handler goes to XScale.
+	me := plan.MEAggregates()
+	if len(me) != 1 {
+		t.Fatalf("ME aggregates = %d, want 1:\n%s", len(me), plan)
+	}
+	if len(me[0].PPFs) != 2 {
+		t.Errorf("hot aggregate PPFs = %v, want clsfr+fwd", me[0].PPFs)
+	}
+	arp := plan.Of["app.arp_handler"]
+	if arp == nil || arp.Target != aggregate.TargetXScale {
+		t.Errorf("arp_handler not offloaded to XScale:\n%s", plan)
+	}
+	if plan.Replicas != 6 {
+		t.Errorf("replicas = %d, want 6 (whole pipeline fits one ME)", plan.Replicas)
+	}
+}
+
+func TestCodeStoreLimitForcesPipeline(t *testing.T) {
+	prog, stats := profileApp(t)
+	cfg := aggregate.DefaultConfig()
+	// Pretend each PPF barely fits alone: merging clsfr+fwd must be
+	// rejected and the pipeline stays at 2 ME stages.
+	cfg.CodeSizeFn = func(f *ir.Func) int { return 2500 }
+	plan, err := aggregate.Build(prog, stats, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	me := plan.MEAggregates()
+	if len(me) != 2 {
+		t.Fatalf("ME aggregates = %d, want 2 (code store forces pipelining):\n%s", len(me), plan)
+	}
+	// Equation 1 may duplicate the dominant stage (fwd's lookup loop is
+	// far heavier than clsfr); either way the plan must fit in 6 MEs.
+	used := 0
+	for _, a := range me {
+		used += a.Dup
+	}
+	if used*plan.Replicas > 6 || plan.Replicas < 1 {
+		t.Errorf("plan uses %d MEs x %d replicas, exceeds 6:\n%s", used, plan.Replicas, plan)
+	}
+	// A balanced alternative exists at 3 replicas; whatever the heuristic
+	// picked must model at least that well.
+	if plan.Throughput <= 0 {
+		t.Errorf("throughput = %v", plan.Throughput)
+	}
+}
+
+func TestClassifyAndMerge(t *testing.T) {
+	prog, stats := profileApp(t)
+	plan, err := aggregate.Build(prog, stats, aggregate.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := aggregate.ClassifyChannels(prog, plan)
+	byName := func(n string) aggregate.ChannelClass {
+		return classes[prog.Types.Channels[n]]
+	}
+	if byName("app.ip_cc") != aggregate.ChanInternal {
+		t.Errorf("ip_cc class = %v, want internal", byName("app.ip_cc"))
+	}
+	if byName("app.arp_cc") != aggregate.ChanExternal {
+		t.Errorf("arp_cc class = %v, want external (crosses to XScale)", byName("app.arp_cc"))
+	}
+	if byName("app.out_cc") != aggregate.ChanExternal {
+		t.Errorf("out_cc class = %v, want external (tx)", byName("app.out_cc"))
+	}
+	merged, err := aggregate.BuildMerged(prog, plan, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hot aggregate has a single entry (rx->clsfr) whose merged
+	// function contains fwd's body inlined: no calls, no internal puts.
+	var hot *aggregate.Merged
+	for _, m := range merged {
+		if m.Agg.Target == aggregate.TargetME {
+			hot = m
+		}
+	}
+	if hot == nil || len(hot.Entries) != 1 {
+		t.Fatalf("hot merged entries wrong: %+v", hot)
+	}
+	entry := hot.Entries[0]
+	if entry.In != nil {
+		t.Errorf("hot entry should be rx-fed")
+	}
+	for _, b := range entry.Func.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall {
+				t.Errorf("merged entry still calls %q", in.Callee)
+			}
+			if in.Op == ir.OpChanPut && classes[in.Chan] == aggregate.ChanInternal {
+				t.Errorf("internal chanput survived merging")
+			}
+		}
+	}
+	// fwd's table loop must now be inside the entry: check for loads of
+	// app.table.
+	foundTable := false
+	for _, b := range entry.Func.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpLoad && in.Global != nil && in.Global.Name == "app.table" {
+				foundTable = true
+			}
+		}
+	}
+	if !foundTable {
+		t.Error("fwd body not inlined into entry (no app.table load)")
+	}
+}
+
+func TestLoopbackChannelDetected(t *testing.T) {
+	src := `
+protocol ether { dst_hi:16; dst_lo:32; type:16; demux { 8 }; }
+protocol mpls { label:20; exp:3; s:1; mttl:8; demux { 4 }; }
+protocol ipv4 { ver:4; hlen:4; tos:8; length:16; ttl:8; dst:32; demux { hlen << 2 }; }
+metadata { rx_port:16; }
+module m {
+	channel mp : mpls;
+	channel done : ipv4;
+	ppf f(ether ph) {
+		mpls mh = packet_decap(ph);
+		channel_put(mp, mh);
+	}
+	ppf pop(mpls ph) {
+		if (ph->s == 1) {
+			ipv4 iph = packet_decap(ph);
+			channel_put(done, iph);
+		} else {
+			mpls inner = packet_decap(ph);
+			channel_put(mp, inner);
+		}
+	}
+	ppf sink(ipv4 ph) { packet_drop(ph); }
+	wiring { rx -> f; mp -> pop; done -> sink; }
+}`
+	prog := testutil.BuildIR(t, src)
+	tp := prog.Types
+	var tr []*packet.Packet
+	for i := 0; i < 50; i++ {
+		depth := 1 + i%3
+		layers := []trace.Layer{{Proto: tp.Protocols["ether"], Fields: map[string]uint32{"type": 0x8847}}}
+		for d := 0; d < depth; d++ {
+			s := uint32(0)
+			if d == depth-1 {
+				s = 1
+			}
+			layers = append(layers, trace.Layer{Proto: tp.Protocols["mpls"],
+				Fields: map[string]uint32{"label": uint32(100 + d), "s": s}})
+		}
+		layers = append(layers, trace.Layer{Proto: tp.Protocols["ipv4"],
+			Fields: map[string]uint32{"ver": 4, "hlen": 5}, Size: 20})
+		p, err := trace.Build(layers, 64, tp.Metadata.Bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr = append(tr, p)
+	}
+	stats, err := profiler.Profile(prog, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := aggregate.Build(prog, stats, aggregate.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := aggregate.ClassifyChannels(prog, plan)
+	mp := prog.Types.Channels["m.mp"]
+	if plan.Of["m.f"] == plan.Of["m.pop"] {
+		if classes[mp] != aggregate.ChanLoopback {
+			t.Errorf("mp class = %v, want loopback (pop feeds itself)", classes[mp])
+		}
+	}
+	merged, err := aggregate.BuildMerged(prog, plan, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = merged
+}

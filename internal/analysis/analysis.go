@@ -1,0 +1,309 @@
+// Package analysis provides the CFG analyses shared by the optimizer and
+// code generator: dominators, post-dominators, liveness, and def/use
+// inspection of IR instructions.
+package analysis
+
+import (
+	"shangrila/internal/ir"
+)
+
+// Defs returns the registers defined by an instruction.
+func Defs(in *ir.Instr) []ir.Reg { return in.Dst }
+
+// Uses returns the registers read by an instruction (NoReg entries are
+// skipped).
+func Uses(in *ir.Instr) []ir.Reg {
+	var out []ir.Reg
+	for _, a := range in.Args {
+		if a != ir.NoReg {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// HasSideEffects reports whether in must be preserved even if its results
+// are unused.
+func HasSideEffects(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpStore, ir.OpPktStore, ir.OpMetaStore, ir.OpChanPut,
+		ir.OpPktDrop, ir.OpAddTail, ir.OpRemoveTail,
+		ir.OpLockAcquire, ir.OpLockRelease, ir.OpCall,
+		ir.OpBr, ir.OpCondBr, ir.OpRet,
+		ir.OpEncap, ir.OpDecap, // they move the packet's head pointer
+		ir.OpPktCopy, ir.OpPktCreate, // allocation
+		ir.OpCacheFill, ir.OpCacheFlush:
+		return true
+	case ir.OpDivU, ir.OpRemU:
+		return true // may trap on zero
+	}
+	return false
+}
+
+// Dominators computes the immediate dominator of every block using the
+// iterative Cooper–Harvey–Kennedy algorithm. The entry block's idom is
+// itself.
+type Dominators struct {
+	idom  map[*ir.Block]*ir.Block
+	order map[*ir.Block]int // reverse postorder index
+}
+
+// ComputeDominators builds dominator information for f (call f.ComputeCFG
+// first).
+func ComputeDominators(f *ir.Func) *Dominators {
+	rpo := ReversePostorder(f.Entry)
+	order := make(map[*ir.Block]int, len(rpo))
+	for i, b := range rpo {
+		order[b] = i
+	}
+	d := &Dominators{idom: map[*ir.Block]*ir.Block{}, order: order}
+	d.idom[f.Entry] = f.Entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range rpo {
+			if b == f.Entry {
+				continue
+			}
+			var newIdom *ir.Block
+			for _, p := range b.Preds {
+				if d.idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = d.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && d.idom[b] != newIdom {
+				d.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+func (d *Dominators) intersect(a, b *ir.Block) *ir.Block {
+	for a != b {
+		for d.order[a] > d.order[b] {
+			a = d.idom[a]
+		}
+		for d.order[b] > d.order[a] {
+			b = d.idom[b]
+		}
+	}
+	return a
+}
+
+// Idom returns b's immediate dominator (entry's is itself).
+func (d *Dominators) Idom(b *ir.Block) *ir.Block { return d.idom[b] }
+
+// Dominates reports whether a dominates b (reflexive).
+func (d *Dominators) Dominates(a, b *ir.Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next := d.idom[b]
+		if next == nil || next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// ReversePostorder returns blocks reachable from entry in reverse
+// postorder.
+func ReversePostorder(entry *ir.Block) []*ir.Block {
+	var post []*ir.Block
+	seen := map[*ir.Block]bool{}
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		seen[b] = true
+		for _, s := range b.Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	if entry != nil {
+		dfs(entry)
+	}
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// PostDominators computes post-dominance over f's CFG. Blocks that cannot
+// reach an exit post-dominate nothing. A virtual exit joins all OpRet
+// blocks.
+type PostDominators struct {
+	pdom map[*ir.Block]map[*ir.Block]bool // pdom[b] = set of post-dominators of b
+}
+
+// ComputePostDominators builds post-dominator sets using the classic
+// iterative dataflow formulation (fine at the CFG sizes Baker produces).
+func ComputePostDominators(f *ir.Func) *PostDominators {
+	var exits []*ir.Block
+	for _, b := range f.Blocks {
+		if t := b.Terminator(); t != nil && t.Op == ir.OpRet {
+			exits = append(exits, b)
+		}
+	}
+	all := map[*ir.Block]bool{}
+	for _, b := range f.Blocks {
+		all[b] = true
+	}
+	pd := &PostDominators{pdom: map[*ir.Block]map[*ir.Block]bool{}}
+	for _, b := range f.Blocks {
+		if isExit(b) {
+			pd.pdom[b] = map[*ir.Block]bool{b: true}
+		} else {
+			cp := map[*ir.Block]bool{}
+			for k := range all {
+				cp[k] = true
+			}
+			pd.pdom[b] = cp
+		}
+	}
+	_ = exits
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range f.Blocks {
+			if isExit(b) {
+				continue
+			}
+			var inter map[*ir.Block]bool
+			for _, s := range b.Succs {
+				if inter == nil {
+					inter = map[*ir.Block]bool{}
+					for k := range pd.pdom[s] {
+						inter[k] = true
+					}
+				} else {
+					for k := range inter {
+						if !pd.pdom[s][k] {
+							delete(inter, k)
+						}
+					}
+				}
+			}
+			if inter == nil {
+				inter = map[*ir.Block]bool{}
+			}
+			inter[b] = true
+			if !sameSet(inter, pd.pdom[b]) {
+				pd.pdom[b] = inter
+				changed = true
+			}
+		}
+	}
+	return pd
+}
+
+func isExit(b *ir.Block) bool {
+	t := b.Terminator()
+	return t != nil && t.Op == ir.OpRet
+}
+
+func sameSet(a, b map[*ir.Block]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// PostDominates reports whether a post-dominates b.
+func (pd *PostDominators) PostDominates(a, b *ir.Block) bool { return pd.pdom[b][a] }
+
+// Liveness holds per-block live-in/live-out register sets.
+type Liveness struct {
+	In  map[*ir.Block]map[ir.Reg]bool
+	Out map[*ir.Block]map[ir.Reg]bool
+}
+
+// ComputeLiveness solves backward liveness over f.
+func ComputeLiveness(f *ir.Func) *Liveness {
+	lv := &Liveness{
+		In:  map[*ir.Block]map[ir.Reg]bool{},
+		Out: map[*ir.Block]map[ir.Reg]bool{},
+	}
+	gen := map[*ir.Block]map[ir.Reg]bool{}
+	kill := map[*ir.Block]map[ir.Reg]bool{}
+	for _, b := range f.Blocks {
+		g, k := map[ir.Reg]bool{}, map[ir.Reg]bool{}
+		for _, in := range b.Instrs {
+			for _, u := range Uses(in) {
+				if !k[u] {
+					g[u] = true
+				}
+			}
+			for _, d := range Defs(in) {
+				k[d] = true
+			}
+		}
+		gen[b], kill[b] = g, k
+		lv.In[b] = map[ir.Reg]bool{}
+		lv.Out[b] = map[ir.Reg]bool{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := map[ir.Reg]bool{}
+			for _, s := range b.Succs {
+				for r := range lv.In[s] {
+					out[r] = true
+				}
+			}
+			in := map[ir.Reg]bool{}
+			for r := range gen[b] {
+				in[r] = true
+			}
+			for r := range out {
+				if !kill[b][r] {
+					in[r] = true
+				}
+			}
+			if len(out) != len(lv.Out[b]) || len(in) != len(lv.In[b]) {
+				changed = true
+			} else {
+				for r := range in {
+					if !lv.In[b][r] {
+						changed = true
+						break
+					}
+				}
+			}
+			lv.In[b], lv.Out[b] = in, out
+		}
+	}
+	return lv
+}
+
+// DefCounts returns, per register, how many instructions define it.
+func DefCounts(f *ir.Func) []int {
+	counts := make([]int, f.NumRegs)
+	for _, p := range f.Params {
+		counts[p]++
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, d := range in.Dst {
+				counts[d]++
+			}
+		}
+	}
+	return counts
+}

@@ -1,0 +1,113 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"shangrila/internal/analysis"
+	"shangrila/internal/ir"
+	"shangrila/internal/testutil"
+)
+
+const diamondSrc = `
+protocol p { x:32; demux { 4 }; }
+module m {
+	uint g;
+	ppf f(p ph) {
+		uint v = ph->x;
+		if (v > 10) { g = 1; } else { g = 2; }
+		g = v;
+		packet_drop(ph);
+	}
+	wiring { rx -> f; }
+}`
+
+func TestDominators(t *testing.T) {
+	prog := testutil.BuildIR(t, diamondSrc)
+	f := prog.Funcs["m.f"]
+	dom := analysis.ComputeDominators(f)
+	entry := f.Entry
+	for _, b := range f.Blocks {
+		if !dom.Dominates(entry, b) {
+			t.Errorf("entry must dominate b%d", b.ID)
+		}
+		if !dom.Dominates(b, b) {
+			t.Errorf("dominance must be reflexive (b%d)", b.ID)
+		}
+	}
+	// The two branch arms must not dominate each other or the join.
+	term := entry.Terminator()
+	if term.Op != ir.OpCondBr {
+		t.Fatalf("entry terminator = %v", term.Op)
+	}
+	thenB, elseB := term.Blocks[0], term.Blocks[1]
+	if dom.Dominates(thenB, elseB) || dom.Dominates(elseB, thenB) {
+		t.Error("branch arms must not dominate each other")
+	}
+	// The join block (successor of both arms) is not dominated by either arm.
+	if len(thenB.Succs) == 1 {
+		join := thenB.Succs[0]
+		if dom.Dominates(thenB, join) {
+			t.Error("then-arm must not dominate join")
+		}
+		if !dom.Dominates(entry, join) {
+			t.Error("entry must dominate join")
+		}
+	}
+}
+
+func TestPostDominators(t *testing.T) {
+	prog := testutil.BuildIR(t, diamondSrc)
+	f := prog.Funcs["m.f"]
+	pd := analysis.ComputePostDominators(f)
+	// The exit block post-dominates everything.
+	var exit *ir.Block
+	for _, b := range f.Blocks {
+		if t := b.Terminator(); t != nil && t.Op == ir.OpRet {
+			exit = b
+		}
+	}
+	if exit == nil {
+		t.Fatal("no exit block")
+	}
+	for _, b := range f.Blocks {
+		if !pd.PostDominates(exit, b) {
+			t.Errorf("exit must post-dominate b%d", b.ID)
+		}
+	}
+	// Branch arms do not post-dominate the entry.
+	term := f.Entry.Terminator()
+	if term.Op == ir.OpCondBr {
+		if pd.PostDominates(term.Blocks[0], f.Entry) {
+			t.Error("then-arm must not post-dominate entry")
+		}
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	prog := testutil.BuildIR(t, diamondSrc)
+	f := prog.Funcs["m.f"]
+	lv := analysis.ComputeLiveness(f)
+	// The handle parameter is used by packet_drop at the end, so it must
+	// be live-out of the entry block.
+	h := f.Params[0]
+	if !lv.Out[f.Entry][h] {
+		t.Errorf("handle %v not live-out of entry", h)
+	}
+	// Nothing is live out of the exit block.
+	for _, b := range f.Blocks {
+		if t2 := b.Terminator(); t2 != nil && t2.Op == ir.OpRet {
+			if len(lv.Out[b]) != 0 {
+				t.Errorf("exit block has live-out regs: %v", lv.Out[b])
+			}
+		}
+	}
+}
+
+func TestDefCountsIncludesParams(t *testing.T) {
+	prog := testutil.BuildIR(t, diamondSrc)
+	f := prog.Funcs["m.f"]
+	counts := analysis.DefCounts(f)
+	if counts[f.Params[0]] == 0 {
+		t.Error("param must count as a definition")
+	}
+}

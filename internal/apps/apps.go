@@ -1,0 +1,148 @@
+// Package apps contains the three benchmark applications of the paper's
+// evaluation (§6.1) written in Baker — L3-Switch, MPLS and Firewall —
+// together with their control-plane table setup and synthetic NPF-style
+// traffic generators (the substitution for the NPF benchmark traces and
+// the IXIA generator; see DESIGN.md).
+package apps
+
+import (
+	"shangrila/internal/baker/types"
+	"shangrila/internal/packet"
+	"shangrila/internal/profiler"
+	"shangrila/internal/trace"
+)
+
+// App bundles one benchmark application.
+type App struct {
+	// Name identifies the app ("l3switch", "mpls", "firewall").
+	Name string
+	// Source is the Baker program text.
+	Source string
+	// Controls returns the control-plane calls that populate the app's
+	// tables (routes, labels, rules); they run both at profile time and
+	// at runtime boot.
+	Controls []profiler.Control
+	// Trace generates n packets exercising the app's hot paths with the
+	// distributions described in the comments of each constructor.
+	Trace func(tp *types.Program, seed uint64, n int) []*packet.Packet
+	// MinForwardFraction is the fraction of trace packets expected to be
+	// forwarded (used by integration tests as a sanity band).
+	MinForwardFraction float64
+}
+
+// All returns the three benchmark applications.
+func All() []*App {
+	return []*App{L3Switch(), MPLS(), Firewall()}
+}
+
+// common protocol prelude shared by the applications. MAC addresses are
+// split into 16-bit and 32-bit halves: Baker targets a 32-bit machine, so
+// fields wider than one word must be declared split (and the split halves
+// are exactly what PAC recombines into single wide accesses).
+const protoPrelude = `
+protocol ether {
+    dst_hi : 16;
+    dst_lo : 32;
+    src_hi : 16;
+    src_lo : 32;
+    type   : 16;
+    demux { 14 };
+}
+
+protocol ipv4 {
+    ver    : 4;
+    hlen   : 4;
+    tos    : 8;
+    length : 16;
+    id     : 16;
+    flags  : 3;
+    frag   : 13;
+    ttl    : 8;
+    proto  : 8;
+    cksum  : 16;
+    src    : 32;
+    dst    : 32;
+    demux { hlen << 2 };
+}
+
+protocol mpls {
+    label : 20;
+    exp   : 3;
+    s     : 1;
+    mttl  : 8;
+    demux { 4 };
+}
+
+protocol l4 {
+    sport : 16;
+    dport : 16;
+    demux { 4 };
+}
+
+// ipv4tcp is the option-less IPv4+L4 fast-path view: when hlen == 5 the
+// transport ports sit at fixed offsets, so the whole 5-tuple is one
+// statically-resolved header (real ME code uses exactly this trick; the
+// rare option-carrying packets take the slow path).
+protocol ipv4tcp {
+    ver    : 4;
+    hlen   : 4;
+    tos    : 8;
+    length : 16;
+    id     : 16;
+    flags  : 3;
+    frag   : 13;
+    ttl    : 8;
+    proto  : 8;
+    cksum  : 16;
+    src    : 32;
+    dst    : 32;
+    sport  : 16;
+    dport  : 16;
+    demux { 24 };
+}
+
+protocol arp {
+    htype : 16;
+    ptype : 16;
+    hlen8 : 8;
+    plen8 : 8;
+    op    : 16;
+    demux { 28 };
+}
+
+metadata {
+    rx_port  : 8;
+    tx_port  : 8;
+    next_hop : 16;
+    flow_id  : 16;
+}
+
+const ETH_IP   = 0x0800;
+const ETH_ARP  = 0x0806;
+const ETH_MPLS = 0x8847;
+`
+
+// buildIP constructs an Ethernet/IPv4(/L4) frame.
+func buildIP(tp *types.Program, r *trace.Rand, dstMACHi, dstMACLo, dstIP uint32,
+	proto uint32, sport, dport uint32, withL4 bool) *packet.Packet {
+	layers := []trace.Layer{
+		{Proto: tp.Protocols["ether"], Fields: map[string]uint32{
+			"dst_hi": dstMACHi, "dst_lo": dstMACLo,
+			"src_hi": 0x0002, "src_lo": r.Uint32(),
+			"type": 0x0800}},
+		{Proto: tp.Protocols["ipv4"], Fields: map[string]uint32{
+			"ver": 4, "hlen": 5, "length": 46, "ttl": 32 + uint32(r.Intn(32)),
+			"proto": proto, "cksum": r.Uint32() & 0xffff,
+			"src": r.Uint32(), "dst": dstIP}, Size: 20},
+	}
+	if withL4 {
+		layers = append(layers, trace.Layer{Proto: tp.Protocols["l4"],
+			Fields: map[string]uint32{"sport": sport, "dport": dport}})
+	}
+	p, err := trace.Build(layers, 64, tp.Metadata.Bytes)
+	if err != nil {
+		panic(err)
+	}
+	p.Port = uint32(r.Intn(3))
+	return p
+}

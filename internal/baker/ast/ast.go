@@ -1,0 +1,395 @@
+// Package ast declares the abstract syntax tree for Baker programs.
+//
+// A Baker program is a set of protocol declarations, one metadata block,
+// and one or more modules. Modules contain globals, channels, packet
+// processing functions (PPFs), helper/control/init functions and a wiring
+// block that connects channels to PPF inputs (§2.1 of the paper).
+package ast
+
+import "shangrila/internal/baker/token"
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---------------------------------------------------------------------------
+// Program structure
+
+// Program is a parsed Baker compilation unit.
+type Program struct {
+	Protocols []*ProtocolDecl
+	Metadata  *MetadataDecl // nil if the program declares no metadata
+	Consts    []*ConstDecl
+	Modules   []*ModuleDecl
+}
+
+func (p *Program) Pos() token.Pos {
+	if len(p.Modules) > 0 {
+		return p.Modules[0].Pos()
+	}
+	return token.Pos{}
+}
+
+// ProtocolDecl describes a packet protocol: ordered bit fields plus the
+// demux expression giving the header size in bytes within a packet.
+type ProtocolDecl struct {
+	NamePos token.Pos
+	Name    string
+	Fields  []*BitField
+	Demux   Expr // header size in bytes; may reference protocol fields
+}
+
+func (d *ProtocolDecl) Pos() token.Pos { return d.NamePos }
+
+// BitField is one named bit slice of a protocol header or the metadata
+// block. Widths are in bits and need not be byte aligned.
+type BitField struct {
+	NamePos token.Pos
+	Name    string
+	Bits    int
+}
+
+func (f *BitField) Pos() token.Pos { return f.NamePos }
+
+// MetadataDecl declares the per-packet metadata record (state carried with
+// a packet outside its data, stored in SRAM on the IXP).
+type MetadataDecl struct {
+	KwPos  token.Pos
+	Fields []*BitField
+}
+
+func (d *MetadataDecl) Pos() token.Pos { return d.KwPos }
+
+// ConstDecl is a named compile-time integer constant.
+type ConstDecl struct {
+	NamePos token.Pos
+	Name    string
+	Value   Expr
+}
+
+func (d *ConstDecl) Pos() token.Pos { return d.NamePos }
+
+// ModuleDecl is a Baker module: a container of related PPFs, channels,
+// shared data, support code and the wiring between them.
+type ModuleDecl struct {
+	NamePos token.Pos
+	Name    string
+	Structs []*StructDecl
+	Globals []*GlobalDecl
+	Chans   []*ChannelDecl
+	Funcs   []*FuncDecl // PPFs and plain/control/init functions
+	Wiring  []*WireDecl
+}
+
+func (d *ModuleDecl) Pos() token.Pos { return d.NamePos }
+
+// StructDecl declares an aggregate type for global data structures.
+type StructDecl struct {
+	NamePos token.Pos
+	Name    string
+	Fields  []*VarField
+}
+
+func (d *StructDecl) Pos() token.Pos { return d.NamePos }
+
+// VarField is a typed field of a struct declaration.
+type VarField struct {
+	NamePos token.Pos
+	Name    string
+	Type    *TypeExpr
+}
+
+func (f *VarField) Pos() token.Pos { return f.NamePos }
+
+// GlobalDecl declares module-level shared data ("var uint table[1024];").
+type GlobalDecl struct {
+	NamePos token.Pos
+	Name    string
+	Type    *TypeExpr
+}
+
+func (d *GlobalDecl) Pos() token.Pos { return d.NamePos }
+
+// ChannelDecl declares a communication channel carrying packets of a given
+// protocol.
+type ChannelDecl struct {
+	NamePos token.Pos
+	Name    string
+	Proto   string
+}
+
+func (d *ChannelDecl) Pos() token.Pos { return d.NamePos }
+
+// FuncKind distinguishes the roles a function can play.
+type FuncKind int
+
+const (
+	// KindPPF is a packet processing function: it consumes packets from
+	// its single input channel and forwards them with channel_put.
+	KindPPF FuncKind = iota
+	// KindFunc is an ordinary helper callable from PPFs.
+	KindFunc
+	// KindControl marks control-plane entry points invoked by the host
+	// through the runtime (they run on the XScale core).
+	KindControl
+	// KindInit marks load-time initialisation code (XScale).
+	KindInit
+)
+
+func (k FuncKind) String() string {
+	switch k {
+	case KindPPF:
+		return "ppf"
+	case KindFunc:
+		return "func"
+	case KindControl:
+		return "control"
+	case KindInit:
+		return "init"
+	}
+	return "?"
+}
+
+// Param is a formal parameter.
+type Param struct {
+	NamePos token.Pos
+	Name    string
+	Type    *TypeExpr
+}
+
+func (p *Param) Pos() token.Pos { return p.NamePos }
+
+// FuncDecl is a PPF or function definition.
+type FuncDecl struct {
+	NamePos token.Pos
+	Kind    FuncKind
+	Name    string
+	Params  []*Param
+	Result  *TypeExpr // nil means void
+	Body    *BlockStmt
+}
+
+func (d *FuncDecl) Pos() token.Pos { return d.NamePos }
+
+// WireDecl connects a channel (or the builtin source "rx") to a PPF input
+// (or the builtin sink "tx").
+type WireDecl struct {
+	FromPos token.Pos
+	From    string // channel name or "rx"
+	To      string // PPF name or "tx"
+}
+
+func (d *WireDecl) Pos() token.Pos { return d.FromPos }
+
+// TypeExpr is a syntactic type: a base name plus an optional array length.
+type TypeExpr struct {
+	NamePos token.Pos
+	Name    string // "uint", "int", "void", struct name, or protocol name
+	ArrayN  Expr   // nil unless this is an array type
+}
+
+func (t *TypeExpr) Pos() token.Pos { return t.NamePos }
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// BlockStmt is a brace-delimited statement list.
+type BlockStmt struct {
+	LbracePos token.Pos
+	Stmts     []Stmt
+}
+
+// DeclStmt declares a local variable with an optional initializer.
+type DeclStmt struct {
+	NamePos token.Pos
+	Name    string
+	Type    *TypeExpr
+	Init    Expr // may be nil
+}
+
+// AssignStmt assigns to a variable, field, array element, packet field or
+// metadata field. Op is token.ASSIGN or a compound assignment.
+type AssignStmt struct {
+	OpPos token.Pos
+	LHS   Expr
+	Op    token.Kind
+	RHS   Expr
+}
+
+// ExprStmt evaluates an expression (typically a call) for effect.
+type ExprStmt struct{ X Expr }
+
+// IfStmt is an if/else.
+type IfStmt struct {
+	IfPos token.Pos
+	Cond  Expr
+	Then  *BlockStmt
+	Else  Stmt // *BlockStmt, *IfStmt, or nil
+}
+
+// WhileStmt loops while Cond is nonzero.
+type WhileStmt struct {
+	WhilePos token.Pos
+	Cond     Expr
+	Body     *BlockStmt
+}
+
+// ForStmt is a C-style for loop; any of Init/Cond/Post may be nil.
+type ForStmt struct {
+	ForPos token.Pos
+	Init   Stmt
+	Cond   Expr
+	Post   Stmt
+	Body   *BlockStmt
+}
+
+// ReturnStmt returns from a function, optionally with a value.
+type ReturnStmt struct {
+	RetPos token.Pos
+	Value  Expr // may be nil
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ KwPos token.Pos }
+
+// ContinueStmt restarts the innermost loop.
+type ContinueStmt struct{ KwPos token.Pos }
+
+// CriticalStmt brackets a programmer-identified critical section (§2: the
+// only concurrency construct Baker exposes).
+type CriticalStmt struct {
+	KwPos token.Pos
+	Body  *BlockStmt
+}
+
+func (s *BlockStmt) Pos() token.Pos    { return s.LbracePos }
+func (s *DeclStmt) Pos() token.Pos     { return s.NamePos }
+func (s *AssignStmt) Pos() token.Pos   { return s.OpPos }
+func (s *ExprStmt) Pos() token.Pos     { return s.X.Pos() }
+func (s *IfStmt) Pos() token.Pos       { return s.IfPos }
+func (s *WhileStmt) Pos() token.Pos    { return s.WhilePos }
+func (s *ForStmt) Pos() token.Pos      { return s.ForPos }
+func (s *ReturnStmt) Pos() token.Pos   { return s.RetPos }
+func (s *BreakStmt) Pos() token.Pos    { return s.KwPos }
+func (s *ContinueStmt) Pos() token.Pos { return s.KwPos }
+func (s *CriticalStmt) Pos() token.Pos { return s.KwPos }
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*CriticalStmt) stmtNode() {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Ident names a variable, constant, channel or function.
+type Ident struct {
+	NamePos token.Pos
+	Name    string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	LitPos token.Pos
+	Value  uint64
+	Text   string
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	OpPos token.Pos
+	Op    token.Kind
+	X, Y  Expr
+}
+
+// UnaryExpr is -x, ~x or !x.
+type UnaryExpr struct {
+	OpPos token.Pos
+	Op    token.Kind
+	X     Expr
+}
+
+// CondExpr is the ternary c ? a : b.
+type CondExpr struct {
+	QPos token.Pos
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+// CallExpr calls a function or builtin (channel_put, packet_decap, ...).
+type CallExpr struct {
+	FunPos token.Pos
+	Fun    string
+	Args   []Expr
+}
+
+// IndexExpr is array indexing a[i].
+type IndexExpr struct {
+	X     Expr
+	Index Expr
+}
+
+// FieldExpr is struct field selection s.f.
+type FieldExpr struct {
+	X      Expr
+	Name   string
+	DotPos token.Pos
+}
+
+// PacketFieldExpr is ph->field: a protocol bit-field access through a
+// packet handle.
+type PacketFieldExpr struct {
+	Handle   Expr
+	Name     string
+	ArrowPos token.Pos
+}
+
+// MetaFieldExpr is ph->meta.field: packet metadata access.
+type MetaFieldExpr struct {
+	Handle   Expr
+	Name     string
+	ArrowPos token.Pos
+}
+
+func (e *Ident) Pos() token.Pos           { return e.NamePos }
+func (e *IntLit) Pos() token.Pos          { return e.LitPos }
+func (e *BinaryExpr) Pos() token.Pos      { return e.X.Pos() }
+func (e *UnaryExpr) Pos() token.Pos       { return e.OpPos }
+func (e *CondExpr) Pos() token.Pos        { return e.Cond.Pos() }
+func (e *CallExpr) Pos() token.Pos        { return e.FunPos }
+func (e *IndexExpr) Pos() token.Pos       { return e.X.Pos() }
+func (e *FieldExpr) Pos() token.Pos       { return e.X.Pos() }
+func (e *PacketFieldExpr) Pos() token.Pos { return e.Handle.Pos() }
+func (e *MetaFieldExpr) Pos() token.Pos   { return e.Handle.Pos() }
+
+func (*Ident) exprNode()           {}
+func (*IntLit) exprNode()          {}
+func (*BinaryExpr) exprNode()      {}
+func (*UnaryExpr) exprNode()       {}
+func (*CondExpr) exprNode()        {}
+func (*CallExpr) exprNode()        {}
+func (*IndexExpr) exprNode()       {}
+func (*FieldExpr) exprNode()       {}
+func (*PacketFieldExpr) exprNode() {}
+func (*MetaFieldExpr) exprNode()   {}

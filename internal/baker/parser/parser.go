@@ -1,0 +1,647 @@
+// Package parser builds Baker ASTs from source text.
+//
+// The grammar is C-like. At the top level a compilation unit contains
+// protocol declarations, at most one metadata block, constants and modules;
+// inside a module: struct declarations, global data, channels, functions
+// (ppf / func / control func / init func) and a wiring block.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"shangrila/internal/baker/ast"
+	"shangrila/internal/baker/lexer"
+	"shangrila/internal/baker/token"
+)
+
+// Error is a syntax error at a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList collects parse errors; it implements error.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0], len(l)-1)
+}
+
+type parser struct {
+	lex  *lexer.Lexer
+	tok  token.Token
+	peek token.Token
+	errs ErrorList
+}
+
+// Parse parses a Baker compilation unit. On any syntax error it returns a
+// non-nil ErrorList; the returned Program contains whatever was recovered.
+func Parse(file, src string) (*ast.Program, error) {
+	p := &parser{lex: lexer.New(file, src)}
+	p.tok = p.lex.Next()
+	p.peek = p.lex.Next()
+	prog := p.parseProgram()
+	for _, le := range p.lex.Errors() {
+		p.errs = append(p.errs, &Error{Pos: le.Pos, Msg: le.Msg})
+	}
+	if len(p.errs) > 0 {
+		return prog, p.errs
+	}
+	return prog, nil
+}
+
+func (p *parser) next() {
+	p.tok = p.peek
+	p.peek = p.lex.Next()
+}
+
+func (p *parser) errorf(pos token.Pos, format string, args ...any) {
+	if len(p.errs) < 50 {
+		p.errs = append(p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	t := p.tok
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %q, found %s", k.String(), t)
+		// Do not consume: let the caller's structure resynchronize.
+		return token.Token{Kind: k, Pos: t.Pos}
+	}
+	p.next()
+	return t
+}
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.tok.Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// sync skips tokens until a likely declaration/statement boundary.
+func (p *parser) sync(stop ...token.Kind) {
+	for p.tok.Kind != token.EOF {
+		for _, k := range stop {
+			if p.tok.Kind == k {
+				return
+			}
+		}
+		p.next()
+	}
+}
+
+func (p *parser) parseProgram() *ast.Program {
+	prog := &ast.Program{}
+	for p.tok.Kind != token.EOF {
+		switch p.tok.Kind {
+		case token.PROTOCOL:
+			prog.Protocols = append(prog.Protocols, p.parseProtocol())
+		case token.METADATA:
+			md := p.parseMetadata()
+			if prog.Metadata != nil {
+				p.errorf(md.KwPos, "duplicate metadata block")
+			} else {
+				prog.Metadata = md
+			}
+		case token.CONST:
+			prog.Consts = append(prog.Consts, p.parseConst())
+		case token.MODULE:
+			prog.Modules = append(prog.Modules, p.parseModule())
+		case token.SEMI:
+			p.next()
+		default:
+			p.errorf(p.tok.Pos, "unexpected %s at top level", p.tok)
+			p.next()
+			p.sync(token.PROTOCOL, token.METADATA, token.CONST, token.MODULE)
+		}
+	}
+	return prog
+}
+
+func (p *parser) parseProtocol() *ast.ProtocolDecl {
+	p.expect(token.PROTOCOL)
+	name := p.expect(token.IDENT)
+	d := &ast.ProtocolDecl{NamePos: name.Pos, Name: name.Lit}
+	p.expect(token.LBRACE)
+	for p.tok.Kind != token.RBRACE && p.tok.Kind != token.EOF {
+		if p.tok.Kind == token.DEMUX {
+			pos := p.tok.Pos
+			p.next()
+			p.expect(token.LBRACE)
+			d.Demux = p.parseExpr()
+			p.expect(token.RBRACE)
+			p.expect(token.SEMI)
+			if d.Demux == nil {
+				p.errorf(pos, "empty demux expression")
+			}
+			continue
+		}
+		f := p.parseBitField()
+		if f == nil {
+			p.sync(token.SEMI, token.RBRACE)
+			p.accept(token.SEMI)
+			continue
+		}
+		d.Fields = append(d.Fields, f)
+	}
+	p.expect(token.RBRACE)
+	p.accept(token.SEMI)
+	return d
+}
+
+func (p *parser) parseBitField() *ast.BitField {
+	if p.tok.Kind != token.IDENT {
+		p.errorf(p.tok.Pos, "expected field name, found %s", p.tok)
+		return nil
+	}
+	name := p.tok
+	p.next()
+	p.expect(token.COLON)
+	width := p.expect(token.INT)
+	p.expect(token.SEMI)
+	bits, err := strconv.Atoi(width.Lit)
+	if err != nil || bits <= 0 || bits > 64 {
+		p.errorf(width.Pos, "invalid bit width %q (must be 1..64)", width.Lit)
+		bits = 32
+	}
+	return &ast.BitField{NamePos: name.Pos, Name: name.Lit, Bits: bits}
+}
+
+func (p *parser) parseMetadata() *ast.MetadataDecl {
+	kw := p.expect(token.METADATA)
+	d := &ast.MetadataDecl{KwPos: kw.Pos}
+	p.expect(token.LBRACE)
+	for p.tok.Kind != token.RBRACE && p.tok.Kind != token.EOF {
+		f := p.parseBitField()
+		if f == nil {
+			p.sync(token.SEMI, token.RBRACE)
+			p.accept(token.SEMI)
+			continue
+		}
+		d.Fields = append(d.Fields, f)
+	}
+	p.expect(token.RBRACE)
+	p.accept(token.SEMI)
+	return d
+}
+
+func (p *parser) parseConst() *ast.ConstDecl {
+	p.expect(token.CONST)
+	name := p.expect(token.IDENT)
+	p.expect(token.ASSIGN)
+	v := p.parseExpr()
+	p.expect(token.SEMI)
+	return &ast.ConstDecl{NamePos: name.Pos, Name: name.Lit, Value: v}
+}
+
+func (p *parser) parseModule() *ast.ModuleDecl {
+	p.expect(token.MODULE)
+	name := p.expect(token.IDENT)
+	m := &ast.ModuleDecl{NamePos: name.Pos, Name: name.Lit}
+	p.expect(token.LBRACE)
+	for p.tok.Kind != token.RBRACE && p.tok.Kind != token.EOF {
+		switch p.tok.Kind {
+		case token.STRUCT:
+			m.Structs = append(m.Structs, p.parseStruct())
+		case token.CHANNEL:
+			m.Chans = append(m.Chans, p.parseChannel())
+		case token.PPF, token.FUNC, token.CONTROL, token.INITKW:
+			m.Funcs = append(m.Funcs, p.parseFunc())
+		case token.WIRING:
+			m.Wiring = append(m.Wiring, p.parseWiring()...)
+		case token.UINT, token.INT_T, token.IDENT:
+			m.Globals = append(m.Globals, p.parseGlobal())
+		case token.SEMI:
+			p.next()
+		default:
+			p.errorf(p.tok.Pos, "unexpected %s in module body", p.tok)
+			p.next()
+		}
+	}
+	p.expect(token.RBRACE)
+	return m
+}
+
+func (p *parser) parseStruct() *ast.StructDecl {
+	p.expect(token.STRUCT)
+	name := p.expect(token.IDENT)
+	d := &ast.StructDecl{NamePos: name.Pos, Name: name.Lit}
+	p.expect(token.LBRACE)
+	for p.tok.Kind != token.RBRACE && p.tok.Kind != token.EOF {
+		if p.tok.Kind != token.IDENT {
+			p.errorf(p.tok.Pos, "expected struct field name, found %s", p.tok)
+			p.next()
+			continue
+		}
+		fname := p.tok
+		p.next()
+		p.expect(token.COLON)
+		ft := p.parseType()
+		p.expect(token.SEMI)
+		d.Fields = append(d.Fields, &ast.VarField{NamePos: fname.Pos, Name: fname.Lit, Type: ft})
+	}
+	p.expect(token.RBRACE)
+	p.accept(token.SEMI)
+	return d
+}
+
+func (p *parser) parseChannel() *ast.ChannelDecl {
+	p.expect(token.CHANNEL)
+	name := p.expect(token.IDENT)
+	p.expect(token.COLON)
+	proto := p.expect(token.IDENT)
+	p.expect(token.SEMI)
+	return &ast.ChannelDecl{NamePos: name.Pos, Name: name.Lit, Proto: proto.Lit}
+}
+
+// parseType parses a base type name (no array suffix; arrays are parsed by
+// the declaration forms that allow them).
+func (p *parser) parseType() *ast.TypeExpr {
+	switch p.tok.Kind {
+	case token.UINT, token.INT_T, token.VOID, token.IDENT:
+		t := &ast.TypeExpr{NamePos: p.tok.Pos, Name: p.tok.Kind.String()}
+		if p.tok.Kind == token.IDENT {
+			t.Name = p.tok.Lit
+		}
+		p.next()
+		return t
+	}
+	p.errorf(p.tok.Pos, "expected type, found %s", p.tok)
+	t := &ast.TypeExpr{NamePos: p.tok.Pos, Name: "uint"}
+	p.next()
+	return t
+}
+
+func (p *parser) parseGlobal() *ast.GlobalDecl {
+	typ := p.parseType()
+	name := p.expect(token.IDENT)
+	if p.accept(token.LBRACK) {
+		typ.ArrayN = p.parseExpr()
+		p.expect(token.RBRACK)
+	}
+	p.expect(token.SEMI)
+	return &ast.GlobalDecl{NamePos: name.Pos, Name: name.Lit, Type: typ}
+}
+
+func (p *parser) parseFunc() *ast.FuncDecl {
+	kind := ast.KindFunc
+	switch p.tok.Kind {
+	case token.CONTROL:
+		p.next()
+		kind = ast.KindControl
+		p.expect(token.FUNC)
+	case token.INITKW:
+		p.next()
+		kind = ast.KindInit
+		p.expect(token.FUNC)
+	case token.PPF:
+		p.next()
+		kind = ast.KindPPF
+	default:
+		p.expect(token.FUNC)
+	}
+	name := p.expect(token.IDENT)
+	d := &ast.FuncDecl{NamePos: name.Pos, Kind: kind, Name: name.Lit}
+	p.expect(token.LPAREN)
+	for p.tok.Kind != token.RPAREN && p.tok.Kind != token.EOF {
+		typ := p.parseType()
+		pn := p.expect(token.IDENT)
+		d.Params = append(d.Params, &ast.Param{NamePos: pn.Pos, Name: pn.Lit, Type: typ})
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	p.expect(token.RPAREN)
+	if p.tok.Kind != token.LBRACE {
+		d.Result = p.parseType()
+	}
+	d.Body = p.parseBlock()
+	return d
+}
+
+func (p *parser) parseWiring() []*ast.WireDecl {
+	p.expect(token.WIRING)
+	p.expect(token.LBRACE)
+	var wires []*ast.WireDecl
+	for p.tok.Kind != token.RBRACE && p.tok.Kind != token.EOF {
+		before := p.tok
+		fromPos := p.tok.Pos
+		from := p.parseWireName()
+		p.expect(token.ARROW)
+		to := p.parseWireName()
+		p.expect(token.SEMI)
+		wires = append(wires, &ast.WireDecl{FromPos: fromPos, From: from, To: to})
+		if p.tok == before {
+			// Malformed entry consumed nothing (expect does not advance
+			// on mismatch): skip a token to guarantee progress.
+			p.next()
+		}
+	}
+	p.expect(token.RBRACE)
+	return wires
+}
+
+// parseWireName parses an optionally module-qualified name ("l2_clsfr" or
+// "l3_switch.arp_cc") used in wiring blocks.
+func (p *parser) parseWireName() string {
+	name := p.expect(token.IDENT).Lit
+	if p.tok.Kind == token.DOT {
+		p.next()
+		name += "." + p.expect(token.IDENT).Lit
+	}
+	return name
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *parser) parseBlock() *ast.BlockStmt {
+	lb := p.expect(token.LBRACE)
+	b := &ast.BlockStmt{LbracePos: lb.Pos}
+	for p.tok.Kind != token.RBRACE && p.tok.Kind != token.EOF {
+		before := p.tok
+		s := p.parseStmt()
+		if s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+		if p.tok == before && s == nil {
+			p.next() // guarantee progress on malformed input
+		}
+	}
+	p.expect(token.RBRACE)
+	return b
+}
+
+func (p *parser) parseStmt() ast.Stmt {
+	switch p.tok.Kind {
+	case token.LBRACE:
+		return p.parseBlock()
+	case token.IF:
+		return p.parseIf()
+	case token.WHILE:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(token.LPAREN)
+		cond := p.parseExpr()
+		p.expect(token.RPAREN)
+		return &ast.WhileStmt{WhilePos: pos, Cond: cond, Body: p.parseBlock()}
+	case token.FOR:
+		return p.parseFor()
+	case token.RETURN:
+		pos := p.tok.Pos
+		p.next()
+		var v ast.Expr
+		if p.tok.Kind != token.SEMI {
+			v = p.parseExpr()
+		}
+		p.expect(token.SEMI)
+		return &ast.ReturnStmt{RetPos: pos, Value: v}
+	case token.BREAK:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(token.SEMI)
+		return &ast.BreakStmt{KwPos: pos}
+	case token.CONTINUE:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(token.SEMI)
+		return &ast.ContinueStmt{KwPos: pos}
+	case token.CRITICAL:
+		pos := p.tok.Pos
+		p.next()
+		return &ast.CriticalStmt{KwPos: pos, Body: p.parseBlock()}
+	case token.SEMI:
+		p.next()
+		return nil
+	case token.UINT, token.INT_T:
+		return p.parseDecl()
+	case token.IDENT:
+		// "Type name ..." is a declaration; anything else is an
+		// expression statement or assignment.
+		if p.peek.Kind == token.IDENT {
+			return p.parseDecl()
+		}
+		return p.parseSimpleStmt(true)
+	default:
+		return p.parseSimpleStmt(true)
+	}
+}
+
+func (p *parser) parseDecl() ast.Stmt {
+	typ := p.parseType()
+	name := p.expect(token.IDENT)
+	d := &ast.DeclStmt{NamePos: name.Pos, Name: name.Lit, Type: typ}
+	if p.accept(token.LBRACK) {
+		typ.ArrayN = p.parseExpr()
+		p.expect(token.RBRACK)
+	}
+	if p.accept(token.ASSIGN) {
+		d.Init = p.parseExpr()
+	}
+	p.expect(token.SEMI)
+	return d
+}
+
+// parseSimpleStmt parses an assignment, inc/dec, or expression statement.
+// If wantSemi, the trailing semicolon is consumed (for loop headers pass
+// false).
+func (p *parser) parseSimpleStmt(wantSemi bool) ast.Stmt {
+	x := p.parseExpr()
+	if x == nil {
+		return nil
+	}
+	var s ast.Stmt
+	switch {
+	case p.tok.Kind.IsAssign():
+		op := p.tok
+		p.next()
+		rhs := p.parseExpr()
+		s = &ast.AssignStmt{OpPos: op.Pos, LHS: x, Op: op.Kind, RHS: rhs}
+	case p.tok.Kind == token.INC || p.tok.Kind == token.DEC:
+		op := token.ADD_ASSIGN
+		if p.tok.Kind == token.DEC {
+			op = token.SUB_ASSIGN
+		}
+		pos := p.tok.Pos
+		p.next()
+		s = &ast.AssignStmt{OpPos: pos, LHS: x, Op: op,
+			RHS: &ast.IntLit{LitPos: pos, Value: 1, Text: "1"}}
+	default:
+		s = &ast.ExprStmt{X: x}
+	}
+	if wantSemi {
+		p.expect(token.SEMI)
+	}
+	return s
+}
+
+func (p *parser) parseIf() ast.Stmt {
+	pos := p.tok.Pos
+	p.expect(token.IF)
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	then := p.parseBlock()
+	st := &ast.IfStmt{IfPos: pos, Cond: cond, Then: then}
+	if p.accept(token.ELSE) {
+		if p.tok.Kind == token.IF {
+			st.Else = p.parseIf()
+		} else {
+			st.Else = p.parseBlock()
+		}
+	}
+	return st
+}
+
+func (p *parser) parseFor() ast.Stmt {
+	pos := p.tok.Pos
+	p.expect(token.FOR)
+	p.expect(token.LPAREN)
+	f := &ast.ForStmt{ForPos: pos}
+	if p.tok.Kind != token.SEMI {
+		if p.tok.Kind == token.UINT || p.tok.Kind == token.INT_T ||
+			(p.tok.Kind == token.IDENT && p.peek.Kind == token.IDENT) {
+			f.Init = p.parseDecl() // consumes the ';'
+		} else {
+			f.Init = p.parseSimpleStmt(false)
+			p.expect(token.SEMI)
+		}
+	} else {
+		p.next()
+	}
+	if p.tok.Kind != token.SEMI {
+		f.Cond = p.parseExpr()
+	}
+	p.expect(token.SEMI)
+	if p.tok.Kind != token.RPAREN {
+		f.Post = p.parseSimpleStmt(false)
+	}
+	p.expect(token.RPAREN)
+	f.Body = p.parseBlock()
+	return f
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func (p *parser) parseExpr() ast.Expr { return p.parseTernary() }
+
+func (p *parser) parseTernary() ast.Expr {
+	cond := p.parseBinary(1)
+	if p.tok.Kind != token.QUEST {
+		return cond
+	}
+	qpos := p.tok.Pos
+	p.next()
+	then := p.parseExpr()
+	p.expect(token.COLON)
+	els := p.parseTernary()
+	return &ast.CondExpr{QPos: qpos, Cond: cond, Then: then, Else: els}
+}
+
+func (p *parser) parseBinary(minPrec int) ast.Expr {
+	x := p.parseUnary()
+	for {
+		prec := p.tok.Kind.Precedence()
+		if prec < minPrec {
+			return x
+		}
+		op := p.tok
+		p.next()
+		y := p.parseBinary(prec + 1)
+		x = &ast.BinaryExpr{OpPos: op.Pos, Op: op.Kind, X: x, Y: y}
+	}
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	switch p.tok.Kind {
+	case token.SUB, token.NOT, token.LNOT:
+		op := p.tok
+		p.next()
+		return &ast.UnaryExpr{OpPos: op.Pos, Op: op.Kind, X: p.parseUnary()}
+	case token.ADD:
+		p.next()
+		return p.parseUnary()
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() ast.Expr {
+	x := p.parsePrimary()
+	for {
+		switch p.tok.Kind {
+		case token.LBRACK:
+			p.next()
+			idx := p.parseExpr()
+			p.expect(token.RBRACK)
+			x = &ast.IndexExpr{X: x, Index: idx}
+		case token.DOT:
+			dot := p.tok.Pos
+			p.next()
+			name := p.expect(token.IDENT)
+			x = &ast.FieldExpr{X: x, Name: name.Lit, DotPos: dot}
+		case token.ARROW:
+			arrow := p.tok.Pos
+			p.next()
+			name := p.expect(token.IDENT)
+			if name.Lit == "meta" && p.tok.Kind == token.DOT {
+				p.next()
+				mf := p.expect(token.IDENT)
+				x = &ast.MetaFieldExpr{Handle: x, Name: mf.Lit, ArrowPos: arrow}
+			} else {
+				x = &ast.PacketFieldExpr{Handle: x, Name: name.Lit, ArrowPos: arrow}
+			}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	switch p.tok.Kind {
+	case token.INT:
+		t := p.tok
+		p.next()
+		v, err := strconv.ParseUint(t.Lit, 0, 64)
+		if err != nil {
+			p.errorf(t.Pos, "invalid integer literal %q", t.Lit)
+		}
+		return &ast.IntLit{LitPos: t.Pos, Value: v, Text: t.Lit}
+	case token.IDENT:
+		t := p.tok
+		p.next()
+		if p.tok.Kind == token.LPAREN {
+			p.next()
+			call := &ast.CallExpr{FunPos: t.Pos, Fun: t.Lit}
+			for p.tok.Kind != token.RPAREN && p.tok.Kind != token.EOF {
+				call.Args = append(call.Args, p.parseExpr())
+				if !p.accept(token.COMMA) {
+					break
+				}
+			}
+			p.expect(token.RPAREN)
+			return call
+		}
+		return &ast.Ident{NamePos: t.Pos, Name: t.Lit}
+	case token.LPAREN:
+		p.next()
+		x := p.parseExpr()
+		p.expect(token.RPAREN)
+		return x
+	}
+	p.errorf(p.tok.Pos, "expected expression, found %s", p.tok)
+	pos := p.tok.Pos
+	p.next()
+	return &ast.IntLit{LitPos: pos, Value: 0, Text: "0"}
+}

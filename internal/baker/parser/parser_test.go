@@ -1,0 +1,273 @@
+package parser
+
+import (
+	"testing"
+
+	"shangrila/internal/baker/ast"
+	"shangrila/internal/baker/token"
+)
+
+const miniApp = `
+protocol ether {
+    dst_hi : 16;
+    dst_lo : 32;
+    src_hi : 16;
+    src_lo : 32;
+    type   : 16;
+    demux { 14 };
+}
+
+protocol ipv4 {
+    ver    : 4;
+    hlen   : 4;
+    tos    : 8;
+    length : 16;
+    demux { hlen << 2 };
+}
+
+metadata {
+    rx_port  : 16;
+    next_hop : 16;
+}
+
+const ETH_TYPE_IP = 0x0800;
+
+module l3 {
+    struct Route { prefix : uint; nexthop : uint; }
+    uint counters[16];
+    Route routes[256];
+    channel ip_cc : ipv4;
+    channel out_cc : ether;
+
+    ppf clsfr(ether ph) {
+        uint port = ph->meta.rx_port;
+        counters[port] += 1;
+        if (ph->type == ETH_TYPE_IP) {
+            ipv4 iph = packet_decap(ph);
+            channel_put(ip_cc, iph);
+        } else {
+            packet_drop(ph);
+        }
+    }
+
+    ppf fwd(ipv4 ph) {
+        uint i;
+        for (i = 0; i < 256; i++) {
+            if (routes[i].prefix == ph->tos) {
+                break;
+            }
+        }
+        ph->meta.next_hop = i;
+        ether eph = packet_encap(ph);
+        channel_put(out_cc, eph);
+    }
+
+    control func set_route(uint idx, uint prefix, uint nh) {
+        critical {
+            routes[idx].prefix = prefix;
+            routes[idx].nexthop = nh;
+        }
+    }
+
+    wiring {
+        rx -> clsfr;
+        ip_cc -> fwd;
+        out_cc -> tx;
+    }
+}
+`
+
+func TestParseMiniApp(t *testing.T) {
+	prog, err := Parse("mini.baker", miniApp)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(prog.Protocols) != 2 {
+		t.Fatalf("protocols = %d, want 2", len(prog.Protocols))
+	}
+	eth := prog.Protocols[0]
+	if eth.Name != "ether" || len(eth.Fields) != 5 {
+		t.Errorf("ether: %q with %d fields", eth.Name, len(eth.Fields))
+	}
+	if eth.Demux == nil {
+		t.Error("ether demux missing")
+	}
+	if prog.Metadata == nil || len(prog.Metadata.Fields) != 2 {
+		t.Fatal("metadata missing or wrong field count")
+	}
+	if len(prog.Consts) != 1 || prog.Consts[0].Name != "ETH_TYPE_IP" {
+		t.Error("const ETH_TYPE_IP not parsed")
+	}
+	if len(prog.Modules) != 1 {
+		t.Fatalf("modules = %d, want 1", len(prog.Modules))
+	}
+	m := prog.Modules[0]
+	if len(m.Structs) != 1 || len(m.Globals) != 2 || len(m.Chans) != 2 {
+		t.Errorf("module contents: structs=%d globals=%d chans=%d",
+			len(m.Structs), len(m.Globals), len(m.Chans))
+	}
+	if len(m.Funcs) != 3 {
+		t.Fatalf("funcs = %d, want 3", len(m.Funcs))
+	}
+	if m.Funcs[0].Kind != ast.KindPPF || m.Funcs[2].Kind != ast.KindControl {
+		t.Errorf("func kinds: %v, %v", m.Funcs[0].Kind, m.Funcs[2].Kind)
+	}
+	if len(m.Wiring) != 3 {
+		t.Fatalf("wiring = %d, want 3", len(m.Wiring))
+	}
+	if m.Wiring[0].From != "rx" || m.Wiring[0].To != "clsfr" {
+		t.Errorf("wiring[0] = %s -> %s", m.Wiring[0].From, m.Wiring[0].To)
+	}
+	if m.Wiring[2].To != "tx" {
+		t.Errorf("wiring[2].To = %s, want tx", m.Wiring[2].To)
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	src := `module m { func f(uint x) uint {
+		uint a = (x + 2) * 3 - x / 4 % 5;
+		uint b = x << 2 | x >> 3 & 0xff ^ 1;
+		uint c = x < 3 && x != 0 || !x;
+		uint d = x > 0 ? a : b + c;
+		return ~d;
+	} }`
+	prog, err := Parse("t", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	body := prog.Modules[0].Funcs[0].Body
+	if len(body.Stmts) != 5 {
+		t.Fatalf("stmts = %d, want 5", len(body.Stmts))
+	}
+	d := body.Stmts[3].(*ast.DeclStmt)
+	if _, ok := d.Init.(*ast.CondExpr); !ok {
+		t.Errorf("d init is %T, want CondExpr", d.Init)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	src := `module m { func f(uint x) uint { return 1 + 2 * 3; } }`
+	prog, err := Parse("t", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ret := prog.Modules[0].Funcs[0].Body.Stmts[0].(*ast.ReturnStmt)
+	bin := ret.Value.(*ast.BinaryExpr)
+	if bin.Op != token.ADD {
+		t.Fatalf("top op = %v, want +", bin.Op)
+	}
+	if inner, ok := bin.Y.(*ast.BinaryExpr); !ok || inner.Op != token.MUL {
+		t.Fatalf("rhs = %#v, want 2*3", bin.Y)
+	}
+}
+
+func TestArrowAndMetaAccess(t *testing.T) {
+	src := `module m { ppf p(ether ph) {
+		uint a = ph->dst_hi;
+		uint b = ph->meta.rx_port;
+		ph->meta.rx_port = a;
+	} }`
+	prog, err := Parse("t", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	body := prog.Modules[0].Funcs[0].Body
+	a := body.Stmts[0].(*ast.DeclStmt)
+	if _, ok := a.Init.(*ast.PacketFieldExpr); !ok {
+		t.Errorf("a init = %T, want PacketFieldExpr", a.Init)
+	}
+	b := body.Stmts[1].(*ast.DeclStmt)
+	if _, ok := b.Init.(*ast.MetaFieldExpr); !ok {
+		t.Errorf("b init = %T, want MetaFieldExpr", b.Init)
+	}
+	asgn := body.Stmts[2].(*ast.AssignStmt)
+	if _, ok := asgn.LHS.(*ast.MetaFieldExpr); !ok {
+		t.Errorf("assign LHS = %T, want MetaFieldExpr", asgn.LHS)
+	}
+}
+
+func TestIncDecSugar(t *testing.T) {
+	src := `module m { func f(uint x) { x++; x--; } }`
+	prog, err := Parse("t", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	body := prog.Modules[0].Funcs[0].Body
+	inc := body.Stmts[0].(*ast.AssignStmt)
+	if inc.Op != token.ADD_ASSIGN {
+		t.Errorf("x++ parsed as %v", inc.Op)
+	}
+	dec := body.Stmts[1].(*ast.AssignStmt)
+	if dec.Op != token.SUB_ASSIGN {
+		t.Errorf("x-- parsed as %v", dec.Op)
+	}
+}
+
+func TestWhileAndForVariants(t *testing.T) {
+	src := `module m { func f(uint n) {
+		while (n > 0) { n -= 1; }
+		for (;;) { break; }
+		for (uint i = 0; i < n; i++) { continue; }
+	} }`
+	prog, err := Parse("t", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	body := prog.Modules[0].Funcs[0].Body
+	if _, ok := body.Stmts[0].(*ast.WhileStmt); !ok {
+		t.Error("expected while")
+	}
+	inf := body.Stmts[1].(*ast.ForStmt)
+	if inf.Init != nil || inf.Cond != nil || inf.Post != nil {
+		t.Error("for(;;) should have nil init/cond/post")
+	}
+	full := body.Stmts[2].(*ast.ForStmt)
+	if full.Init == nil || full.Cond == nil || full.Post == nil {
+		t.Error("full for should have init/cond/post")
+	}
+}
+
+func TestQualifiedWiring(t *testing.T) {
+	src := `
+protocol p { x : 32; demux { 4 }; }
+module a { channel c : p; ppf f(p ph) { packet_drop(ph); } wiring { rx -> f; } }
+module b { wiring { a.c -> a.f; } }
+`
+	prog, err := Parse("t", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	w := prog.Modules[1].Wiring[0]
+	if w.From != "a.c" || w.To != "a.f" {
+		t.Errorf("wire = %s -> %s", w.From, w.To)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []string{
+		"module { }",                         // missing name
+		"module m { ppf f( { } }",            // bad params
+		"protocol p { x : ; demux{4}; }",     // missing width
+		"module m { func f() { if x { } } }", // missing parens
+		"module m { wiring { rx -> ; } }",    // missing target
+	}
+	for _, src := range cases {
+		if _, err := Parse("t", src); err == nil {
+			t.Errorf("source %q: expected parse error", src)
+		}
+	}
+}
+
+func TestParserRecoversAndKeepsGoing(t *testing.T) {
+	src := `module m {
+		func broken() { @ }
+		func ok() { return; }
+	}`
+	prog, err := Parse("t", src)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if prog == nil || len(prog.Modules) != 1 || len(prog.Modules[0].Funcs) != 2 {
+		t.Fatalf("recovery failed: %+v", prog)
+	}
+}

@@ -1,0 +1,49 @@
+package parser
+
+import (
+	"testing"
+
+	"shangrila/internal/baker/types"
+)
+
+// TestParserRobustToMutation is a lightweight fuzz: random byte
+// mutations of a valid program must never panic the lexer, parser or
+// checker — they may only produce errors. (Deterministic PRNG keeps the
+// test reproducible.)
+func TestParserRobustToMutation(t *testing.T) {
+	src := []byte(miniApp)
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for i := 0; i < 500; i++ {
+		mut := append([]byte(nil), src...)
+		// 1-4 random single-byte mutations.
+		for k := 0; k < 1+int(next()%4); k++ {
+			pos := int(next() % uint64(len(mut)))
+			switch next() % 3 {
+			case 0:
+				mut[pos] = byte(next())
+			case 1: // delete
+				mut = append(mut[:pos], mut[pos+1:]...)
+			case 2: // insert
+				mut = append(mut[:pos], append([]byte{byte(next())}, mut[pos:]...)...)
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutated input (iteration %d): %v\nsource:\n%s", i, r, mut)
+				}
+			}()
+			prog, err := Parse("fuzz.baker", string(mut))
+			if err == nil && prog != nil {
+				// Valid mutations must also survive the checker.
+				_, _ = types.Check(prog)
+			}
+		}()
+	}
+}

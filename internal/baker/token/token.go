@@ -1,0 +1,252 @@
+// Package token defines the lexical tokens of the Baker packet-processing
+// language and source positions used across the Shangri-La frontend.
+//
+// Baker is the C-like, platform-independent language described in §2 of the
+// Shangri-La paper (PLDI 2005): programs are built from modules containing
+// packet processing functions (PPFs) wired together with communication
+// channels, plus protocol declarations that describe packet bit layouts.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Keyword kinds sit between keywordBeg and keywordEnd so
+// Lookup can stay a simple map probe.
+const (
+	ILLEGAL Kind = iota
+	EOF
+	COMMENT
+
+	// Literals and identifiers.
+	IDENT  // l2_clsfr
+	INT    // 0x0806, 14
+	STRING // "eth0"
+
+	// Operators and delimiters.
+	ADD // +
+	SUB // -
+	MUL // *
+	QUO // /
+	REM // %
+
+	AND // &
+	OR  // |
+	XOR // ^
+	SHL // <<
+	SHR // >>
+	NOT // ~
+
+	LAND // &&
+	LOR  // ||
+	LNOT // !
+
+	EQL // ==
+	NEQ // !=
+	LSS // <
+	GTR // >
+	LEQ // <=
+	GEQ // >=
+
+	ASSIGN     // =
+	ADD_ASSIGN // +=
+	SUB_ASSIGN // -=
+	MUL_ASSIGN // *=
+	QUO_ASSIGN // /=
+	REM_ASSIGN // %=
+	AND_ASSIGN // &=
+	OR_ASSIGN  // |=
+	XOR_ASSIGN // ^=
+	SHL_ASSIGN // <<=
+	SHR_ASSIGN // >>=
+	INC        // ++
+	DEC        // --
+
+	ARROW  // ->
+	LPAREN // (
+	RPAREN // )
+	LBRACE // {
+	RBRACE // }
+	LBRACK // [
+	RBRACK // ]
+	COMMA  // ,
+	SEMI   // ;
+	COLON  // :
+	DOT    // .
+	QUEST  // ?
+
+	keywordBeg
+	MODULE
+	PROTOCOL
+	DEMUX
+	METADATA
+	CHANNEL
+	PPF
+	FUNC
+	CONTROL
+	INITKW // "init" qualifier for load-time functions
+	WIRING
+	CONST
+	STRUCT
+	CRITICAL
+	IF
+	ELSE
+	WHILE
+	FOR
+	RETURN
+	BREAK
+	CONTINUE
+	UINT
+	INT_T
+	VOID
+	keywordEnd
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF", COMMENT: "COMMENT",
+	IDENT: "IDENT", INT: "INT", STRING: "STRING",
+	ADD: "+", SUB: "-", MUL: "*", QUO: "/", REM: "%",
+	AND: "&", OR: "|", XOR: "^", SHL: "<<", SHR: ">>", NOT: "~",
+	LAND: "&&", LOR: "||", LNOT: "!",
+	EQL: "==", NEQ: "!=", LSS: "<", GTR: ">", LEQ: "<=", GEQ: ">=",
+	ASSIGN: "=", ADD_ASSIGN: "+=", SUB_ASSIGN: "-=", MUL_ASSIGN: "*=",
+	QUO_ASSIGN: "/=", REM_ASSIGN: "%=", AND_ASSIGN: "&=", OR_ASSIGN: "|=",
+	XOR_ASSIGN: "^=", SHL_ASSIGN: "<<=", SHR_ASSIGN: ">>=", INC: "++", DEC: "--",
+	ARROW: "->", LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
+	LBRACK: "[", RBRACK: "]", COMMA: ",", SEMI: ";", COLON: ":", DOT: ".", QUEST: "?",
+	MODULE: "module", PROTOCOL: "protocol", DEMUX: "demux", METADATA: "metadata",
+	CHANNEL: "channel", PPF: "ppf", FUNC: "func", CONTROL: "control",
+	INITKW: "init", WIRING: "wiring", CONST: "const", STRUCT: "struct",
+	CRITICAL: "critical", IF: "if", ELSE: "else", WHILE: "while", FOR: "for",
+	RETURN: "return", BREAK: "break", CONTINUE: "continue",
+	UINT: "uint", INT_T: "int", VOID: "void",
+}
+
+// String returns the textual form of the token kind ("+", "module", "IDENT").
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k := keywordBeg + 1; k < keywordEnd; k++ {
+		m[kindNames[k]] = k
+	}
+	return m
+}()
+
+// Lookup maps an identifier to its keyword kind, or IDENT if it is not a
+// keyword.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// Pos is a source position: 1-based line and column within a named file.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// IsValid reports whether the position carries real location information.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is one lexical element: its kind, literal text and position.
+type Token struct {
+	Kind Kind
+	Lit  string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, STRING, ILLEGAL, COMMENT:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	}
+	return t.Kind.String()
+}
+
+// Precedence returns the binary-operator precedence of k (higher binds
+// tighter), or 0 if k is not a binary operator. The ladder matches C so
+// Baker expressions read naturally to C programmers.
+func (k Kind) Precedence() int {
+	switch k {
+	case LOR:
+		return 1
+	case LAND:
+		return 2
+	case OR:
+		return 3
+	case XOR:
+		return 4
+	case AND:
+		return 5
+	case EQL, NEQ:
+		return 6
+	case LSS, GTR, LEQ, GEQ:
+		return 7
+	case SHL, SHR:
+		return 8
+	case ADD, SUB:
+		return 9
+	case MUL, QUO, REM:
+		return 10
+	}
+	return 0
+}
+
+// IsAssign reports whether k is an assignment operator (including compound
+// assignments such as +=).
+func (k Kind) IsAssign() bool {
+	switch k {
+	case ASSIGN, ADD_ASSIGN, SUB_ASSIGN, MUL_ASSIGN, QUO_ASSIGN, REM_ASSIGN,
+		AND_ASSIGN, OR_ASSIGN, XOR_ASSIGN, SHL_ASSIGN, SHR_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// AssignOp returns the arithmetic operator underlying a compound assignment
+// (ADD for +=). It returns ILLEGAL for plain ASSIGN and non-assignments.
+func (k Kind) AssignOp() Kind {
+	switch k {
+	case ADD_ASSIGN:
+		return ADD
+	case SUB_ASSIGN:
+		return SUB
+	case MUL_ASSIGN:
+		return MUL
+	case QUO_ASSIGN:
+		return QUO
+	case REM_ASSIGN:
+		return REM
+	case AND_ASSIGN:
+		return AND
+	case OR_ASSIGN:
+		return OR
+	case XOR_ASSIGN:
+		return XOR
+	case SHL_ASSIGN:
+		return SHL
+	case SHR_ASSIGN:
+		return SHR
+	}
+	return ILLEGAL
+}

@@ -1,0 +1,422 @@
+package cg
+
+import (
+	"fmt"
+
+	"shangrila/internal/baker/types"
+	"shangrila/internal/ir"
+	"shangrila/internal/opt/soar"
+)
+
+// Options selects which code-generation strategies are enabled; they
+// mirror the paper's evaluation axis (§6.2).
+type Options struct {
+	// O2 inlines the packet-handling primitive bodies. When false, every
+	// packet access pays the generic out-of-line routine overhead ("38 +
+	// 5*size instructions", §5.3).
+	O2 bool
+	// SOAR lets the expansion consult the static offset/alignment
+	// annotations. When false, every access computes offsets dynamically.
+	SOAR bool
+	// PHR removes packet-handling support code: head_ptr lives in
+	// registers/constants instead of the SRAM metadata record, and
+	// statically resolved encap/decap sites emit nothing.
+	PHR bool
+	// SWC enables lowering of the software-cache operations (the IR
+	// transform is separate; without this flag cache ops degrade to plain
+	// loads).
+	SWC bool
+}
+
+// vreg allocation: lowering uses virtual registers (>= vregBase keeps them
+// distinct from physical encodings during debugging).
+type lowerer struct {
+	opts   Options
+	layout *Layout
+	tp     *types.Program
+	chans  map[string]soar.Input // SOAR channel facts (by channel name)
+
+	code    []*Instr
+	nvreg   int
+	labels  map[string]int // label -> instruction index
+	fixups  map[int]string // instruction index -> label
+	handles map[ir.Reg]*handleInfo
+	regmap  map[ir.Reg]PReg // IR reg -> virtual CGIR reg
+	// swcEntry remembers the CAM entry vreg of the last cache lookup per
+	// global, consumed by the matching cache fill.
+	swcEntry map[string]PReg
+	ringOf   map[string]int // channel name -> ring id
+	err      error
+}
+
+// handleInfo is CG's view of a packet handle: the buffer id register, the
+// packet length register (carried in the ring descriptor), and the current
+// header offset — either a compile-time constant (SOAR+PHR) or a register.
+type handleInfo struct {
+	pkt        PReg
+	length     PReg
+	headStatic int32 // valid when headReg == NoPReg
+	headReg    PReg
+	align      int
+}
+
+func (l *lowerer) newVReg() PReg {
+	r := PReg(NumRegs + l.nvreg)
+	l.nvreg++
+	return r
+}
+
+func (l *lowerer) emit(in *Instr) *Instr {
+	l.code = append(l.code, in)
+	return in
+}
+
+func (l *lowerer) emitALU(op ALUOp, dst, a, b PReg) {
+	l.emit(&Instr{Op: IALU, ALU: op, Dst: dst, SrcA: a, SrcB: b})
+}
+
+func (l *lowerer) emitALUImm(op ALUOp, dst, a PReg, imm uint32) {
+	l.emit(&Instr{Op: IALUImm, ALU: op, Dst: dst, SrcA: a, Imm: imm})
+}
+
+func (l *lowerer) emitImmed(dst PReg, imm uint32) {
+	l.emit(&Instr{Op: IImmed, Dst: dst, Imm: imm})
+}
+
+func (l *lowerer) emitBr(label string) {
+	l.fixups[len(l.code)] = label
+	l.emit(&Instr{Op: IBr})
+}
+
+func (l *lowerer) emitBcc(cond CondOp, a, b PReg, label string) {
+	l.fixups[len(l.code)] = label
+	l.emit(&Instr{Op: IBcc, Cond: cond, SrcA: a, SrcB: b})
+}
+
+func (l *lowerer) emitBccImm(cond CondOp, a PReg, imm uint32, label string) {
+	l.fixups[len(l.code)] = label
+	l.emit(&Instr{Op: IBccImm, Cond: cond, SrcA: a, Imm: imm})
+}
+
+func (l *lowerer) label(name string) {
+	l.labels[name] = len(l.code)
+}
+
+func (l *lowerer) failf(format string, args ...any) {
+	if l.err == nil {
+		l.err = fmt.Errorf("cg: "+format, args...)
+	}
+}
+
+func (l *lowerer) vregOf(r ir.Reg) PReg {
+	if v, ok := l.regmap[r]; ok {
+		return v
+	}
+	v := l.newVReg()
+	l.regmap[r] = v
+	return v
+}
+
+// handleOf returns (creating lazily) the handle info for an IR handle reg.
+func (l *lowerer) handleOf(r ir.Reg) *handleInfo {
+	h, ok := l.handles[r]
+	if !ok {
+		h = &handleInfo{pkt: l.newVReg(), length: l.newVReg(),
+			headStatic: 0, headReg: NoPReg, align: 1}
+		l.handles[r] = h
+	}
+	return h
+}
+
+// ---------------------------------------------------------------------------
+// Packet access expansion
+
+// genericOverhead models the out-of-line packet access routine used below
+// -O2: register save/restore to the Local Memory stack plus the generic
+// prologue arithmetic (the paper's "38 + 5*size instructions" path).
+func (l *lowerer) genericOverhead() {
+	if l.opts.O2 {
+		return
+	}
+	// Save/restore 4 registers around the "call" and pay the generic
+	// dispatch arithmetic. The save area is the reserved top 16 bytes of
+	// the thread's Local Memory stack frame.
+	tmp := l.newVReg()
+	l.emitImmed(tmp, 0)
+	l.emit(&Instr{Op: IMem, Level: MemLocal, Store: true, Addr: RegSP,
+		AddrOff: 176, NWords: 4, Data: []PReg{tmp, tmp, tmp, tmp}, Class: ClassNone,
+		Comment: "generic access routine: spill args"})
+	for i := 0; i < 14; i++ {
+		l.emitALUImm(AAdd, tmp, tmp, 1)
+	}
+	l.emit(&Instr{Op: IMem, Level: MemLocal, Store: false, Addr: RegSP,
+		AddrOff: 176, NWords: 4, Data: []PReg{tmp, tmp, tmp, tmp}, Class: ClassNone,
+		Comment: "generic access routine: restore"})
+}
+
+// headForAccess yields the head offset operand for one packet access:
+// PHR keeps the head in a register or constant; without PHR the head_ptr
+// is fetched from the packet's SRAM metadata record on every access (the
+// "at least one SRAM access" of §5.3).
+func (l *lowerer) headForAccess(h *handleInfo, in *ir.Instr) (reg PReg, static int32, align int) {
+	static = ir.UnknownOff
+	if l.opts.PHR {
+		if l.opts.SOAR && in.StaticOff != ir.UnknownOff {
+			return NoPReg, int32(l.layout.BufHeadroom) + in.StaticOff, 8
+		}
+		if h.headReg != NoPReg {
+			return h.headReg, ir.UnknownOff, h.align
+		}
+		return NoPReg, h.headStatic, 8
+	}
+	// Load head_ptr from SRAM metadata. This support-code read remains
+	// until PHR removes it (Table 1 attributes the memory saving to PHR,
+	// the instruction saving to SOAR).
+	maddr := l.metaAddr(h)
+	head := l.newVReg()
+	l.emit(&Instr{Op: IMem, Level: MemSRAM, Addr: maddr, AddrOff: MetaHeadOff,
+		NWords: 1, Data: []PReg{head}, Class: ClassPacketMeta,
+		Comment: "head_ptr read"})
+	al := 1
+	if l.opts.SOAR {
+		if in.StaticOff != ir.UnknownOff {
+			// Statically resolved: the access sequence uses the constant
+			// offset; none of the dynamic offset/alignment arithmetic is
+			// emitted (§5.3.2: "more than half of the 40+ instructions in
+			// a packet data access can be removed").
+			return NoPReg, int32(l.layout.BufHeadroom) + in.StaticOff, 8
+		}
+		if in.StaticAlign > 0 {
+			al = in.StaticAlign
+		}
+	}
+	return head, ir.UnknownOff, al
+}
+
+// metaAddr computes the SRAM address register of h's metadata record.
+func (l *lowerer) metaAddr(h *handleInfo) PReg {
+	addr := l.newVReg()
+	// MetaRecBytes is a power of two by construction (rounded to 8).
+	shift := uint32(0)
+	for m := l.layout.MetaRecBytes; m > 1; m >>= 1 {
+		shift++
+	}
+	l.emitALUImm(AShl, addr, h.pkt, shift)
+	t := l.newVReg()
+	l.emitALUImm(AAdd, t, addr, l.layout.MetaBase)
+	return t
+}
+
+// dynamicOffsetArith charges the address arithmetic a dynamic or
+// misaligned access needs: bounds masking and, for unknown alignment, the
+// variable byte-rotation setup that realigns the burst (SOAR's savings
+// are exactly these instructions).
+func (l *lowerer) dynamicOffsetArith(aligned bool) {
+	t := l.newVReg()
+	l.emitImmed(t, 3)
+	n := 12
+	if aligned {
+		n = 4
+	}
+	for i := 0; i < n; i++ {
+		l.emitALUImm(AAdd, t, t, 1)
+	}
+}
+
+// pktAccess expands one packet data access (field or raw) into address
+// arithmetic + a DRAM burst + extraction/insertion.
+func (l *lowerer) pktAccess(in *ir.Instr) {
+	h := l.handleOf(in.Args[0])
+	headReg, headStatic, align := l.headForAccess(h, in)
+
+	var lo, hi int
+	if in.Field != nil {
+		lo, hi = in.Field.ByteSpan()
+	} else {
+		lo, hi = int(in.Off), int(in.Off)+in.Width
+	}
+	wlo := lo &^ 3
+	whi := (hi + 3) &^ 3
+	nwords := (whi - wlo) / 4
+
+	l.genericOverhead()
+
+	// Address computation. Head offsets are buffer-relative (the packet
+	// start sits at BufHeadroom), so no further base adjustment is needed.
+	addr := l.newVReg()
+	l.emitALUImm(AShl, addr, h.pkt, 8)
+	constOff := uint32(wlo)
+	if headStatic != ir.UnknownOff {
+		constOff += uint32(headStatic)
+	} else if headReg != NoPReg {
+		t := l.newVReg()
+		l.emitALU(AAdd, t, addr, headReg)
+		addr = t
+	}
+	aligned := align >= 4
+	if headStatic == ir.UnknownOff {
+		l.dynamicOffsetArith(aligned)
+	}
+
+	if in.Op == ir.OpPktLoad {
+		if headStatic == ir.UnknownOff && !aligned {
+			nwords++ // misaligned burst touches one extra word
+		}
+		data := make([]PReg, nwords)
+		if in.Field != nil {
+			for i := range data {
+				data[i] = l.newVReg()
+			}
+		} else {
+			for i := range in.Dst {
+				data[i] = l.vregOf(in.Dst[i])
+			}
+			for i := len(in.Dst); i < nwords; i++ {
+				data[i] = l.newVReg()
+			}
+		}
+		l.emit(&Instr{Op: IMem, Level: MemDRAM, Addr: addr, AddrOff: constOff,
+			NWords: nwords, Data: data, Class: ClassPacketData})
+		if in.Field != nil {
+			l.extractField(in, data, wlo)
+		}
+		return
+	}
+
+	// Store path.
+	if in.Field != nil {
+		flo, fhi := in.Field.ByteSpan()
+		covers := in.Field.BitOff%32 == 0 && in.Field.Bits%32 == 0
+		_ = flo
+		_ = fhi
+		data := make([]PReg, nwords)
+		for i := range data {
+			data[i] = l.newVReg()
+		}
+		if !covers {
+			// Read-modify-write.
+			l.emit(&Instr{Op: IMem, Level: MemDRAM, Addr: addr, AddrOff: constOff,
+				NWords: nwords, Data: data, Class: ClassPacketData})
+		}
+		l.insertField(in, data, wlo)
+		l.emit(&Instr{Op: IMem, Level: MemDRAM, Store: true, Addr: addr,
+			AddrOff: constOff, NWords: nwords, Data: data, Class: ClassPacketData})
+		return
+	}
+	data := make([]PReg, 0, nwords)
+	for _, a := range in.Args[1:] {
+		data = append(data, l.vregOf(a))
+	}
+	for len(data) < nwords {
+		data = append(data, data[len(data)-1])
+	}
+	l.emit(&Instr{Op: IMem, Level: MemDRAM, Store: true, Addr: addr,
+		AddrOff: constOff, NWords: nwords, Data: data, Class: ClassPacketData})
+}
+
+// extractField shifts/masks the loaded words into the destination.
+func (l *lowerer) extractField(in *ir.Instr, data []PReg, wlo int) {
+	l.extractFieldInto(l.vregOf(in.Dst[0]), in.Field, data, wlo)
+}
+
+// insertField merges the stored value into the RMW words.
+func (l *lowerer) insertField(in *ir.Instr, data []PReg, wlo int) {
+	fld := in.Field
+	val := l.vregOf(in.Args[1])
+	relBit := fld.BitOff - wlo*8
+	wi := relBit / 32
+	bitInWord := relBit % 32
+	bits := fld.Bits
+	place := func(wi, shift, width int, src PReg) {
+		mask := uint32(0xffffffff)
+		if width < 32 {
+			mask = 1<<uint(width) - 1
+		}
+		vm := l.newVReg()
+		l.emitALUImm(AAnd, vm, src, mask)
+		vs := vm
+		if shift > 0 {
+			vs = l.newVReg()
+			l.emitALUImm(AShl, vs, vm, uint32(shift))
+		}
+		cl := l.newVReg()
+		l.emitALUImm(AAnd, cl, data[wi], ^(mask << uint(shift)))
+		l.emitALU(AOr, data[wi], cl, vs)
+	}
+	if bitInWord+bits <= 32 {
+		place(wi, 32-bitInWord-bits, bits, val)
+		return
+	}
+	hiBits := 32 - bitInWord
+	loBits := bits - hiBits
+	hv := l.newVReg()
+	l.emitALUImm(AShrU, hv, val, uint32(loBits))
+	place(wi, 0, hiBits, hv)
+	place(wi+1, 32-loBits, loBits, val)
+}
+
+// metaAccess expands a metadata access into SRAM traffic against the
+// packet's metadata record.
+func (l *lowerer) metaAccess(in *ir.Instr) {
+	h := l.handleOf(in.Args[0])
+	maddr := l.metaAddr(h)
+	var lo, hi int
+	if in.Field != nil {
+		lo = in.Field.BitOff / 8
+		hi = (in.Field.BitOff + in.Field.Bits + 7) / 8
+	} else {
+		lo, hi = int(in.Off), int(in.Off)+in.Width
+	}
+	wlo := lo &^ 3
+	whi := (hi + 3) &^ 3
+	nwords := (whi - wlo) / 4
+	off := l.layout.MetaAppOff + uint32(wlo)
+
+	if in.Op == ir.OpMetaLoad {
+		data := make([]PReg, nwords)
+		if in.Field != nil {
+			for i := range data {
+				data[i] = l.newVReg()
+			}
+		} else {
+			copy(data, func() []PReg {
+				out := make([]PReg, 0, nwords)
+				for _, d := range in.Dst {
+					out = append(out, l.vregOf(d))
+				}
+				for len(out) < nwords {
+					out = append(out, l.newVReg())
+				}
+				return out
+			}())
+		}
+		l.emit(&Instr{Op: IMem, Level: MemSRAM, Addr: maddr, AddrOff: off,
+			NWords: nwords, Data: data, Class: ClassPacketMeta})
+		if in.Field != nil {
+			l.extractField(in, data, wlo)
+		}
+		return
+	}
+	// Store.
+	if in.Field != nil {
+		data := make([]PReg, nwords)
+		for i := range data {
+			data[i] = l.newVReg()
+		}
+		l.emit(&Instr{Op: IMem, Level: MemSRAM, Addr: maddr, AddrOff: off,
+			NWords: nwords, Data: data, Class: ClassPacketMeta})
+		l.insertField(in, data, wlo)
+		l.emit(&Instr{Op: IMem, Level: MemSRAM, Store: true, Addr: maddr,
+			AddrOff: off, NWords: nwords, Data: data, Class: ClassPacketMeta})
+		return
+	}
+	data := make([]PReg, 0, nwords)
+	for _, a := range in.Args[1:] {
+		data = append(data, l.vregOf(a))
+	}
+	for len(data) < nwords {
+		data = append(data, data[len(data)-1])
+	}
+	l.emit(&Instr{Op: IMem, Level: MemSRAM, Store: true, Addr: maddr,
+		AddrOff: off, NWords: nwords, Data: data, Class: ClassPacketMeta})
+}

@@ -1,0 +1,231 @@
+// Package stackalloc implements the stack layout optimization of §5.4:
+// program stacks are assigned statically (Baker forbids recursion, so the
+// call graph bounds every frame chain), packed into the 48 Local-Memory
+// words each thread owns, and only overflow into SRAM — whose latency the
+// paper shows is ruinous for the data path — when Local Memory is
+// exhausted.
+//
+// Two pieces are provided:
+//
+//   - Frame: the flat spill-slot allocator the code generator uses for its
+//     fully-inlined aggregate entries (inlining merges every frame, the
+//     paper's preferred end state);
+//
+//   - CallGraphLayout: the general §5.4 algorithm with the physical/virtual
+//     stack pointer split of Figure 12 — frames are packed at exact sizes
+//     (the virtual SP) while the addressable base stays aligned for the
+//     IXP's offset addressing (the physical SP), eliminating the original
+//     16-word minimum frame size that pushed stacks into SRAM.
+package stackalloc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config bounds the per-thread stack resources.
+type Config struct {
+	// LocalWords is the Local Memory word budget per thread (48 on the
+	// IXP2400 per §5.4).
+	LocalWords int
+	// ReservedWords at the top of the local frame are kept for the
+	// generic packet-access routine's save area.
+	ReservedWords int
+	// AlignWords is the physical-SP alignment granule for offset
+	// addressing (16 words: $SP[i] requires an aligned base).
+	AlignWords int
+}
+
+// DefaultConfig matches the IXP2400 numbers.
+func DefaultConfig() Config {
+	return Config{LocalWords: 48, ReservedWords: 4, AlignWords: 16}
+}
+
+// Loc is an assigned stack slot.
+type Loc struct {
+	Local  bool   // Local Memory when true, SRAM overflow otherwise
+	Offset uint32 // byte offset from the level's per-thread base
+}
+
+// Frame is a flat spill-slot allocator for one (fully inlined) frame.
+type Frame struct {
+	cfg   Config
+	slots int
+}
+
+// NewFrame returns an empty frame.
+func NewFrame(cfg Config) *Frame { return &Frame{cfg: cfg} }
+
+// AllocSlot reserves one word and returns its slot index.
+func (f *Frame) AllocSlot() int {
+	s := f.slots
+	f.slots++
+	return s
+}
+
+// Slot maps a slot index to its location: Local Memory first, SRAM after
+// the local budget (minus the reserved save area) is exhausted.
+func (f *Frame) Slot(i int) Loc {
+	localSlots := f.cfg.LocalWords - f.cfg.ReservedWords
+	if i < localSlots {
+		return Loc{Local: true, Offset: uint32(i * 4)}
+	}
+	return Loc{Local: false, Offset: uint32((i - localSlots) * 4)}
+}
+
+// Bytes returns the local frame footprint (the full budget once any slot
+// is used, since the reserved area sits at the top).
+func (f *Frame) Bytes() int {
+	if f.slots == 0 {
+		return f.cfg.ReservedWords * 4
+	}
+	return f.cfg.LocalWords * 4
+}
+
+// SRAMWords reports how many slots overflowed to SRAM.
+func (f *Frame) SRAMWords() int {
+	localSlots := f.cfg.LocalWords - f.cfg.ReservedWords
+	if f.slots <= localSlots {
+		return 0
+	}
+	return f.slots - localSlots
+}
+
+// ---------------------------------------------------------------------------
+// Call-graph frame layout (§5.4, Figure 12)
+
+// FuncFrame describes one procedure's frame requirement.
+type FuncFrame struct {
+	Name  string
+	Words int // exact frame size in words (locals + spills + outgoing)
+}
+
+// CallEdge is a static call-graph edge.
+type CallEdge struct{ Caller, Callee string }
+
+// Placement is the assignment for one function's frame.
+type Placement struct {
+	// VirtualOff is the packed word offset (virtual SP) of the frame.
+	VirtualOff int
+	// PhysicalOff is the aligned base (physical SP) the code uses with
+	// offset addressing; slot i lives at PhysicalOff + (VirtualOff -
+	// PhysicalOff) + i, computed at compile time.
+	PhysicalOff int
+	// Local reports whether the whole frame fits Local Memory.
+	Local bool
+}
+
+// LayoutResult is the full call-graph stack assignment.
+type LayoutResult struct {
+	Frames map[string]Placement
+	// LocalWordsUsed is the peak Local Memory stack usage.
+	LocalWordsUsed int
+	// SRAMWords is the peak SRAM overflow.
+	SRAMWords int
+}
+
+// CallGraphLayout statically assigns every function's frame to the
+// minimum offset that cannot collide with any live caller frame,
+// preferring Local Memory for functions nearer the top of the call graph
+// (dispatch calls PPFs most frequently, §5.4). minFrame forces a minimum
+// frame granularity; pass 1 for the optimized packed layout or 16 to
+// reproduce the paper's original aligned-frame scheme that wasted Local
+// Memory.
+func CallGraphLayout(funcs []FuncFrame, edges []CallEdge, cfg Config, minFrame int) (*LayoutResult, error) {
+	if minFrame < 1 {
+		minFrame = 1
+	}
+	byName := map[string]FuncFrame{}
+	for _, f := range funcs {
+		byName[f.Name] = f
+	}
+	callers := map[string][]string{}
+	callees := map[string][]string{}
+	for _, e := range edges {
+		if _, ok := byName[e.Caller]; !ok {
+			return nil, fmt.Errorf("stackalloc: unknown caller %q", e.Caller)
+		}
+		if _, ok := byName[e.Callee]; !ok {
+			return nil, fmt.Errorf("stackalloc: unknown callee %q", e.Callee)
+		}
+		callers[e.Callee] = append(callers[e.Callee], e.Caller)
+		callees[e.Caller] = append(callees[e.Caller], e.Callee)
+	}
+	// Depth = longest path from a root; recursion is rejected.
+	depth := map[string]int{}
+	state := map[string]int{}
+	var dfs func(n string) error
+	dfs = func(n string) error {
+		switch state[n] {
+		case 1:
+			return fmt.Errorf("stackalloc: recursive call chain through %q", n)
+		case 2:
+			return nil
+		}
+		state[n] = 1
+		d := 0
+		for _, c := range callers[n] {
+			if err := dfs(c); err != nil {
+				return err
+			}
+			if depth[c]+1 > d {
+				d = depth[c] + 1
+			}
+		}
+		depth[n] = d
+		state[n] = 2
+		return nil
+	}
+	names := make([]string, 0, len(funcs))
+	for _, f := range funcs {
+		names = append(names, f.Name)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := dfs(n); err != nil {
+			return nil, err
+		}
+	}
+	// Assign in depth order (roots first): each frame starts at the max
+	// end of all its callers' frames (the §5.4 "minimum stack location
+	// that will never collide with possibly live stack entries").
+	sort.SliceStable(names, func(i, j int) bool {
+		if depth[names[i]] != depth[names[j]] {
+			return depth[names[i]] < depth[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	res := &LayoutResult{Frames: map[string]Placement{}}
+	end := map[string]int{}
+	roundUp := func(x, g int) int { return (x + g - 1) / g * g }
+	for _, n := range names {
+		start := 0
+		for _, c := range callers[n] {
+			if end[c] > start {
+				start = end[c]
+			}
+		}
+		size := roundUp(byName[n].Words, minFrame)
+		if size == 0 {
+			size = minFrame
+		}
+		pl := Placement{
+			VirtualOff:  start,
+			PhysicalOff: start / cfg.AlignWords * cfg.AlignWords,
+			Local:       start+size <= cfg.LocalWords-cfg.ReservedWords,
+		}
+		res.Frames[n] = pl
+		end[n] = start + size
+		if pl.Local {
+			if end[n] > res.LocalWordsUsed {
+				res.LocalWordsUsed = end[n]
+			}
+		} else {
+			over := end[n] - (cfg.LocalWords - cfg.ReservedWords)
+			if over > res.SRAMWords {
+				res.SRAMWords = over
+			}
+		}
+	}
+	return res, nil
+}

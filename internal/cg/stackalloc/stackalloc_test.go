@@ -1,0 +1,134 @@
+package stackalloc
+
+import "testing"
+
+func TestFrameLocalThenSRAM(t *testing.T) {
+	f := NewFrame(DefaultConfig())
+	// 44 local slots available (48 words minus 4 reserved).
+	for i := 0; i < 44; i++ {
+		s := f.AllocSlot()
+		loc := f.Slot(s)
+		if !loc.Local {
+			t.Fatalf("slot %d should be Local", s)
+		}
+		if loc.Offset != uint32(i*4) {
+			t.Fatalf("slot %d offset %d, want %d", s, loc.Offset, i*4)
+		}
+	}
+	s := f.AllocSlot()
+	loc := f.Slot(s)
+	if loc.Local {
+		t.Fatal("slot 44 should overflow to SRAM")
+	}
+	if loc.Offset != 0 {
+		t.Fatalf("first SRAM slot offset %d, want 0", loc.Offset)
+	}
+	if f.SRAMWords() != 1 {
+		t.Fatalf("SRAMWords = %d, want 1", f.SRAMWords())
+	}
+}
+
+func TestFrameBytes(t *testing.T) {
+	f := NewFrame(DefaultConfig())
+	if f.Bytes() != 16 {
+		t.Errorf("empty frame = %d bytes, want 16 (reserved)", f.Bytes())
+	}
+	f.AllocSlot()
+	if f.Bytes() != 192 {
+		t.Errorf("frame = %d bytes, want full 192", f.Bytes())
+	}
+}
+
+// chain builds a linear call graph a -> b -> c with the given frame words.
+func chain(words ...int) ([]FuncFrame, []CallEdge) {
+	var fns []FuncFrame
+	var edges []CallEdge
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	for i, w := range words {
+		fns = append(fns, FuncFrame{Name: names[i], Words: w})
+		if i > 0 {
+			edges = append(edges, CallEdge{Caller: names[i-1], Callee: names[i]})
+		}
+	}
+	return fns, edges
+}
+
+func TestCallGraphPacked(t *testing.T) {
+	fns, edges := chain(3, 10, 6)
+	res, err := CallGraphLayout(fns, edges, DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Packed layout: a at 0, b at 3, c at 13 (the paper's Figure 12 right
+	// side).
+	if got := res.Frames["a"].VirtualOff; got != 0 {
+		t.Errorf("a at %d, want 0", got)
+	}
+	if got := res.Frames["b"].VirtualOff; got != 3 {
+		t.Errorf("b at %d, want 3", got)
+	}
+	if got := res.Frames["c"].VirtualOff; got != 13 {
+		t.Errorf("c at %d, want 13", got)
+	}
+	if res.LocalWordsUsed != 19 {
+		t.Errorf("local words = %d, want 19", res.LocalWordsUsed)
+	}
+	if res.SRAMWords != 0 {
+		t.Errorf("packed chain should fit Local Memory, SRAM = %d", res.SRAMWords)
+	}
+	// Physical SP stays 16-word aligned.
+	if res.Frames["b"].PhysicalOff%16 != 0 {
+		t.Errorf("physical offset %d not aligned", res.Frames["b"].PhysicalOff)
+	}
+}
+
+func TestMinFrameSizeReproducesPaperProblem(t *testing.T) {
+	// §5.4: the original 16-word minimum frame size pushed a 5-frame call
+	// chain into SRAM; the packed layout keeps it local.
+	fns, edges := chain(3, 10, 6, 4, 8)
+	packed, err := CallGraphLayout(fns, edges, DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded, err := CallGraphLayout(fns, edges, DefaultConfig(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed.SRAMWords != 0 {
+		t.Errorf("packed layout overflowed: %d SRAM words", packed.SRAMWords)
+	}
+	if padded.SRAMWords == 0 {
+		t.Errorf("16-word minimum frames should overflow the 48-word budget")
+	}
+}
+
+func TestDiamondCallGraph(t *testing.T) {
+	// a calls b and c; both call d. d's frame must clear BOTH callers.
+	fns := []FuncFrame{{"a", 4}, {"b", 8}, {"c", 2}, {"d", 3}}
+	edges := []CallEdge{{"a", "b"}, {"a", "c"}, {"b", "d"}, {"c", "d"}}
+	res, err := CallGraphLayout(fns, edges, DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bEnd := res.Frames["b"].VirtualOff + 8
+	cEnd := res.Frames["c"].VirtualOff + 2
+	d := res.Frames["d"].VirtualOff
+	if d < bEnd || d < cEnd {
+		t.Errorf("d at %d collides with callers (b ends %d, c ends %d)", d, bEnd, cEnd)
+	}
+}
+
+func TestRecursionRejected(t *testing.T) {
+	fns := []FuncFrame{{"a", 4}, {"b", 4}}
+	edges := []CallEdge{{"a", "b"}, {"b", "a"}}
+	if _, err := CallGraphLayout(fns, edges, DefaultConfig(), 1); err == nil {
+		t.Fatal("recursive call graph must be rejected")
+	}
+}
+
+func TestUnknownEdgeRejected(t *testing.T) {
+	fns := []FuncFrame{{"a", 4}}
+	if _, err := CallGraphLayout(fns, []CallEdge{{"a", "ghost"}}, DefaultConfig(), 1); err == nil {
+		t.Fatal("edge to unknown function must be rejected")
+	}
+}

@@ -1,0 +1,240 @@
+// Package driver assembles the full Shangri-La compilation pipeline of
+// Figure 5: parse → type check → lower → functional profiling → scalar
+// optimization and inlining → PAC → SOAR → aggregation → per-aggregate
+// merging → PHR → SWC → code generation. The optimization level axis
+// matches the paper's evaluation (§6.2): BASE < -O1 < -O2 < +PAC < +SOAR
+// < +PHR < +SWC, cumulative.
+package driver
+
+import (
+	"fmt"
+
+	"shangrila/internal/aggregate"
+	"shangrila/internal/baker/parser"
+	"shangrila/internal/baker/types"
+	"shangrila/internal/cg"
+	"shangrila/internal/ir"
+	"shangrila/internal/lower"
+	"shangrila/internal/opt"
+	"shangrila/internal/opt/pac"
+	"shangrila/internal/opt/phr"
+	"shangrila/internal/opt/soar"
+	"shangrila/internal/opt/swc"
+	"shangrila/internal/packet"
+	"shangrila/internal/profiler"
+)
+
+// Level is the cumulative optimization level.
+type Level int
+
+// Optimization levels (each includes all previous ones).
+const (
+	LevelBase Level = iota
+	LevelO1
+	LevelO2
+	LevelPAC
+	LevelSOAR
+	LevelPHR
+	LevelSWC
+)
+
+var levelNames = [...]string{"BASE", "-O1", "-O2", "+PAC", "+SOAR", "+PHR", "+SWC"}
+
+func (l Level) String() string {
+	if l < 0 || int(l) >= len(levelNames) {
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+	return levelNames[l]
+}
+
+// Levels lists every level in evaluation order.
+func Levels() []Level {
+	return []Level{LevelBase, LevelO1, LevelO2, LevelPAC, LevelSOAR, LevelPHR, LevelSWC}
+}
+
+// Config parameterizes a compilation.
+type Config struct {
+	Level Level
+	// ProfileTrace drives the Functional profiler.
+	ProfileTrace []*packet.Packet
+	// Controls populate tables before profiling (and are the same calls a
+	// deployment makes at boot).
+	Controls []profiler.Control
+	// Aggregation settings; zero value uses aggregate.DefaultConfig.
+	Agg aggregate.Config
+	// SWC settings; zero value uses swc.DefaultConfig.
+	SWC swc.Config
+}
+
+// Report summarizes what the compiler did.
+type Report struct {
+	Level        Level
+	Plan         *aggregate.Plan
+	ProfileStats *profiler.Stats
+	SOAR         *soar.Stats
+	PAC          *pac.Stats
+	PHR          *phr.Stats
+	SWCCands     []*swc.Candidate
+	// CodeSizes per ME aggregate (CGIR instructions).
+	CodeSizes []int
+}
+
+// Result bundles everything the runtime needs.
+type Result struct {
+	Image  *cg.Image
+	Prog   *ir.Program // post-optimization whole program (XScale path)
+	Report *Report
+}
+
+// LowerSource parses, checks and lowers Baker source to IR (the frontend
+// half of the pipeline). Callers that need the program's types before
+// choosing a profile trace use this, then CompileIR.
+func LowerSource(file, src string) (*ir.Program, error) {
+	astProg, err := parser.Parse(file, src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	tp, err := types.Check(astProg)
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	prog, err := lower.Lower(tp)
+	if err != nil {
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+	return prog, nil
+}
+
+// CompileSource runs the full pipeline over Baker source text.
+func CompileSource(file, src string, cfg Config) (*Result, error) {
+	prog, err := LowerSource(file, src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileIR(prog, cfg)
+}
+
+// CompileIR runs the pipeline from lowered IR.
+func CompileIR(prog *ir.Program, cfg Config) (*Result, error) {
+	lvl := cfg.Level
+	rep := &Report{Level: lvl}
+
+	// 1. Functional profiler (on unoptimized IR, as in Figure 5).
+	stats, err := profiler.ProfileWithControls(prog, cfg.ProfileTrace, cfg.Controls)
+	if err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	rep.ProfileStats = stats
+
+	// 2. Inlining is mandatory for ME code generation (calls become
+	// branches with globally allocated registers in the paper; here the
+	// bodies merge outright). Scalar optimization is -O1.
+	opt.Optimize(prog, opt.Options{Scalar: lvl >= LevelO1, Inline: true})
+
+	// 3. SOAR analysis runs whenever PAC or later optimizations need its
+	// offset facts (PAC's cross-header aliasing requires the proven
+	// minimum offsets); whether the *code generator* exploits the facts
+	// is the separate +SOAR level of the evaluation axis.
+	analyze := lvl >= LevelPAC
+	var facts *soar.Stats
+	if analyze {
+		facts = soar.Analyze(prog)
+		if lvl >= LevelSOAR {
+			rep.SOAR = facts
+		}
+	}
+	// 4. PAC on the whole program.
+	if lvl >= LevelPAC {
+		rep.PAC = pac.Run(prog)
+		opt.Optimize(prog, opt.Options{Scalar: lvl >= LevelO1})
+		facts = soar.Analyze(prog) // re-annotate the combined accesses
+	}
+
+	// 5. Aggregation (Figure 7).
+	aggCfg := cfg.Agg
+	if aggCfg.NumMEs == 0 {
+		aggCfg = aggregate.DefaultConfig()
+	}
+	plan, err := aggregate.Build(prog, stats, aggCfg)
+	if err != nil {
+		return nil, fmt.Errorf("aggregate: %w", err)
+	}
+	rep.Plan = plan
+	classes := aggregate.ClassifyChannels(prog, plan)
+	merged, err := aggregate.BuildMerged(prog, plan, classes)
+	if err != nil {
+		return nil, fmt.Errorf("merge: %w", err)
+	}
+
+	// 6. Per-aggregate optimization: scalar cleanup, SOAR annotation (the
+	// merged bodies see through former channel boundaries), PAC across
+	// former PPF boundaries, then PHR and SWC transforms.
+	annotateMerged := func(m *aggregate.Merged) {
+		entries := map[string]soar.Input{}
+		for _, e := range m.Entries {
+			if e.In != nil && facts != nil {
+				if fct, ok := facts.ChanInputs[e.In.Name]; ok {
+					entries[e.Func.Name] = fct
+				}
+			}
+		}
+		soar.AnalyzeWithEntries(m.Prog, entries)
+	}
+	for _, m := range merged {
+		if m.Agg.Target != aggregate.TargetME {
+			continue
+		}
+		opt.Optimize(m.Prog, opt.Options{Scalar: lvl >= LevelO1})
+		if lvl >= LevelPAC {
+			annotateMerged(m)
+			pac.Run(m.Prog)
+			opt.Optimize(m.Prog, opt.Options{Scalar: lvl >= LevelO1})
+		}
+	}
+	if lvl >= LevelPHR {
+		rep.PHR = phr.Run(prog, plan, merged)
+	}
+	if lvl >= LevelSWC {
+		swcCfg := cfg.SWC
+		if swcCfg.MaxLineWords == 0 {
+			swcCfg = swc.DefaultConfig()
+		}
+		cands := swc.SelectCandidates(prog, stats, swcCfg)
+		if _, err := swc.Apply(prog, merged, cands, swcCfg); err != nil {
+			return nil, fmt.Errorf("swc: %w", err)
+		}
+		rep.SWCCands = cands
+	}
+	// PHR's pair elimination redirects accesses to shared handles, which
+	// exposes further combining: run PAC once more, then a final scalar
+	// cleanup and SOAR re-annotation of the merged bodies.
+	for _, m := range merged {
+		if m.Agg.Target != aggregate.TargetME {
+			continue
+		}
+		if lvl >= LevelPHR {
+			annotateMerged(m)
+			pac.Run(m.Prog)
+		}
+		opt.Optimize(m.Prog, opt.Options{Scalar: lvl >= LevelO1})
+		if analyze {
+			annotateMerged(m)
+		}
+	}
+
+	// 7. Code generation.
+	opts := cg.Options{
+		O2:   lvl >= LevelO2,
+		SOAR: lvl >= LevelSOAR,
+		PHR:  lvl >= LevelPHR,
+		SWC:  lvl >= LevelSWC,
+	}
+	img, err := cg.Compile(prog, plan, merged, classes, facts, opts)
+	if err != nil {
+		return nil, fmt.Errorf("codegen: %w", err)
+	}
+	for _, c := range img.MECode {
+		rep.CodeSizes = append(rep.CodeSizes, len(c.Program.Code))
+	}
+	return &Result{Image: img, Prog: prog, Report: rep}, nil
+}

@@ -1,0 +1,80 @@
+package driver_test
+
+import (
+	"strings"
+	"testing"
+
+	"shangrila/internal/apps"
+	"shangrila/internal/driver"
+	"shangrila/internal/harness"
+)
+
+func TestLevelsStringAndOrder(t *testing.T) {
+	want := []string{"BASE", "-O1", "-O2", "+PAC", "+SOAR", "+PHR", "+SWC"}
+	levels := driver.Levels()
+	if len(levels) != len(want) {
+		t.Fatalf("levels = %d, want %d", len(levels), len(want))
+	}
+	for i, l := range levels {
+		if l.String() != want[i] {
+			t.Errorf("level %d = %q, want %q", i, l, want[i])
+		}
+		if int(l) != i {
+			t.Errorf("level %q out of order", l)
+		}
+	}
+}
+
+func TestReportsPopulatedPerLevel(t *testing.T) {
+	a := apps.L3Switch()
+	for _, lvl := range driver.Levels() {
+		res, err := harness.Compile(a, lvl, 3)
+		if err != nil {
+			t.Fatalf("%v: %v", lvl, err)
+		}
+		rep := res.Report
+		if rep.Plan == nil || rep.ProfileStats == nil {
+			t.Fatalf("%v: missing plan/profile", lvl)
+		}
+		if (rep.PAC != nil) != (lvl >= driver.LevelPAC) {
+			t.Errorf("%v: PAC stats presence wrong", lvl)
+		}
+		if (rep.SOAR != nil) != (lvl >= driver.LevelSOAR) {
+			t.Errorf("%v: SOAR stats presence wrong", lvl)
+		}
+		if (rep.PHR != nil) != (lvl >= driver.LevelPHR) {
+			t.Errorf("%v: PHR stats presence wrong", lvl)
+		}
+		if (len(rep.SWCCands) > 0) != (lvl >= driver.LevelSWC) {
+			t.Errorf("%v: SWC candidates presence wrong", lvl)
+		}
+		if len(rep.CodeSizes) == 0 {
+			t.Errorf("%v: no code sizes", lvl)
+		}
+	}
+}
+
+func TestLowerSourceErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"module {", "parse"},
+		{"module m { ppf f(nosuch ph) { packet_drop(ph); } wiring { rx -> f; } }", "check"},
+	}
+	for _, c := range cases {
+		_, err := driver.LowerSource("bad.baker", c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("source %q: err = %v, want %s error", c.src, err, c.want)
+		}
+	}
+}
+
+func TestProfileTraceRequired(t *testing.T) {
+	prog, err := driver.LowerSource("t.baker", `
+protocol p { x:32; demux { 4 }; }
+module m { ppf f(p ph) { packet_drop(ph); } wiring { rx -> f; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := driver.CompileIR(prog, driver.Config{Level: driver.LevelSWC}); err == nil {
+		t.Fatal("compiling without a profile trace must fail (aggregation needs weights)")
+	}
+}

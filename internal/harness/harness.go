@@ -1,0 +1,218 @@
+// Package harness reproduces the paper's evaluation (§6): Figure 6's
+// memory micro-benchmark, Table 1's per-packet dynamic memory access
+// counts, and Figures 13–15's packet forwarding rates for L3-Switch,
+// Firewall and MPLS across optimization levels and enabled-ME counts.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"shangrila/internal/apps"
+	"shangrila/internal/cg"
+	"shangrila/internal/driver"
+	"shangrila/internal/rts"
+)
+
+// RunConfig controls one measured simulation.
+type RunConfig struct {
+	NumMEs  int
+	Warmup  int64 // cycles before measurement starts (queues fill)
+	Measure int64 // measured cycles
+	Seed    uint64
+	TraceN  int // distinct packets in the cycled trace
+}
+
+// DefaultRunConfig returns the standard measurement window: long enough
+// for thousands of packets at line rate, short enough to sweep many
+// configurations.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		NumMEs:  6,
+		Warmup:  150_000,
+		Measure: 900_000,
+		Seed:    1234,
+		TraceN:  384,
+	}
+}
+
+// AppResult is one measured data point.
+type AppResult struct {
+	App    string
+	Level  driver.Level
+	NumMEs int
+	Gbps   float64
+	// Table 1 columns: packet Scratch/SRAM/DRAM, app Scratch/SRAM.
+	PktScratch, PktSRAM, PktDRAM float64
+	AppScratch, AppSRAM          float64
+	TxPackets                    uint64
+	CodeSizes                    []int
+	Stages                       int
+}
+
+// Total returns the Table 1 "Total" column.
+func (r *AppResult) Total() float64 {
+	return r.PktScratch + r.PktSRAM + r.PktDRAM + r.AppScratch + r.AppSRAM
+}
+
+// Compile compiles an app at a level, generating its profile trace from
+// its own generator.
+func Compile(a *apps.App, lvl driver.Level, seed uint64) (*driver.Result, error) {
+	prog, err := driver.LowerSource(a.Name+".baker", a.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	ptrace := a.Trace(prog.Types, seed, 512)
+	return driver.CompileIR(prog, driver.Config{
+		Level:        lvl,
+		ProfileTrace: ptrace,
+		Controls:     a.Controls,
+	})
+}
+
+// Measure runs one compiled app on the machine model and returns the data
+// point. Counters reset after warm-up so the steady state is measured.
+func Measure(a *apps.App, res *driver.Result, cfg RunConfig) (*AppResult, error) {
+	trc := a.Trace(res.Prog.Types, cfg.Seed+1, cfg.TraceN)
+	rt, err := rts.New(res.Image, res.Prog, trc, rts.Options{NumMEs: cfg.NumMEs})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range a.Controls {
+		if err := rt.Control(c.Name, c.Args...); err != nil {
+			return nil, fmt.Errorf("%s control %s: %w", a.Name, c.Name, err)
+		}
+	}
+	if err := rt.Run(cfg.Warmup); err != nil {
+		return nil, fmt.Errorf("%s warmup: %w", a.Name, err)
+	}
+	rt.M.ResetStats()
+	if err := rt.Run(cfg.Measure); err != nil {
+		return nil, fmt.Errorf("%s measure: %w", a.Name, err)
+	}
+	st := &rt.M.Stats
+	out := &AppResult{
+		App:        a.Name,
+		Level:      res.Report.Level,
+		NumMEs:     cfg.NumMEs,
+		Gbps:       st.Gbps(rt.M.Cfg.ClockMHz),
+		PktScratch: st.PerPacket(cg.MemScratch, cg.ClassPacketRing),
+		PktSRAM:    st.PerPacket(cg.MemSRAM, cg.ClassPacketMeta),
+		PktDRAM:    st.PerPacket(cg.MemDRAM, cg.ClassPacketData),
+		AppScratch: st.PerPacket(cg.MemScratch, cg.ClassAppData),
+		AppSRAM:    st.PerPacket(cg.MemSRAM, cg.ClassAppData),
+		TxPackets:  st.TxPackets,
+		CodeSizes:  res.Report.CodeSizes,
+		Stages:     len(res.Image.MECode),
+	}
+	return out, nil
+}
+
+// RunPoint compiles and measures in one step.
+func RunPoint(a *apps.App, lvl driver.Level, cfg RunConfig) (*AppResult, error) {
+	res, err := Compile(a, lvl, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("%s at %v: %w", a.Name, lvl, err)
+	}
+	return Measure(a, res, cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Table 1
+
+// Table1Levels are the rows the paper reports (O2 and SOAR are skipped:
+// "they only affect dynamic instruction counts").
+func Table1Levels() []driver.Level {
+	return []driver.Level{driver.LevelSWC, driver.LevelPHR, driver.LevelPAC,
+		driver.LevelO1, driver.LevelBase}
+}
+
+// Table1 measures the per-packet dynamic memory access table for every
+// app.
+func Table1(cfg RunConfig) ([]*AppResult, error) {
+	var rows []*AppResult
+	for _, a := range apps.All() {
+		for _, lvl := range Table1Levels() {
+			r, err := RunPoint(a, lvl, cfg)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders rows in the paper's Table 1 shape.
+func FormatTable1(rows []*AppResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-6s | %8s %8s %8s | %8s %8s | %7s\n",
+		"App", "Config", "Scratch", "SRAM", "DRAM", "Scratch", "SRAM", "Total")
+	fmt.Fprintf(&b, "%-10s %-6s | %26s | %17s |\n", "", "", "packet accesses", "app accesses")
+	prev := ""
+	for _, r := range rows {
+		if r.App != prev {
+			fmt.Fprintln(&b, strings.Repeat("-", 78))
+			prev = r.App
+		}
+		fmt.Fprintf(&b, "%-10s %-6s | %8.1f %8.1f %8.1f | %8.1f %8.1f | %7.1f\n",
+			r.App, r.Level, r.PktScratch, r.PktSRAM, r.PktDRAM,
+			r.AppScratch, r.AppSRAM, r.Total())
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figures 13-15
+
+// FigureSeries is one curve: forwarding rate per enabled-ME count.
+type FigureSeries struct {
+	App   string
+	Level driver.Level
+	Gbps  []float64 // index 0 = 1 ME
+}
+
+// FigureRates sweeps optimization levels × ME counts for one app
+// (Figures 13, 14, 15).
+func FigureRates(a *apps.App, cfg RunConfig, maxMEs int) ([]*FigureSeries, error) {
+	var out []*FigureSeries
+	for _, lvl := range driver.Levels() {
+		res, err := Compile(a, lvl, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s at %v: %w", a.Name, lvl, err)
+		}
+		s := &FigureSeries{App: a.Name, Level: lvl}
+		for n := 1; n <= maxMEs; n++ {
+			c := cfg
+			c.NumMEs = n
+			r, err := Measure(a, res, c)
+			if err != nil {
+				return nil, err
+			}
+			s.Gbps = append(s.Gbps, r.Gbps)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// FormatFigure renders the series as the paper's figure data.
+func FormatFigure(title string, series []*FigureSeries) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — forwarding rate (Gbps) vs enabled MEs\n", title)
+	fmt.Fprintf(&b, "%-8s", "Config")
+	if len(series) > 0 {
+		for n := 1; n <= len(series[0].Gbps); n++ {
+			fmt.Fprintf(&b, " %6dME", n)
+		}
+	}
+	fmt.Fprintln(&b)
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-8s", s.Level)
+		for _, g := range s.Gbps {
+			fmt.Fprintf(&b, " %8.2f", g)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package harness_test
+
+import (
+	"testing"
+
+	"shangrila/internal/apps"
+	"shangrila/internal/cg"
+	"shangrila/internal/driver"
+	"shangrila/internal/harness"
+)
+
+// quickCfg keeps test sweeps fast; the bench harness uses longer windows.
+func quickCfg() harness.RunConfig {
+	return harness.RunConfig{
+		NumMEs:  4,
+		Warmup:  80_000,
+		Measure: 250_000,
+		Seed:    7,
+		TraceN:  256,
+	}
+}
+
+// TestAllAppsAllLevelsCompileAndRun is the whole-repro integration test:
+// every benchmark compiles at every optimization level and forwards
+// packets on the machine model.
+func TestAllAppsAllLevelsCompileAndRun(t *testing.T) {
+	for _, a := range apps.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			for _, lvl := range driver.Levels() {
+				r, err := harness.RunPoint(a, lvl, quickCfg())
+				if err != nil {
+					t.Fatalf("%v: %v", lvl, err)
+				}
+				if r.TxPackets == 0 {
+					t.Errorf("%v: nothing forwarded", lvl)
+				}
+				if r.Gbps <= 0 {
+					t.Errorf("%v: rate %.2f", lvl, r.Gbps)
+				}
+				t.Logf("%-6v %.2f Gbps tx=%d stages=%d code=%v total-mem=%.1f",
+					lvl, r.Gbps, r.TxPackets, r.Stages, r.CodeSizes, r.Total())
+			}
+		})
+	}
+}
+
+func TestOptimizationReducesAccessesPaperShape(t *testing.T) {
+	// Table 1 shape: total per-packet accesses fall monotonically (within
+	// tolerance) as optimizations cumulate, and PAC gives a large DRAM
+	// cut.
+	for _, a := range apps.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			get := func(lvl driver.Level) *harness.AppResult {
+				r, err := harness.RunPoint(a, lvl, quickCfg())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r
+			}
+			base := get(driver.LevelO1)
+			pac := get(driver.LevelPAC)
+			phr := get(driver.LevelPHR)
+			swc := get(driver.LevelSWC)
+			t.Logf("O1 total=%.1f dram=%.1f | PAC total=%.1f dram=%.1f | PHR total=%.1f sram=%.1f | SWC total=%.1f appsram=%.1f",
+				base.Total(), base.PktDRAM, pac.Total(), pac.PktDRAM,
+				phr.Total(), phr.PktSRAM, swc.Total(), swc.AppSRAM)
+			if pac.PktDRAM >= base.PktDRAM {
+				t.Errorf("PAC DRAM %.1f !< O1 DRAM %.1f", pac.PktDRAM, base.PktDRAM)
+			}
+			if pac.Total() >= base.Total() {
+				t.Errorf("PAC total %.1f !< O1 total %.1f", pac.Total(), base.Total())
+			}
+			if phr.PktSRAM >= pac.PktSRAM {
+				t.Errorf("PHR pkt SRAM %.1f !< PAC %.1f", phr.PktSRAM, pac.PktSRAM)
+			}
+			if swc.AppSRAM > phr.AppSRAM+0.01 {
+				t.Errorf("SWC app SRAM %.1f > PHR %.1f", swc.AppSRAM, phr.AppSRAM)
+			}
+		})
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	points, err := harness.Figure6(30_000, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", harness.FormatFigure6(points))
+	get := func(level cg.MemLevel, bytes, n int) float64 {
+		for _, p := range points {
+			if p.Level == level && p.Bytes == bytes && p.Accesses == n {
+				return p.Gbps
+			}
+		}
+		t.Fatalf("missing point %v %dB x%d", level, bytes, n)
+		return 0
+	}
+	// Paper budget rules: ~2.5 Gbps is sustainable with <=2 DRAM narrow
+	// accesses, <=8 SRAM narrow accesses, <=64 Scratch narrow accesses.
+	if g := get(cg.MemDRAM, 8, 2); g < 2.2 {
+		t.Errorf("DRAM 8B x2 = %.2f, want >= 2.2", g)
+	}
+	if g := get(cg.MemDRAM, 8, 8); g > 2.2 {
+		t.Errorf("DRAM 8B x8 = %.2f, want clearly below line rate", g)
+	}
+	if g := get(cg.MemSRAM, 4, 8); g < 2.2 {
+		t.Errorf("SRAM 4B x8 = %.2f, want >= 2.2", g)
+	}
+	if g := get(cg.MemScratch, 4, 64); g < 2.0 {
+		t.Errorf("Scratch 4B x64 = %.2f, want >= 2.0", g)
+	}
+	// Monotone decrease with more accesses.
+	for _, s := range harness.Fig6Series {
+		prev := 1e9
+		for _, n := range harness.Fig6Counts {
+			g := get(s.Level, s.Bytes, n)
+			if g > prev*1.08 {
+				t.Errorf("%v %dB: rate rose %f -> %f at x%d", s.Level, s.Bytes, prev, g, n)
+			}
+			prev = g
+		}
+	}
+	// Wider accesses are fractionally slower at high counts.
+	if get(cg.MemDRAM, 64, 8) > get(cg.MemDRAM, 8, 8) {
+		t.Errorf("wide DRAM should not beat narrow at the same count")
+	}
+}

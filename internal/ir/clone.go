@@ -1,0 +1,57 @@
+package ir
+
+// Clone deep-copies a function: fresh blocks and instructions, same
+// register numbering. Aggregation clones PPF bodies so per-aggregate
+// transforms (channel-to-call conversion, inlining, metadata localization)
+// cannot disturb other aggregates or the profiling copy.
+func (f *Func) Clone() *Func {
+	nf := &Func{
+		Name:         f.Name,
+		Kind:         f.Kind,
+		Params:       append([]Reg(nil), f.Params...),
+		ParamClasses: append([]RegClass(nil), f.ParamClasses...),
+		NumRegs:      f.NumRegs,
+		RegClasses:   append([]RegClass(nil), f.RegClasses...),
+		InProto:      f.InProto,
+		Source:       f.Source,
+	}
+	blockMap := make(map[*Block]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		nb := &Block{ID: b.ID}
+		nf.Blocks = append(nf.Blocks, nb)
+		blockMap[b] = nb
+	}
+	for _, b := range f.Blocks {
+		nb := blockMap[b]
+		for _, in := range b.Instrs {
+			cp := *in
+			cp.Dst = append([]Reg(nil), in.Dst...)
+			cp.Args = append([]Reg(nil), in.Args...)
+			if in.Blocks != nil {
+				cp.Blocks = make([]*Block, len(in.Blocks))
+				for i, t := range in.Blocks {
+					cp.Blocks[i] = blockMap[t]
+				}
+			}
+			nb.Instrs = append(nb.Instrs, &cp)
+		}
+	}
+	nf.Entry = blockMap[f.Entry]
+	nf.ComputeCFG()
+	return nf
+}
+
+// CloneProgram deep-copies every function of p (sharing the immutable type
+// information).
+func CloneProgram(p *Program) *Program {
+	np := &Program{
+		Types:    p.Types,
+		Funcs:    make(map[string]*Func, len(p.Funcs)),
+		Order:    append([]string(nil), p.Order...),
+		NumLocks: p.NumLocks,
+	}
+	for name, f := range p.Funcs {
+		np.Funcs[name] = f.Clone()
+	}
+	return np
+}

@@ -1,0 +1,81 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the function as readable text for tests and tooling.
+func (f *Func) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s(", f.Kind, f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteString(") {\n")
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "b%d:\n", blk.ID)
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "\t%s\n", in)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// String renders one instruction.
+func (i *Instr) String() string {
+	var b strings.Builder
+	if len(i.Dst) > 0 {
+		for j, d := range i.Dst {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(d.String())
+		}
+		b.WriteString(" = ")
+	}
+	b.WriteString(i.Op.String())
+	switch i.Op {
+	case OpConst:
+		fmt.Fprintf(&b, " %d", i.Imm)
+	case OpLockAcquire, OpLockRelease:
+		fmt.Fprintf(&b, " #%d", i.Imm)
+	}
+	if i.Global != nil {
+		fmt.Fprintf(&b, " @%s", i.Global.Name)
+		fmt.Fprintf(&b, "+%d", i.Off)
+	}
+	if i.Proto != nil {
+		fmt.Fprintf(&b, " <%s>", i.Proto.Name)
+	}
+	if i.Field != nil {
+		fmt.Fprintf(&b, " .%s", i.Field.Name)
+	}
+	if i.Chan != nil {
+		fmt.Fprintf(&b, " ->%s", i.Chan.Name)
+	}
+	if i.Callee != "" {
+		fmt.Fprintf(&b, " %s", i.Callee)
+	}
+	if i.Field == nil && (i.Op == OpPktLoad || i.Op == OpPktStore) {
+		fmt.Fprintf(&b, " raw[%d:%d]", i.Off, int(i.Off)+i.Width)
+	}
+	for _, a := range i.Args {
+		fmt.Fprintf(&b, " %s", a.String())
+	}
+	for _, t := range i.Blocks {
+		fmt.Fprintf(&b, " b%d", t.ID)
+	}
+	if i.StaticOff != 0 && (i.Op == OpPktLoad || i.Op == OpPktStore || i.Op == OpEncap || i.Op == OpDecap) {
+		if i.StaticOff == UnknownOff {
+			b.WriteString(" !off=?")
+		} else {
+			fmt.Fprintf(&b, " !off=%d", i.StaticOff)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,251 @@
+package ixp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shangrila/internal/cg"
+)
+
+func TestRingFIFO(t *testing.T) {
+	r := newRing(4)
+	for i := uint32(0); i < 4; i++ {
+		if !r.Put(i, i*10) {
+			t.Fatalf("put %d failed", i)
+		}
+	}
+	if r.Put(9, 9) {
+		t.Fatal("put into full ring succeeded")
+	}
+	for i := uint32(0); i < 4; i++ {
+		a, b, ok := r.Get()
+		if !ok || a != i || b != i*10 {
+			t.Fatalf("get %d = (%d,%d,%v)", i, a, b, ok)
+		}
+	}
+	if _, _, ok := r.Get(); ok {
+		t.Fatal("get from empty ring succeeded")
+	}
+	// Wrap-around.
+	for round := 0; round < 10; round++ {
+		r.Put(uint32(round), 0)
+		if a, _, ok := r.Get(); !ok || a != uint32(round) {
+			t.Fatalf("wrap round %d", round)
+		}
+	}
+}
+
+func TestControllerBandwidth(t *testing.T) {
+	c := &controller{level: cg.MemSRAM, latency: 90, svcBase: 8, svcWord: 1}
+	st := &Stats{}
+	// Two back-to-back 1-word requests at t=0: the second queues behind
+	// the first's service slot.
+	first := c.access(0, 1, st)
+	second := c.access(0, 1, st)
+	if first != 0+9+90 {
+		t.Errorf("first completion %d, want 99", first)
+	}
+	if second != 9+9+90 {
+		t.Errorf("second completion %d, want 108 (queued)", second)
+	}
+	// After the controller drains, a later request sees no queueing.
+	third := c.access(1000, 4, st)
+	if third != 1000+12+90 {
+		t.Errorf("third completion %d, want 1102", third)
+	}
+	if st.Busy[cg.MemSRAM] != 9+9+12 {
+		t.Errorf("busy = %d, want 30", st.Busy[cg.MemSRAM])
+	}
+}
+
+func TestALUSemantics(t *testing.T) {
+	f := func(a, b uint32) bool {
+		checks := []struct {
+			op   cg.ALUOp
+			want uint32
+		}{
+			{cg.AAdd, a + b},
+			{cg.ASub, a - b},
+			{cg.AAnd, a & b},
+			{cg.AOr, a | b},
+			{cg.AXor, a ^ b},
+			{cg.AShl, a << (b & 31)},
+			{cg.AShrU, a >> (b & 31)},
+			{cg.AShrS, uint32(int32(a) >> (b & 31))},
+			{cg.ANot, ^a},
+			{cg.ANeg, -a},
+			{cg.AMov, a},
+		}
+		for _, c := range checks {
+			if aluEval(c.op, a, b) != c.want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondSemantics(t *testing.T) {
+	f := func(a, b uint32) bool {
+		return condEval(cg.CEq, a, b) == (a == b) &&
+			condEval(cg.CNe, a, b) == (a != b) &&
+			condEval(cg.CLtU, a, b) == (a < b) &&
+			condEval(cg.CLeU, a, b) == (a <= b) &&
+			condEval(cg.CLtS, a, b) == (int32(a) < int32(b)) &&
+			condEval(cg.CLeS, a, b) == (int32(a) <= int32(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// loopProg returns a program that increments a counter in scratch and
+// forwards descriptors.
+func loopProg() *cg.Program {
+	return &cg.Program{Name: "loop", Code: []*cg.Instr{
+		{Op: cg.IRingGet, Ring: cg.RingRx, Dst: 0, Dst2: 16, Class: cg.ClassPacketRing},
+		{Op: cg.IBccImm, Cond: cg.CNe, SrcA: 0, Imm: cg.InvalidPktID, Target: 4},
+		{Op: cg.ICtxArb},
+		{Op: cg.IBr, Target: 0},
+		{Op: cg.IMem, Level: cg.MemScratch, Addr: cg.NoPReg, AddrOff: 256,
+			NWords: 1, Data: []cg.PReg{1}, Class: cg.ClassAppData},
+		{Op: cg.IALUImm, ALU: cg.AAdd, Dst: 1, SrcA: 1, Imm: 1},
+		{Op: cg.IMem, Level: cg.MemScratch, Store: true, Addr: cg.NoPReg, AddrOff: 256,
+			NWords: 1, Data: []cg.PReg{1}, Class: cg.ClassAppData},
+		{Op: cg.IRingPut, Ring: cg.RingTx, SrcA: 0, SrcB: 16, Dst: 1, Class: cg.ClassPacketRing},
+		{Op: cg.IBr, Target: 0},
+	}}
+}
+
+func runLoop(t *testing.T, seed int) *Machine {
+	t.Helper()
+	cfg := DefaultConfig()
+	m := New(cfg, 3, 64)
+	m.GrowRing(cg.RingFree, 128)
+	for i := 0; i < 100; i++ {
+		m.Rings[cg.RingFree].Put(uint32(i), 64<<16|128)
+	}
+	m.RxInject = func(m *Machine) bool {
+		id, _, ok := m.Rings[cg.RingFree].Get()
+		if !ok || m.Rings[cg.RingRx].Space() == 0 {
+			if ok {
+				m.Rings[cg.RingFree].Put(id, 0)
+			}
+			return false
+		}
+		m.Rings[cg.RingRx].Put(id, 64<<16|128)
+		m.Stats.RxPackets++
+		return true
+	}
+	m.OnTx = func(m *Machine, w0, w1 uint32) int {
+		m.Rings[cg.RingFree].Put(w0, 64<<16|128)
+		return 64
+	}
+	m.LoadProgram(0, loopProg())
+	m.LoadProgram(1, loopProg())
+	if err := m.Run(200_000); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMachineForwardsAndCounts(t *testing.T) {
+	m := runLoop(t, 1)
+	if m.Stats.TxPackets == 0 {
+		t.Fatal("nothing forwarded")
+	}
+	// The scratch counter was incremented once per forwarded packet
+	// (remaining in-flight packets may have bumped it too).
+	got := beWord(m.Scratch[256:])
+	if uint64(got) < m.Stats.TxPackets {
+		t.Errorf("counter %d < tx %d", got, m.Stats.TxPackets)
+	}
+	// ME-issued accounting: 2 app-scratch accesses per processed packet.
+	app := m.Stats.MEAccesses[AccessKey{cg.MemScratch, cg.ClassAppData}]
+	if app < 2*m.Stats.TxPackets {
+		t.Errorf("app scratch %d < 2*tx %d", app, m.Stats.TxPackets)
+	}
+}
+
+func TestMachineDeterminism(t *testing.T) {
+	a := runLoop(t, 1)
+	b := runLoop(t, 1)
+	if a.Stats.TxPackets != b.Stats.TxPackets || a.Stats.Cycles != b.Stats.Cycles {
+		t.Errorf("non-deterministic: %d/%d vs %d/%d packets/cycles",
+			a.Stats.TxPackets, a.Stats.Cycles, b.Stats.TxPackets, b.Stats.Cycles)
+	}
+}
+
+func TestPortRateCapsThroughput(t *testing.T) {
+	m := runLoop(t, 1)
+	gbps := m.Stats.Gbps(m.Cfg.ClockMHz)
+	if gbps > m.Cfg.PortGbps*1.05 {
+		t.Errorf("rate %.2f exceeds port capacity %.1f", gbps, m.Cfg.PortGbps)
+	}
+}
+
+func TestCAMLRUReplacement(t *testing.T) {
+	cfg := DefaultConfig()
+	m := New(cfg, 3, 8)
+	me := m.MEs[0]
+	// Fill all 16 entries.
+	for i := 0; i < 16; i++ {
+		hit, entry := m.camLookup(me, uint32(100+i))
+		if hit != 0 {
+			t.Fatalf("unexpected hit for %d", i)
+		}
+		me.cam[entry] = camEntry{tag: uint32(100 + i), valid: true}
+		m.camTouch(me, int(entry))
+	}
+	// All hits now.
+	for i := 0; i < 16; i++ {
+		if hit, _ := m.camLookup(me, uint32(100+i)); hit != 1 {
+			t.Fatalf("miss for cached key %d", i)
+		}
+	}
+	// Touch 100..114, leaving 115 LRU; a miss must evict entry of 115.
+	for i := 0; i < 15; i++ {
+		m.camLookup(me, uint32(100+i))
+	}
+	_, victim := m.camLookup(me, 999)
+	if me.cam[victim].tag != 115 {
+		t.Errorf("LRU victim holds %d, want 115", me.cam[victim].tag)
+	}
+}
+
+func TestMemOutOfRangeFaults(t *testing.T) {
+	cfg := DefaultConfig()
+	m := New(cfg, 3, 8)
+	prog := &cg.Program{Name: "bad", Code: []*cg.Instr{
+		{Op: cg.IMem, Level: cg.MemScratch, Addr: cg.NoPReg,
+			AddrOff: uint32(cfg.ScratchBytes), NWords: 1, Data: []cg.PReg{0}},
+		{Op: cg.IHalt},
+	}}
+	m.LoadProgram(0, prog)
+	if err := m.Run(10_000); err == nil {
+		t.Fatal("expected machine check for out-of-range access")
+	}
+}
+
+func TestAtomicTestAndSet(t *testing.T) {
+	cfg := DefaultConfig()
+	m := New(cfg, 3, 8)
+	prog := &cg.Program{Name: "tas", Code: []*cg.Instr{
+		{Op: cg.IMem, Level: cg.MemScratch, Addr: cg.NoPReg, AddrOff: 512,
+			NWords: 1, Data: []cg.PReg{2}, Atomic: true, Class: cg.ClassAppData},
+		{Op: cg.IHalt},
+	}}
+	m.LoadProgram(0, prog)
+	if err := m.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if beWord(m.Scratch[512:]) != 1 {
+		t.Errorf("test-and-set did not set the lock word")
+	}
+	if m.MEs[0].threads[0].regs[2] != 0 {
+		t.Errorf("test-and-set returned %d, want previous value 0", m.MEs[0].threads[0].regs[2])
+	}
+}

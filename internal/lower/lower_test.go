@@ -1,0 +1,292 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"shangrila/internal/baker/parser"
+	"shangrila/internal/baker/types"
+	"shangrila/internal/ir"
+)
+
+func lowerSrc(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := parser.Parse("test.baker", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	tp, err := types.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	p, err := Lower(tp)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p
+}
+
+const hdr = `
+protocol ether { dst_hi:16; dst_lo:32; src_hi:16; src_lo:32; type:16; demux { 14 }; }
+protocol ipv4 { ver:4; hlen:4; tos:8; length:16; id:16; flags:3; frag:13;
+                ttl:8; proto:8; cksum:16; src:32; dst:32; demux { hlen << 2 }; }
+metadata { rx_port:16; next_hop:16; }
+`
+
+func countOps(f *ir.Func, op ir.Op) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestLowerStraightLine(t *testing.T) {
+	p := lowerSrc(t, hdr+`module m {
+		uint counter;
+		ppf f(ether ph) {
+			uint x = ph->type;
+			counter = x + 1;
+			packet_drop(ph);
+		}
+		wiring { rx -> f; }
+	}`)
+	f := p.Func("m.f")
+	if f == nil {
+		t.Fatal("no m.f")
+	}
+	if got := countOps(f, ir.OpPktLoad); got != 1 {
+		t.Errorf("pktloads = %d, want 1", got)
+	}
+	if got := countOps(f, ir.OpStore); got != 1 {
+		t.Errorf("stores = %d, want 1", got)
+	}
+	if got := countOps(f, ir.OpPktDrop); got != 1 {
+		t.Errorf("drops = %d, want 1", got)
+	}
+	if f.Blocks[0].Terminator() == nil {
+		t.Error("entry block lacks terminator")
+	}
+	// PktLoad offsets start unresolved for SOAR.
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPktLoad && in.StaticOff != ir.UnknownOff {
+				t.Errorf("pktload StaticOff = %d, want UnknownOff", in.StaticOff)
+			}
+		}
+	}
+}
+
+func TestLowerControlFlow(t *testing.T) {
+	p := lowerSrc(t, hdr+`module m {
+		channel out : ipv4;
+		ppf f(ether ph) {
+			if (ph->type == 0x0800 && ph->meta.rx_port != 3) {
+				ipv4 iph = packet_decap(ph);
+				channel_put(out, iph);
+			} else {
+				packet_drop(ph);
+			}
+		}
+		ppf g(ipv4 ph) { packet_drop(ph); }
+		wiring { rx -> f; out -> g; }
+	}`)
+	f := p.Func("m.f")
+	if got := countOps(f, ir.OpCondBr); got != 2 {
+		t.Errorf("condbrs = %d, want 2 (short-circuit &&)", got)
+	}
+	if got := countOps(f, ir.OpDecap); got != 1 {
+		t.Errorf("decaps = %d, want 1", got)
+	}
+	if got := countOps(f, ir.OpChanPut); got != 1 {
+		t.Errorf("chanputs = %d, want 1", got)
+	}
+	// Every block reachable and terminated.
+	for _, b := range f.Blocks {
+		if b.Terminator() == nil {
+			t.Errorf("block b%d lacks terminator:\n%s", b.ID, f)
+		}
+	}
+}
+
+func TestLowerLoops(t *testing.T) {
+	p := lowerSrc(t, hdr+`module m {
+		uint tbl[64];
+		ppf f(ether ph) {
+			uint sum = 0;
+			for (uint i = 0; i < 64; i++) {
+				if (tbl[i] == 0) { continue; }
+				if (tbl[i] == 99) { break; }
+				sum += tbl[i];
+			}
+			while (sum > 100) { sum -= 100; }
+			ph->meta.next_hop = sum;
+			packet_drop(ph);
+		}
+		wiring { rx -> f; }
+	}`)
+	f := p.Func("m.f")
+	// Dynamic-index loads: tbl[i] appears 3 times.
+	if got := countOps(f, ir.OpLoad); got != 3 {
+		t.Errorf("loads = %d, want 3", got)
+	}
+	if got := countOps(f, ir.OpMetaStore); got != 1 {
+		t.Errorf("metastores = %d, want 1", got)
+	}
+	f.ComputeCFG()
+	for _, b := range f.Blocks {
+		if b.Terminator() == nil {
+			t.Errorf("block b%d unterminated", b.ID)
+		}
+	}
+}
+
+func TestLowerStructArray(t *testing.T) {
+	p := lowerSrc(t, hdr+`module m {
+		struct Rt { prefix:uint; plen:uint; nh:uint; }
+		Rt routes[128];
+		ppf f(ipv4 ph) {
+			uint i = ph->tos;
+			uint nh = routes[i].nh;
+			routes[2].plen = 7;
+			ph->meta.next_hop = nh;
+			packet_drop(ph);
+		}
+		wiring { rx -> f; }
+	}`)
+	f := p.Func("m.f")
+	var store *ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpStore {
+				store = in
+			}
+		}
+	}
+	if store == nil {
+		t.Fatal("no store")
+	}
+	// routes[2].plen: offset = 2*12 + 4 = 28, no index register.
+	if store.Off != 28 || store.Args[0] != ir.NoReg {
+		t.Errorf("store off=%d idx=%v, want 28, NoReg", store.Off, store.Args[0])
+	}
+	var load *ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpLoad {
+				load = in
+			}
+		}
+	}
+	// routes[i].nh: offset 8 plus scaled index.
+	if load.Off != 8 || load.Args[0] == ir.NoReg {
+		t.Errorf("load off=%d idx=%v, want 8 with index reg", load.Off, load.Args[0])
+	}
+}
+
+func TestLowerCallsAndReturn(t *testing.T) {
+	p := lowerSrc(t, hdr+`module m {
+		func add3(uint a, uint b, uint c) uint { return a + b + c; }
+		ppf f(ether ph) {
+			uint s = add3(1, 2, ph->type);
+			ph->meta.next_hop = s;
+			packet_drop(ph);
+		}
+		wiring { rx -> f; }
+	}`)
+	f := p.Func("m.f")
+	var call *ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall {
+				call = in
+			}
+		}
+	}
+	if call == nil || call.Callee != "m.add3" || len(call.Args) != 3 || len(call.Dst) != 1 {
+		t.Fatalf("call = %v", call)
+	}
+	helper := p.Func("m.add3")
+	if helper.Kind != ir.FuncHelper || len(helper.Params) != 3 {
+		t.Errorf("helper: kind=%v params=%d", helper.Kind, len(helper.Params))
+	}
+	if countOps(helper, ir.OpRet) == 0 {
+		t.Error("helper has no ret")
+	}
+}
+
+func TestLowerCritical(t *testing.T) {
+	p := lowerSrc(t, hdr+`module m {
+		uint shared;
+		control func bump(uint v) { critical { shared = shared + v; } }
+		ppf f(ether ph) { critical { shared += 1; } packet_drop(ph); }
+		wiring { rx -> f; }
+	}`)
+	if p.NumLocks != 2 {
+		t.Errorf("NumLocks = %d, want 2", p.NumLocks)
+	}
+	f := p.Func("m.f")
+	if countOps(f, ir.OpLockAcquire) != 1 || countOps(f, ir.OpLockRelease) != 1 {
+		t.Error("critical section not bracketed with lock/unlock")
+	}
+}
+
+func TestLowerTernaryAndShortCircuitValue(t *testing.T) {
+	p := lowerSrc(t, hdr+`module m {
+		ppf f(ether ph) {
+			uint a = ph->type > 100 ? 1 : 2;
+			uint b = (a == 1) || (ph->type == 0);
+			ph->meta.next_hop = a + b;
+			packet_drop(ph);
+		}
+		wiring { rx -> f; }
+	}`)
+	f := p.Func("m.f")
+	if countOps(f, ir.OpCondBr) < 2 {
+		t.Errorf("expected >=2 condbr for ternary + ||, got %d:\n%s",
+			countOps(f, ir.OpCondBr), f)
+	}
+}
+
+func TestIRPrintDoesNotPanic(t *testing.T) {
+	p := lowerSrc(t, hdr+`module m {
+		channel out : ipv4;
+		ppf f(ether ph) {
+			ipv4 iph = packet_decap(ph);
+			channel_put(out, iph);
+		}
+		ppf g(ipv4 ph) { packet_drop(ph); }
+		wiring { rx -> f; out -> g; }
+	}`)
+	s := p.Func("m.f").String()
+	if !strings.Contains(s, "decap") || !strings.Contains(s, "chanput") {
+		t.Errorf("print output missing ops:\n%s", s)
+	}
+}
+
+func TestEncapUsesContextProtocol(t *testing.T) {
+	p := lowerSrc(t, hdr+`module m {
+		channel out : ether;
+		ppf f(ipv4 ph) {
+			ether eph = packet_encap(ph);
+			channel_put(out, eph);
+		}
+		wiring { rx -> f; out -> tx; }
+	}`)
+	f := p.Func("m.f")
+	var enc *ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpEncap {
+				enc = in
+			}
+		}
+	}
+	if enc == nil || enc.Proto.Name != "ether" {
+		t.Fatalf("encap proto = %v, want ether", enc)
+	}
+}

@@ -1,0 +1,471 @@
+// Package opt implements the scalar optimizer applied to ME-bound code in
+// the paper's Code Generator stage ("SSA-based optimizations like dead code
+// elimination, copy propagation and redundancy elimination", §4.1), plus
+// function inlining (-O2). The specialized packet optimizations live in the
+// pac, soar, phr and swc subpackages.
+package opt
+
+import (
+	"shangrila/internal/analysis"
+	"shangrila/internal/ir"
+)
+
+// Options selects which optimization groups run; the zero value is the
+// paper's BASE configuration.
+type Options struct {
+	Scalar bool // -O1: folding, propagation, CSE, DCE, branch folding
+	Inline bool // -O2: aggressive inlining of helpers into PPFs
+}
+
+// Optimize runs the scalar pipeline on every function of p according to
+// opts. Inlining runs first so scalar passes clean up the residue.
+func Optimize(p *ir.Program, opts Options) {
+	if opts.Inline {
+		InlineAll(p)
+	}
+	if !opts.Scalar {
+		return
+	}
+	for _, name := range p.Order {
+		OptimizeFunc(p.Funcs[name])
+	}
+}
+
+// OptimizeFunc iterates the scalar passes on one function to a fixpoint
+// (bounded).
+func OptimizeFunc(f *ir.Func) {
+	for round := 0; round < 8; round++ {
+		changed := false
+		changed = propagate(f) || changed
+		changed = foldBranches(f) || changed
+		changed = localCSE(f) || changed
+		changed = deadCode(f) || changed
+		changed = mergeBlocks(f) || changed
+		if !changed {
+			return
+		}
+	}
+}
+
+// propagate performs constant folding and copy/constant propagation.
+// Within a block it runs a forward scan; across blocks it propagates only
+// via single-def registers whose definition dominates the use.
+func propagate(f *ir.Func) bool {
+	changed := false
+	defCounts := analysis.DefCounts(f)
+
+	// Global single-def facts.
+	constOf := map[ir.Reg]uint64{}
+	copyOf := map[ir.Reg]ir.Reg{}
+	defBlock := map[ir.Reg]*ir.Block{}
+	defIndex := map[ir.Reg]int{}
+	for _, b := range f.Blocks {
+		for idx, in := range b.Instrs {
+			for _, d := range in.Dst {
+				if defCounts[d] == 1 {
+					defBlock[d] = b
+					defIndex[d] = idx
+				}
+			}
+			if len(in.Dst) == 1 && defCounts[in.Dst[0]] == 1 {
+				switch in.Op {
+				case ir.OpConst:
+					constOf[in.Dst[0]] = in.Imm
+				case ir.OpMov:
+					copyOf[in.Dst[0]] = in.Args[0]
+				}
+			}
+		}
+	}
+	dom := analysis.ComputeDominators(f)
+
+	// resolveCopy follows single-def copy chains r := s while the source
+	// is itself single-def (so the value cannot change between def and
+	// use).
+	resolveCopy := func(r ir.Reg) ir.Reg {
+		for i := 0; i < 8; i++ {
+			s, ok := copyOf[r]
+			if !ok || defCounts[s] != 1 {
+				return r
+			}
+			r = s
+		}
+		return r
+	}
+
+	for _, b := range f.Blocks {
+		for idx, in := range b.Instrs {
+			for ai, a := range in.Args {
+				if a == ir.NoReg || defCounts[a] != 1 {
+					continue
+				}
+				db := defBlock[a]
+				if db == nil {
+					continue
+				}
+				if db == b && defIndex[a] >= idx {
+					continue
+				}
+				if db != b && !dom.Dominates(db, b) {
+					continue
+				}
+				if s := resolveCopy(a); s != a {
+					// The source must also dominate this use.
+					sb := defBlock[s]
+					okDom := sb != nil && (sb == b && defIndex[s] < idx || sb != b && dom.Dominates(sb, b))
+					if _, isParam := paramSet(f)[s]; isParam {
+						okDom = true
+					}
+					if okDom {
+						in.Args[ai] = s
+						changed = true
+					}
+				}
+			}
+			// Constant folding when all inputs are known single-def consts
+			// dominating this instruction.
+			if folded := tryFold(f, in, constOf, defCounts); folded {
+				changed = true
+			}
+			_ = idx
+		}
+	}
+	return changed
+}
+
+func paramSet(f *ir.Func) map[ir.Reg]struct{} {
+	m := make(map[ir.Reg]struct{}, len(f.Params))
+	for _, p := range f.Params {
+		m[p] = struct{}{}
+	}
+	return m
+}
+
+// tryFold rewrites pure ALU ops with constant operands into OpConst, and
+// applies simple algebraic identities.
+func tryFold(f *ir.Func, in *ir.Instr, constOf map[ir.Reg]uint64, defCounts []int) bool {
+	isConst := func(r ir.Reg) (uint32, bool) {
+		if r == ir.NoReg || defCounts[r] != 1 {
+			return 0, false
+		}
+		v, ok := constOf[r]
+		return uint32(v), ok
+	}
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor,
+		ir.OpShl, ir.OpShrU, ir.OpShrS, ir.OpEq, ir.OpNe,
+		ir.OpLtU, ir.OpLeU, ir.OpLtS, ir.OpLeS:
+		a, okA := isConst(in.Args[0])
+		bv, okB := isConst(in.Args[1])
+		if okA && okB {
+			in.Op, in.Imm, in.Args = ir.OpConst, uint64(foldALU(in.Op, a, bv)), nil
+			return true
+		}
+		// Identities: x+0, x-0, x|0, x^0, x<<0, x>>0, x*1, x&~0.
+		if okB {
+			switch {
+			case bv == 0 && (in.Op == ir.OpAdd || in.Op == ir.OpSub || in.Op == ir.OpOr ||
+				in.Op == ir.OpXor || in.Op == ir.OpShl || in.Op == ir.OpShrU || in.Op == ir.OpShrS):
+				in.Op, in.Args = ir.OpMov, in.Args[:1]
+				return true
+			case bv == 1 && in.Op == ir.OpMul:
+				in.Op, in.Args = ir.OpMov, in.Args[:1]
+				return true
+			case bv == 0 && in.Op == ir.OpMul:
+				in.Op, in.Imm, in.Args = ir.OpConst, 0, nil
+				return true
+			}
+		}
+	case ir.OpNot:
+		if a, ok := isConst(in.Args[0]); ok {
+			in.Op, in.Imm, in.Args = ir.OpConst, uint64(^a), nil
+			return true
+		}
+	case ir.OpNeg:
+		if a, ok := isConst(in.Args[0]); ok {
+			in.Op, in.Imm, in.Args = ir.OpConst, uint64(-a), nil
+			return true
+		}
+	case ir.OpMov:
+		if a, ok := isConst(in.Args[0]); ok {
+			in.Op, in.Imm, in.Args = ir.OpConst, uint64(a), nil
+			return true
+		}
+	}
+	return false
+}
+
+func foldALU(op ir.Op, a, b uint32) uint32 {
+	switch op {
+	case ir.OpAdd:
+		return a + b
+	case ir.OpSub:
+		return a - b
+	case ir.OpMul:
+		return a * b
+	case ir.OpAnd:
+		return a & b
+	case ir.OpOr:
+		return a | b
+	case ir.OpXor:
+		return a ^ b
+	case ir.OpShl:
+		return a << (b & 31)
+	case ir.OpShrU:
+		return a >> (b & 31)
+	case ir.OpShrS:
+		return uint32(int32(a) >> (b & 31))
+	case ir.OpEq:
+		return b2i(a == b)
+	case ir.OpNe:
+		return b2i(a != b)
+	case ir.OpLtU:
+		return b2i(a < b)
+	case ir.OpLeU:
+		return b2i(a <= b)
+	case ir.OpLtS:
+		return b2i(int32(a) < int32(b))
+	case ir.OpLeS:
+		return b2i(int32(a) <= int32(b))
+	}
+	return 0
+}
+
+func b2i(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// foldBranches converts conditional branches on single-def constants into
+// unconditional ones.
+func foldBranches(f *ir.Func) bool {
+	defCounts := analysis.DefCounts(f)
+	constOf := map[ir.Reg]uint64{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpConst && len(in.Dst) == 1 && defCounts[in.Dst[0]] == 1 {
+				constOf[in.Dst[0]] = in.Imm
+			}
+		}
+	}
+	changed := false
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil || t.Op != ir.OpCondBr {
+			continue
+		}
+		v, ok := constOf[t.Args[0]]
+		if !ok || defCounts[t.Args[0]] != 1 {
+			continue
+		}
+		target := t.Blocks[1]
+		if v != 0 {
+			target = t.Blocks[0]
+		}
+		t.Op, t.Args, t.Blocks = ir.OpBr, nil, []*ir.Block{target}
+		changed = true
+	}
+	if changed {
+		f.ComputeCFG()
+	}
+	return changed
+}
+
+// localCSE removes duplicate pure computations and redundant global loads
+// within each block (the paper's redundancy elimination, block-local).
+func localCSE(f *ir.Func) bool {
+	changed := false
+	type key struct {
+		op   ir.Op
+		a, b ir.Reg
+		imm  uint64
+		gl   string
+		off  int32
+	}
+	for _, blk := range f.Blocks {
+		avail := map[key]ir.Reg{}
+		for _, in := range blk.Instrs {
+			// 1. Rewrite this instruction using available expressions.
+			var newFact *key
+			switch in.Op {
+			case ir.OpConst:
+				k := key{op: in.Op, imm: in.Imm}
+				if prev, ok := avail[k]; ok {
+					in.Op = ir.OpMov
+					in.Args = []ir.Reg{prev}
+					in.Imm = 0
+					changed = true
+				} else {
+					newFact = &k
+				}
+			case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor,
+				ir.OpShl, ir.OpShrU, ir.OpShrS, ir.OpEq, ir.OpNe,
+				ir.OpLtU, ir.OpLeU, ir.OpLtS, ir.OpLeS, ir.OpNot, ir.OpNeg:
+				k := key{op: in.Op, a: in.Args[0]}
+				if len(in.Args) > 1 {
+					k.b = in.Args[1]
+				}
+				if prev, ok := avail[k]; ok {
+					in.Op = ir.OpMov
+					in.Args = []ir.Reg{prev}
+					changed = true
+				} else {
+					newFact = &k
+				}
+			case ir.OpLoad:
+				if len(in.Dst) == 1 {
+					idx := ir.NoReg
+					if len(in.Args) > 0 {
+						idx = in.Args[0]
+					}
+					k := key{op: in.Op, a: idx, gl: in.Global.Name, off: in.Off}
+					if prev, ok := avail[k]; ok {
+						in.Op = ir.OpMov
+						in.Global = nil
+						in.Args = []ir.Reg{prev}
+						changed = true
+					} else {
+						newFact = &k
+					}
+				}
+			case ir.OpStore:
+				// Conservative: a store to global G kills available loads
+				// of G (any offset).
+				for k := range avail {
+					if k.op == ir.OpLoad && k.gl == in.Global.Name {
+						delete(avail, k)
+					}
+				}
+			case ir.OpCall, ir.OpLockAcquire, ir.OpLockRelease,
+				ir.OpCacheFlush:
+				// Calls and lock boundaries may write any global.
+				for k := range avail {
+					if k.op == ir.OpLoad {
+						delete(avail, k)
+					}
+				}
+			}
+			// 2. Redefinition of a register invalidates facts mentioning it.
+			for _, d := range in.Dst {
+				for k := range avail {
+					if k.a == d || k.b == d || avail[k] == d {
+						delete(avail, k)
+					}
+				}
+			}
+			// 3. Record the value this instruction makes available.
+			if newFact != nil && in.Op != ir.OpMov {
+				avail[*newFact] = in.Dst[0]
+			}
+		}
+	}
+	return changed
+}
+
+// deadCode removes pure instructions whose results are never used.
+func deadCode(f *ir.Func) bool {
+	lv := analysis.ComputeLiveness(f)
+	changed := false
+	for _, b := range f.Blocks {
+		live := map[ir.Reg]bool{}
+		for r := range lv.Out[b] {
+			live[r] = true
+		}
+		var kept []*ir.Instr
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			needed := analysis.HasSideEffects(in)
+			if !needed {
+				for _, d := range in.Dst {
+					if live[d] {
+						needed = true
+						break
+					}
+				}
+			}
+			if !needed {
+				changed = true
+				continue
+			}
+			for _, d := range in.Dst {
+				delete(live, d)
+			}
+			for _, u := range analysis.Uses(in) {
+				live[u] = true
+			}
+			kept = append(kept, in)
+		}
+		for i, j := 0, len(kept)-1; i < j; i, j = i+1, j-1 {
+			kept[i], kept[j] = kept[j], kept[i]
+		}
+		b.Instrs = kept
+	}
+	return changed
+}
+
+// mergeBlocks threads jumps through empty forwarding blocks and merges
+// single-pred/single-succ straight lines.
+func mergeBlocks(f *ir.Func) bool {
+	changed := false
+	// Jump threading: a block containing only "br X" can be bypassed.
+	forward := map[*ir.Block]*ir.Block{}
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 1 && b.Instrs[0].Op == ir.OpBr && b.Instrs[0].Blocks[0] != b {
+			forward[b] = b.Instrs[0].Blocks[0]
+		}
+	}
+	resolve := func(b *ir.Block) *ir.Block {
+		seen := map[*ir.Block]bool{}
+		for forward[b] != nil && !seen[b] {
+			seen[b] = true
+			b = forward[b]
+		}
+		return b
+	}
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil {
+			continue
+		}
+		for i, tgt := range t.Blocks {
+			if r := resolve(tgt); r != tgt {
+				t.Blocks[i] = r
+				changed = true
+			}
+		}
+	}
+	if f.Entry != nil {
+		if r := resolve(f.Entry); r != f.Entry {
+			f.Entry = r
+			changed = true
+		}
+	}
+	if changed {
+		f.ComputeCFG()
+	}
+	// Merge b -> s when b ends in an unconditional branch to s and s has
+	// exactly one predecessor.
+	merged := false
+	for _, b := range f.Blocks {
+		for {
+			t := b.Terminator()
+			if t == nil || t.Op != ir.OpBr {
+				break
+			}
+			s := t.Blocks[0]
+			if s == b || len(s.Preds) != 1 || s == f.Entry {
+				break
+			}
+			b.Instrs = append(b.Instrs[:len(b.Instrs)-1], s.Instrs...)
+			s.Instrs = nil
+			merged = true
+			changed = true
+		}
+	}
+	if merged {
+		f.ComputeCFG()
+	}
+	return changed
+}

@@ -1,0 +1,481 @@
+// Package soar implements Static Offset and Alignment Resolution
+// (§5.3.2): a whole-program dataflow analysis that determines, where
+// possible, the value of each packet handle's head_ptr (its offset from
+// the packet start) and its alignment guarantee at every packet access and
+// encapsulation site.
+//
+// The analysis follows the paper's SOD/SAD lattices (Figures 10 and 11):
+// offsets are TOP (unvisited) / a known constant / BOTTOM (⊥offset), and
+// alignments form the chain quadword > doubleword > word > short > byte.
+// Offsets propagate forward through packet_encap/packet_decap with
+// monotone flow functions and join at control-flow merges; handles flowing
+// across communication channels join over every producer's put, giving the
+// inter-procedural part of the analysis. Handles born at packet_create and
+// packet_copy are seeded directly (create = offset 0; copy = the source's
+// value), which subsumes the backward passes of the paper's steps 4 and 7
+// for programs whose copies/creates have resolvable sources.
+//
+// Results are written into the IR: Instr.StaticOff and Instr.StaticAlign
+// on every OpPktLoad/OpPktStore/OpEncap/OpDecap. The code generator emits
+// the cheap fixed-offset access sequence when StaticOff is known, the
+// fixed-alignment sequence when only StaticAlign is known, and the full
+// dynamic sequence otherwise; PHR uses the encap/decap annotations to
+// delete head_ptr maintenance entirely.
+package soar
+
+import (
+	"shangrila/internal/baker/ast"
+	"shangrila/internal/baker/types"
+	"shangrila/internal/ir"
+)
+
+// state enumerates lattice states for the offset component.
+type state uint8
+
+const (
+	top state = iota // unvisited
+	known
+	bottom
+)
+
+// lat is the combined SOD+SAD lattice value for one handle, extended with
+// a proven lower bound on the offset (min), which stays informative even
+// when the exact offset falls to ⊥ (an MPLS label stack is at least
+// 14+4 bytes in, however deep it is).
+type lat struct {
+	st    state
+	off   int32
+	align int32 // alignment guarantee in bytes (1,2,4,8); valid unless st==top
+	min   int32 // lower bound on the offset (0 = no information)
+}
+
+// MaxAlign is the strongest alignment tracked (quadword, the alignment of
+// packets as delivered by Rx).
+const MaxAlign = 8
+
+func pow2Align(n int32) int32 {
+	if n == 0 {
+		return MaxAlign
+	}
+	a := int32(1)
+	for a < MaxAlign && n%(a*2) == 0 {
+		a *= 2
+	}
+	return a
+}
+
+func minAlign(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func knownLat(off int32) lat {
+	return lat{st: known, off: off, align: pow2Align(off), min: off}
+}
+
+func bottomLat(align int32) lat {
+	if align <= 0 {
+		align = 1
+	}
+	return lat{st: bottom, align: align}
+}
+
+func minI32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// join implements the control-flow merge of both lattices: offsets join to
+// the common constant or ⊥; alignments join to MIN_ALIGNMENT.
+func join(a, b lat) lat {
+	if a.st == top {
+		return b
+	}
+	if b.st == top {
+		return a
+	}
+	if a.st == known && b.st == known && a.off == b.off {
+		return lat{st: known, off: a.off, align: minAlign(a.align, b.align), min: a.off}
+	}
+	l := bottomLat(minAlign(a.align, b.align))
+	l.min = minI32(a.min, b.min)
+	return l
+}
+
+func equal(a, b lat) bool {
+	return a.st == b.st && a.off == b.off && a.align == b.align && a.min == b.min
+}
+
+// demuxAlignment returns the provable power-of-two alignment of a
+// protocol's header size. Fixed sizes get their exact alignment; dynamic
+// demux expressions are analyzed structurally (hlen << 2 is provably
+// word-aligned even though its value is unknown).
+func demuxAlignment(p *types.Protocol, consts map[string]uint64) int32 {
+	if p.FixedSize >= 0 {
+		return pow2Align(int32(p.FixedSize))
+	}
+	return exprAlignment(p.Demux, p, consts)
+}
+
+func exprAlignment(e ast.Expr, p *types.Protocol, consts map[string]uint64) int32 {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return pow2Align(int32(e.Value))
+	case *ast.Ident:
+		if v, ok := consts[e.Name]; ok {
+			return pow2Align(int32(v))
+		}
+		return 1 // a field: value unknown
+	case *ast.UnaryExpr:
+		return 1
+	case *ast.BinaryExpr:
+		ax := exprAlignment(e.X, p, consts)
+		ay := exprAlignment(e.Y, p, consts)
+		switch e.Op.String() {
+		case "+", "-":
+			return minAlign(ax, ay)
+		case "<<":
+			if lit, ok := e.Y.(*ast.IntLit); ok {
+				a := ax << uint(lit.Value&31)
+				if a > MaxAlign || a <= 0 {
+					return MaxAlign
+				}
+				return a
+			}
+			return 1
+		case "*":
+			a := ax * ay
+			if a > MaxAlign {
+				return MaxAlign
+			}
+			return a
+		}
+		return 1
+	}
+	return 1
+}
+
+// Input is an exported lattice value: the head offset fact for a handle
+// entering a PPF or travelling on a channel. The code generator uses these
+// to decide whether head_ptr hand-off code is needed at aggregate
+// boundaries.
+type Input struct {
+	Known bool
+	Off   int32
+	Align int
+	Min   int32
+}
+
+// Stats summarizes what SOAR resolved, for tests and compilation reports.
+type Stats struct {
+	Accesses       int // packet loads/stores seen
+	ResolvedOffset int // accesses with a static offset
+	ResolvedAlign  int // accesses with unknown offset but known alignment > 1
+	EncapsResolved int // encap/decap sites with static incoming offset
+	EncapsTotal    int
+
+	// ChanInputs is the join over every producer's put for each channel
+	// (keyed by qualified channel name).
+	ChanInputs map[string]Input
+	// EntryInputs is the resolved input fact per PPF (keyed by name).
+	EntryInputs map[string]Input
+}
+
+// Analyze runs SOAR over the whole program and annotates packet-access and
+// encapsulation instructions in place.
+func Analyze(p *ir.Program) *Stats {
+	return AnalyzeWithEntries(p, nil)
+}
+
+// AnalyzeWithEntries runs SOAR seeding specific PPF entry facts in
+// addition to the rx entry (used on per-aggregate merged programs, whose
+// entries' input offsets come from the whole-program channel analysis).
+func AnalyzeWithEntries(p *ir.Program, entries map[string]Input) *Stats {
+	a := &analyzer{
+		prog:    p,
+		inputs:  map[string]lat{},
+		chans:   map[*types.Channel]lat{},
+		notes:   map[*ir.Instr]lat{},
+		visited: map[string]bool{},
+	}
+	// Rx delivers packets quadword-aligned at offset 0 (step 2/5 init).
+	if p.Types.Entry != nil {
+		a.inputs[p.Types.Entry.Name] = lat{st: known, off: 0, align: MaxAlign}
+	}
+	for name, in := range entries {
+		if p.Funcs[name] == nil {
+			continue
+		}
+		l := bottomLat(int32(in.Align))
+		l.min = in.Min
+		if in.Known {
+			l = lat{st: known, off: in.Off, align: int32(in.Align), min: in.Off}
+			if l.align == 0 {
+				l.align = pow2Align(in.Off)
+			}
+		}
+		a.inputs[name] = l
+	}
+	// Inter-procedural fixpoint over PPFs connected by channels.
+	for iter := 0; iter < 64; iter++ {
+		changed := false
+		for _, fn := range p.PPFs() {
+			in, ok := a.inputs[fn.Name]
+			if !ok {
+				continue // unreached so far
+			}
+			if a.analyzeFunc(fn, in) {
+				changed = true
+			}
+		}
+		// Push channel joins to consumers.
+		for ch, l := range a.chans {
+			if ch.Consumer == "tx" || ch.Consumer == "" {
+				continue
+			}
+			cur, ok := a.inputs[ch.Consumer]
+			// A PPF may consume several channels; join them all.
+			nl := l
+			if ok {
+				nl = join(cur, l)
+			}
+			if !ok || !equal(nl, cur) {
+				a.inputs[ch.Consumer] = nl
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Write annotations.
+	st := &Stats{ChanInputs: map[string]Input{}, EntryInputs: map[string]Input{}}
+	for ch, l := range a.chans {
+		st.ChanInputs[ch.Name] = exportLat(l)
+	}
+	for name, l := range a.inputs {
+		st.EntryInputs[name] = exportLat(l)
+	}
+	for _, name := range p.Order {
+		fn := p.Funcs[name]
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpPktLoad, ir.OpPktStore:
+					st.Accesses++
+					l, ok := a.notes[in]
+					if !ok {
+						l = bottomLat(1)
+					}
+					apply(in, l)
+					if l.st == known {
+						st.ResolvedOffset++
+					} else if l.align > 1 {
+						st.ResolvedAlign++
+					}
+				case ir.OpEncap, ir.OpDecap:
+					st.EncapsTotal++
+					l, ok := a.notes[in]
+					if !ok {
+						l = bottomLat(1)
+					}
+					apply(in, l)
+					if l.st == known {
+						st.EncapsResolved++
+					}
+				}
+			}
+		}
+	}
+	return st
+}
+
+func exportLat(l lat) Input {
+	return Input{Known: l.st == known, Off: l.off, Align: int(l.align), Min: l.min}
+}
+
+func apply(in *ir.Instr, l lat) {
+	if l.st == known {
+		in.StaticOff = l.off
+	} else {
+		in.StaticOff = ir.UnknownOff
+	}
+	in.StaticAlign = int(l.align)
+	in.StaticMin = l.min
+}
+
+type analyzer struct {
+	prog    *ir.Program
+	inputs  map[string]lat         // PPF name -> input handle lattice
+	chans   map[*types.Channel]lat // join over producers' puts
+	notes   map[*ir.Instr]lat      // per-access/encap annotation (joined)
+	visited map[string]bool
+}
+
+// analyzeFunc runs the intra-procedural forward analysis; returns true if
+// any channel fact or note changed.
+func (a *analyzer) analyzeFunc(fn *ir.Func, input lat) bool {
+	changed := false
+	// Block entry states: handle reg -> lat.
+	entry := map[*ir.Block]map[ir.Reg]lat{}
+	init := map[ir.Reg]lat{}
+	for i, p := range fn.Params {
+		if fn.ParamClasses[i] == ir.ClassHandle {
+			init[p] = input
+		}
+	}
+	entry[fn.Entry] = init
+	work := []*ir.Block{fn.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		cur := map[ir.Reg]lat{}
+		for r, l := range entry[b] {
+			cur[r] = l
+		}
+		for _, in := range b.Instrs {
+			if a.step(fn, in, cur) {
+				changed = true
+			}
+		}
+		t := b.Terminator()
+		if t == nil {
+			continue
+		}
+		for _, s := range t.Blocks {
+			ns, ok := entry[s]
+			if !ok {
+				cp := map[ir.Reg]lat{}
+				for r, l := range cur {
+					cp[r] = l
+				}
+				entry[s] = cp
+				work = append(work, s)
+				continue
+			}
+			sChanged := false
+			for r, l := range cur {
+				nl := join(ns[r], l)
+				if !equal(nl, ns[r]) {
+					ns[r] = nl
+					sChanged = true
+				}
+			}
+			if sChanged {
+				work = append(work, s)
+			}
+		}
+	}
+	return changed
+}
+
+// step applies the transfer function of one instruction to the handle
+// state and records notes/channel facts. Returns true when a note or
+// channel fact changed.
+func (a *analyzer) step(fn *ir.Func, in *ir.Instr, cur map[ir.Reg]lat) bool {
+	consts := a.prog.Types.Consts
+	changed := false
+	note := func(l lat) {
+		old, ok := a.notes[in]
+		nl := l
+		if ok {
+			nl = join(old, l)
+		}
+		if !ok || !equal(nl, old) {
+			a.notes[in] = nl
+			changed = true
+		}
+	}
+	handleLat := func(r ir.Reg) lat {
+		if l, ok := cur[r]; ok {
+			return l
+		}
+		return bottomLat(1)
+	}
+	switch in.Op {
+	case ir.OpMov:
+		if fn.RegClasses[in.Dst[0]] == ir.ClassHandle {
+			cur[in.Dst[0]] = handleLat(in.Args[0])
+		}
+	case ir.OpPktLoad, ir.OpPktStore:
+		note(handleLat(in.Args[0]))
+	case ir.OpDecap:
+		src := handleLat(in.Args[0])
+		note(src)
+		from := a.prog.Types.ProtoByID[in.Imm]
+		step := int32(from.FixedSize)
+		if step < 0 {
+			step = int32(from.HeaderMin)
+		}
+		var out lat
+		switch {
+		case src.st == known && from.FixedSize >= 0:
+			out = knownLat(src.off + int32(from.FixedSize))
+			out.align = pow2Align(out.off)
+		default:
+			out = bottomLat(minAlign(src.align, demuxAlignment(from, consts)))
+			out.min = src.min + step
+		}
+		cur[in.Dst[0]] = out
+	case ir.OpEncap:
+		src := handleLat(in.Args[0])
+		note(src)
+		size := in.Proto.FixedSize
+		if size < 0 {
+			size = in.Proto.HeaderMin
+		}
+		var out lat
+		if src.st == known {
+			no := src.off - int32(size)
+			if no < 0 {
+				// Front growth: every other live handle's offset shifts;
+				// the new handle lands at 0. Invalidate other handles.
+				for r := range cur {
+					if r != in.Args[0] {
+						cur[r] = bottomLat(1)
+					}
+				}
+				no = 0
+			}
+			out = knownLat(no)
+		} else {
+			out = bottomLat(minAlign(src.align, pow2Align(int32(size))))
+			out.min = src.min - int32(size)
+			if out.min < 0 {
+				out.min = 0
+			}
+		}
+		cur[in.Dst[0]] = out
+	case ir.OpPktCopy:
+		cur[in.Dst[0]] = handleLat(in.Args[0])
+	case ir.OpPktCreate:
+		cur[in.Dst[0]] = lat{st: known, off: 0, align: MaxAlign, min: 0}
+	case ir.OpChanPut:
+		l := handleLat(in.Args[0])
+		old, ok := a.chans[in.Chan]
+		nl := l
+		if ok {
+			nl = join(old, l)
+		}
+		if !ok || !equal(nl, old) {
+			a.chans[in.Chan] = nl
+			changed = true
+		}
+	case ir.OpCall:
+		// A callee may encap through a passed handle (front growth);
+		// conservatively drop facts for handle arguments.
+		for _, r := range in.Args {
+			if r != ir.NoReg && int(r) < len(fn.RegClasses) && fn.RegClasses[r] == ir.ClassHandle {
+				cur[r] = bottomLat(1)
+			}
+		}
+		if len(in.Dst) > 0 && fn.RegClasses[in.Dst[0]] == ir.ClassHandle {
+			cur[in.Dst[0]] = bottomLat(1)
+		}
+	}
+	return changed
+}

@@ -1,0 +1,380 @@
+// Package swc implements the delayed-update software-controlled cache of
+// §5.2. The IXP's microengines have no hardware caches, but each ME has a
+// 16-entry CAM and fast Local Memory; Shangri-La caches hot, rarely
+// written, unprotected global structures there, checking the home location
+// for updates only every check_limit packets (Figure 8). Stale reads cause
+// at most bounded packet-delivery errors, which network protocols
+// tolerate — that is the delayed-update trade.
+//
+// Candidate selection follows the paper: frequently read structures with
+// high estimated hit rates, infrequently (or never) written on the data
+// path, and not protected by critical sections (a cached copy of a
+// lock-protected structure would break the lock's guarantees). The
+// check-rate comes from Equation 2:
+//
+//	r_load_check = r_store × r_load / r_error
+//
+// so fewer expected stores or loads lower the required check rate.
+//
+// The transform rewrites each cacheable load in ME code into
+//
+//	hit, v… = cam_lookup(key)            (OpCacheLookup)
+//	if !hit { v… = load home; cam_fill } (original load + OpCacheFill)
+//
+// and prepends the per-packet delayed-update check to the aggregate entry:
+// every check_limit packets the ME reads the structure's update flag
+// (written by the store path, which runs on the XScale) and flushes its
+// cached lines when set.
+package swc
+
+import (
+	"fmt"
+	"sort"
+
+	"shangrila/internal/aggregate"
+	"shangrila/internal/baker/types"
+	"shangrila/internal/ir"
+	"shangrila/internal/profiler"
+)
+
+// Config tunes candidate selection.
+type Config struct {
+	// MinReadsPerPacket: structures read less often than this are not
+	// worth caching.
+	MinReadsPerPacket float64
+	// MinHitRate is the minimum estimated 16-entry hit rate.
+	MinHitRate float64
+	// MaxWriteRatio is the maximum writes/reads ratio.
+	MaxWriteRatio float64
+	// ErrorRate is the user-specified maximum tolerable per-packet
+	// delivery error rate (r_error in Equation 2).
+	ErrorRate float64
+	// MaxLineWords bounds cacheable access width (a CAM entry maps one
+	// Local-Memory line; 8 words = 32 bytes).
+	MaxLineWords int
+}
+
+// DefaultConfig mirrors the paper's setting: tolerate one delivery error
+// per million packets.
+func DefaultConfig() Config {
+	return Config{
+		MinReadsPerPacket: 0.25,
+		MinHitRate:        0.70,
+		MaxWriteRatio:     0.05,
+		ErrorRate:         1e-6,
+		MaxLineWords:      8,
+	}
+}
+
+// CheckRate implements Equation 2: the minimum per-packet rate of home-
+// location update checks given expected per-packet store and load rates
+// and the tolerated error rate.
+func CheckRate(rStore, rLoad, rError float64) float64 {
+	if rError <= 0 {
+		return 1
+	}
+	return rStore * rLoad / rError
+}
+
+// CheckLimit converts a check rate into the "check every N packets"
+// counter limit used by the generated code, clamped to a sane range.
+func CheckLimit(rate float64) uint32 {
+	if rate >= 1 {
+		return 1
+	}
+	if rate <= 0 {
+		return 1 << 20
+	}
+	n := uint32(1 / rate)
+	if n < 1 {
+		n = 1
+	}
+	if n > 1<<20 {
+		n = 1 << 20
+	}
+	return n
+}
+
+// Candidate is one global selected for software caching.
+type Candidate struct {
+	Global     *types.Global
+	Flag       *types.Global // scratch word set by the store path
+	CheckLimit uint32
+	HitRate    float64
+}
+
+// Stats reports the transform's effect.
+type Stats struct {
+	Candidates   int
+	LoadsCached  int
+	StoresTagged int
+}
+
+// SelectCandidates picks cacheable globals from profile statistics.
+func SelectCandidates(prog *ir.Program, stats *profiler.Stats, cfg Config) []*Candidate {
+	var names []string
+	for name := range prog.Types.Globals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []*Candidate
+	for _, name := range names {
+		g := prog.Types.Globals[name]
+		if g.Synthetic {
+			continue
+		}
+		gs := stats.Globals[name]
+		if gs == nil || stats.Packets == 0 {
+			continue
+		}
+		reads := float64(gs.Reads) / float64(stats.Packets)
+		writes := float64(gs.Writes) / float64(stats.Packets)
+		if reads < cfg.MinReadsPerPacket {
+			continue
+		}
+		if gs.Reads > 0 && float64(gs.Writes)/float64(gs.Reads) > cfg.MaxWriteRatio {
+			continue
+		}
+		if gs.InCritical {
+			continue // lock-protected: caching would break the protocol
+		}
+		hr := gs.EstHitRate()
+		if hr < cfg.MinHitRate {
+			continue
+		}
+		limit := CheckLimit(CheckRate(writes, reads, cfg.ErrorRate))
+		out = append(out, &Candidate{Global: g, CheckLimit: limit, HitRate: hr})
+	}
+	return out
+}
+
+// Apply installs the software cache: synthesizes the update flag and
+// counter globals, rewrites ME loads, prepends delayed-update checks, and
+// tags every store path (control/init/XScale code) with flag updates.
+func Apply(prog *ir.Program, merged []*aggregate.Merged, cands []*Candidate, cfg Config) (*Stats, error) {
+	st := &Stats{Candidates: len(cands)}
+	if len(cands) == 0 {
+		return st, nil
+	}
+	// Synthesize flag globals (shared, Scratch) and the per-ME packet
+	// counter (Local Memory).
+	for _, c := range cands {
+		c.Flag = &types.Global{
+			Name:      c.Global.Name + "$upd",
+			Type:      types.UintType,
+			Module:    c.Global.Module,
+			Space:     types.SpaceScratch,
+			Synthetic: true,
+		}
+		if _, dup := prog.Types.Globals[c.Flag.Name]; dup {
+			return nil, fmt.Errorf("swc: synthetic global %s already exists", c.Flag.Name)
+		}
+		prog.Types.Globals[c.Flag.Name] = c.Flag
+	}
+	counter := &types.Global{
+		Name:      "$swc_count",
+		Type:      types.UintType,
+		Space:     types.SpaceLocal,
+		Synthetic: true,
+	}
+	prog.Types.Globals[counter.Name] = counter
+
+	minLimit := cands[0].CheckLimit
+	for _, c := range cands {
+		if c.CheckLimit < minLimit {
+			minLimit = c.CheckLimit
+		}
+	}
+
+	// Store-path instrumentation applies to every function that can write
+	// a candidate outside the MEs: control, init, and XScale-aggregate
+	// PPFs in the base program. (ME code never writes candidates: the
+	// write-ratio filter already guaranteed the data path only reads.)
+	for _, name := range prog.Order {
+		fn := prog.Funcs[name]
+		st.StoresTagged += tagStores(fn, cands)
+	}
+	for _, m := range merged {
+		if m.Agg.Target != aggregate.TargetME {
+			for _, e := range m.Entries {
+				st.StoresTagged += tagStores(e.Func, cands)
+			}
+			continue
+		}
+		for _, e := range m.Entries {
+			st.LoadsCached += rewriteLoads(e.Func, cands, cfg)
+			prependCheck(e.Func, cands, counter, minLimit)
+		}
+	}
+	return st, nil
+}
+
+// tagStores appends "flag <- 1" after every store to a candidate.
+func tagStores(fn *ir.Func, cands []*Candidate) int {
+	byGlobal := map[*types.Global]*Candidate{}
+	for _, c := range cands {
+		byGlobal[c.Global] = c
+	}
+	n := 0
+	for _, b := range fn.Blocks {
+		var out []*ir.Instr
+		for _, in := range b.Instrs {
+			out = append(out, in)
+			if in.Op != ir.OpStore {
+				continue
+			}
+			c := byGlobal[in.Global]
+			if c == nil {
+				continue
+			}
+			one := fn.NewReg(ir.ClassWord)
+			out = append(out,
+				&ir.Instr{Op: ir.OpConst, Pos: in.Pos, Dst: []ir.Reg{one}, Imm: 1},
+				&ir.Instr{Op: ir.OpStore, Pos: in.Pos, Global: c.Flag,
+					Width: 4, Args: []ir.Reg{ir.NoReg, one}})
+			n++
+		}
+		b.Instrs = out
+	}
+	return n
+}
+
+// rewriteLoads converts candidate loads into lookup/miss-fill sequences.
+func rewriteLoads(fn *ir.Func, cands []*Candidate, cfg Config) int {
+	byGlobal := map[*types.Global]*Candidate{}
+	for _, c := range cands {
+		byGlobal[c.Global] = c
+	}
+	n := 0
+	// Collect first (the rewrite splits blocks).
+	type site struct {
+		b   *ir.Block
+		idx int
+	}
+	var sites []site
+	for _, b := range fn.Blocks {
+		for i, in := range b.Instrs {
+			if in.Op == ir.OpLoad && byGlobal[in.Global] != nil && len(in.Dst) <= cfg.MaxLineWords {
+				sites = append(sites, site{b: b, idx: i})
+			}
+		}
+	}
+	// Rewrite back-to-front per block so indices stay valid.
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].b != sites[j].b {
+			return sites[i].b.ID < sites[j].b.ID
+		}
+		return sites[i].idx > sites[j].idx
+	})
+	for _, s := range sites {
+		rewriteOneLoad(fn, s.b, s.idx)
+		n++
+	}
+	fn.ComputeCFG()
+	return n
+}
+
+// rewriteOneLoad splits the block at the load:
+//
+//	  ... hit, t… = cachelookup; condbr hit -> bHit, bMiss
+//	bMiss: d… = load (original); cachefill; br bJoin
+//	bHit:  d… = mov t…; br bJoin
+//	bJoin: rest
+func rewriteOneLoad(fn *ir.Func, b *ir.Block, idx int) {
+	load := b.Instrs[idx]
+	rest := append([]*ir.Instr(nil), b.Instrs[idx+1:]...)
+
+	hit := fn.NewReg(ir.ClassWord)
+	tmps := make([]ir.Reg, len(load.Dst))
+	for i := range tmps {
+		tmps[i] = fn.NewReg(ir.ClassWord)
+	}
+	bMiss := fn.NewBlock()
+	bHit := fn.NewBlock()
+	bJoin := fn.NewBlock()
+
+	lookup := &ir.Instr{
+		Op:     ir.OpCacheLookup,
+		Pos:    load.Pos,
+		Dst:    append([]ir.Reg{hit}, tmps...),
+		Args:   load.Args, // index register (possibly NoReg)
+		Global: load.Global,
+		Off:    load.Off,
+		Width:  load.Width,
+	}
+	b.Instrs = append(b.Instrs[:idx:idx], lookup,
+		&ir.Instr{Op: ir.OpCondBr, Pos: load.Pos, Args: []ir.Reg{hit},
+			Blocks: []*ir.Block{bHit, bMiss}})
+
+	fill := &ir.Instr{
+		Op:     ir.OpCacheFill,
+		Pos:    load.Pos,
+		Args:   append(append([]ir.Reg{}, load.Args...), load.Dst...),
+		Global: load.Global,
+		Off:    load.Off,
+		Width:  load.Width,
+	}
+	bMiss.Instrs = append(bMiss.Instrs, load, fill,
+		&ir.Instr{Op: ir.OpBr, Pos: load.Pos, Blocks: []*ir.Block{bJoin}})
+
+	for i, d := range load.Dst {
+		bHit.Instrs = append(bHit.Instrs, &ir.Instr{
+			Op: ir.OpMov, Pos: load.Pos, Dst: []ir.Reg{d}, Args: []ir.Reg{tmps[i]}})
+	}
+	bHit.Instrs = append(bHit.Instrs,
+		&ir.Instr{Op: ir.OpBr, Pos: load.Pos, Blocks: []*ir.Block{bJoin}})
+
+	bJoin.Instrs = rest
+}
+
+// prependCheck inserts the Figure 8 delayed-update check at the entry:
+//
+//	count++
+//	if count > limit { count = 0; for each cand: if flag { flush; flag=0 } }
+func prependCheck(fn *ir.Func, cands []*Candidate, counter *types.Global, limit uint32) {
+	entry := fn.Entry
+	rest := append([]*ir.Instr(nil), entry.Instrs...)
+
+	bCheck := fn.NewBlock()
+	bBody := fn.NewBlock()
+	bBody.Instrs = rest
+
+	cnt := fn.NewReg(ir.ClassWord)
+	one := fn.NewReg(ir.ClassWord)
+	cnt1 := fn.NewReg(ir.ClassWord)
+	lim := fn.NewReg(ir.ClassWord)
+	cond := fn.NewReg(ir.ClassWord)
+	entry.Instrs = []*ir.Instr{
+		{Op: ir.OpLoad, Global: counter, Width: 4, Dst: []ir.Reg{cnt}, Args: []ir.Reg{ir.NoReg}},
+		{Op: ir.OpConst, Dst: []ir.Reg{one}, Imm: 1},
+		{Op: ir.OpAdd, Dst: []ir.Reg{cnt1}, Args: []ir.Reg{cnt, one}},
+		{Op: ir.OpStore, Global: counter, Width: 4, Args: []ir.Reg{ir.NoReg, cnt1}},
+		{Op: ir.OpConst, Dst: []ir.Reg{lim}, Imm: uint64(limit)},
+		{Op: ir.OpLtU, Dst: []ir.Reg{cond}, Args: []ir.Reg{lim, cnt1}}, // limit < count
+		{Op: ir.OpCondBr, Args: []ir.Reg{cond}, Blocks: []*ir.Block{bCheck, bBody}},
+	}
+
+	// bCheck: reset counter, test each candidate's flag, flush when set.
+	zero := fn.NewReg(ir.ClassWord)
+	bCheck.Instrs = append(bCheck.Instrs,
+		&ir.Instr{Op: ir.OpConst, Dst: []ir.Reg{zero}},
+		&ir.Instr{Op: ir.OpStore, Global: counter, Width: 4, Args: []ir.Reg{ir.NoReg, zero}})
+	cur := bCheck
+	for _, c := range cands {
+		flag := fn.NewReg(ir.ClassWord)
+		bFlush := fn.NewBlock()
+		bNext := fn.NewBlock()
+		cur.Instrs = append(cur.Instrs,
+			&ir.Instr{Op: ir.OpLoad, Global: c.Flag, Width: 4, Dst: []ir.Reg{flag}, Args: []ir.Reg{ir.NoReg}},
+			&ir.Instr{Op: ir.OpCondBr, Args: []ir.Reg{flag}, Blocks: []*ir.Block{bFlush, bNext}})
+		z := fn.NewReg(ir.ClassWord)
+		bFlush.Instrs = append(bFlush.Instrs,
+			&ir.Instr{Op: ir.OpCacheFlush, Global: c.Global},
+			&ir.Instr{Op: ir.OpConst, Dst: []ir.Reg{z}},
+			&ir.Instr{Op: ir.OpStore, Global: c.Flag, Width: 4, Args: []ir.Reg{ir.NoReg, z}},
+			&ir.Instr{Op: ir.OpBr, Blocks: []*ir.Block{bNext}})
+		cur = bNext
+	}
+	cur.Instrs = append(cur.Instrs, &ir.Instr{Op: ir.OpBr, Blocks: []*ir.Block{bBody}})
+	fn.ComputeCFG()
+}

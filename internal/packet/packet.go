@@ -1,0 +1,229 @@
+package packet
+
+import (
+	"fmt"
+
+	"shangrila/internal/baker/ast"
+	"shangrila/internal/baker/types"
+)
+
+// Headroom is the spare space reserved before a packet's first byte so
+// encapsulation can prepend headers without reallocating (the runtime
+// reserves the same headroom in simulated DRAM buffers).
+const Headroom = 64
+
+// Packet is a host-level packet: data bytes with headroom and a metadata
+// record. The current-header offset (the paper's head_ptr, Figure 3) is
+// NOT part of the packet: it belongs to each packet_handle, so a stale
+// handle held across packet_decap still denotes its original header. The
+// interpreter and runtime carry the head offset alongside the packet.
+type Packet struct {
+	buf    []byte
+	start  int // first packet byte within buf
+	length int // packet length in bytes
+	Meta   []byte
+	Port   uint32 // receive port (also mirrored into metadata by Rx)
+}
+
+// New builds a packet from raw wire bytes, reserving headroom and a
+// metadata record of metaBytes.
+func New(wire []byte, metaBytes int) *Packet {
+	buf := make([]byte, Headroom+len(wire))
+	copy(buf[Headroom:], wire)
+	return &Packet{buf: buf, start: Headroom, length: len(wire), Meta: make([]byte, metaBytes)}
+}
+
+// Bytes returns the current packet contents from the packet start.
+func (p *Packet) Bytes() []byte { return p.buf[p.start : p.start+p.length] }
+
+// Len returns the packet length in bytes.
+func (p *Packet) Len() int { return p.length }
+
+// Clone deep-copies the packet (packet_copy).
+func (p *Packet) Clone() *Packet {
+	return &Packet{
+		buf:    append([]byte(nil), p.buf...),
+		start:  p.start,
+		length: p.length,
+		Meta:   append([]byte(nil), p.Meta...),
+		Port:   p.Port,
+	}
+}
+
+// ReadField reads protocol field f of the header at byte offset head.
+func (p *Packet) ReadField(head int, f *types.ProtoField) (uint32, error) {
+	bitOff := (p.start+head)*8 + f.BitOff
+	if bitOff < 0 || (bitOff+f.Bits+7)/8 > len(p.buf) {
+		return 0, fmt.Errorf("packet: field %q read past end of %dB packet", f.Name, p.length)
+	}
+	return ReadBits(p.buf, bitOff, f.Bits), nil
+}
+
+// WriteField writes protocol field f of the header at byte offset head.
+func (p *Packet) WriteField(head int, f *types.ProtoField, v uint32) error {
+	bitOff := (p.start+head)*8 + f.BitOff
+	if bitOff < 0 || (bitOff+f.Bits+7)/8 > len(p.buf) {
+		return fmt.Errorf("packet: field %q write past end of %dB packet", f.Name, p.length)
+	}
+	WriteBits(p.buf, bitOff, f.Bits, v)
+	return nil
+}
+
+// ReadRaw returns the width bytes at byte offset off from the header at
+// head, aliased into the packet buffer (writes through it modify the
+// packet).
+func (p *Packet) ReadRaw(head, off, width int) ([]byte, error) {
+	lo := p.start + head + off
+	if lo < 0 || lo+width > len(p.buf) {
+		return nil, fmt.Errorf("packet: raw access [%d,%d) out of bounds", off, off+width)
+	}
+	return p.buf[lo : lo+width], nil
+}
+
+// MetaField reads a metadata field.
+func (p *Packet) MetaField(f *types.ProtoField) uint32 {
+	return ReadBits(p.Meta, f.BitOff, f.Bits)
+}
+
+// SetMetaField writes a metadata field.
+func (p *Packet) SetMetaField(f *types.ProtoField, v uint32) {
+	WriteBits(p.Meta, f.BitOff, f.Bits, v)
+}
+
+// HeaderSize evaluates proto's demux expression against the header at
+// head, yielding the header size in bytes. consts supplies program
+// constants for demux expressions that reference them.
+func (p *Packet) HeaderSize(head int, proto *types.Protocol, consts map[string]uint64) (int, error) {
+	if proto.FixedSize >= 0 {
+		return proto.FixedSize, nil
+	}
+	v, err := p.evalDemux(head, proto.Demux, proto, consts)
+	if err != nil {
+		return 0, err
+	}
+	if v > uint32(p.length) {
+		return 0, fmt.Errorf("packet: %s demux %d exceeds packet length %d", proto.Name, v, p.length)
+	}
+	return int(v), nil
+}
+
+func (p *Packet) evalDemux(head int, e ast.Expr, proto *types.Protocol, consts map[string]uint64) (uint32, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return uint32(e.Value), nil
+	case *ast.Ident:
+		if f := proto.Field(e.Name); f != nil {
+			return p.ReadField(head, f)
+		}
+		if v, ok := consts[e.Name]; ok {
+			return uint32(v), nil
+		}
+		return 0, fmt.Errorf("packet: demux references unknown name %q", e.Name)
+	case *ast.UnaryExpr:
+		x, err := p.evalDemux(head, e.X, proto, consts)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op.String() {
+		case "-":
+			return -x, nil
+		case "~":
+			return ^x, nil
+		}
+		return 0, fmt.Errorf("packet: demux operator %s unsupported", e.Op)
+	case *ast.BinaryExpr:
+		x, err := p.evalDemux(head, e.X, proto, consts)
+		if err != nil {
+			return 0, err
+		}
+		y, err := p.evalDemux(head, e.Y, proto, consts)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op.String() {
+		case "+":
+			return x + y, nil
+		case "-":
+			return x - y, nil
+		case "*":
+			return x * y, nil
+		case "/":
+			if y == 0 {
+				return 0, fmt.Errorf("packet: demux divide by zero")
+			}
+			return x / y, nil
+		case "<<":
+			return x << (y & 31), nil
+		case ">>":
+			return x >> (y & 31), nil
+		case "&":
+			return x & y, nil
+		case "|":
+			return x | y, nil
+		case "^":
+			return x ^ y, nil
+		}
+		return 0, fmt.Errorf("packet: demux operator %s unsupported", e.Op)
+	}
+	return 0, fmt.Errorf("packet: demux expression %T unsupported", e)
+}
+
+// Decap returns the header offset just past proto's header at head
+// (packet_decap).
+func (p *Packet) Decap(head int, proto *types.Protocol, consts map[string]uint64) (int, error) {
+	size, err := p.HeaderSize(head, proto, consts)
+	if err != nil {
+		return 0, err
+	}
+	if head+size > p.length {
+		return 0, fmt.Errorf("packet: decap of %s moves head past packet end", proto.Name)
+	}
+	return head + size, nil
+}
+
+// Encap returns the header offset of a new outer header placed before
+// head, extending the packet front when head is too close to the packet
+// start (packet_encap; MPLS label pushes use this to grow the stack).
+// When the front grows, offsets held by other handles become stale — Baker
+// programs release a handle when they encapsulate it, so this matches the
+// language's immediate-release channel semantics.
+func (p *Packet) Encap(head int, outer *types.Protocol) (int, error) {
+	size := outer.FixedSize
+	if size < 0 {
+		size = outer.HeaderMin
+	}
+	if head >= size {
+		return head - size, nil
+	}
+	grow := size - head
+	if grow > p.start {
+		nbuf := make([]byte, len(p.buf)+Headroom)
+		copy(nbuf[Headroom:], p.buf[p.start:])
+		p.buf = nbuf
+		p.start = Headroom
+	}
+	p.start -= grow
+	p.length += grow
+	return 0, nil
+}
+
+// AddTail appends n zero bytes to the packet.
+func (p *Packet) AddTail(n int) {
+	need := p.start + p.length + n
+	if need > len(p.buf) {
+		p.buf = append(p.buf, make([]byte, need-len(p.buf))...)
+	}
+	for i := p.start + p.length; i < need; i++ {
+		p.buf[i] = 0
+	}
+	p.length += n
+}
+
+// RemoveTail drops n bytes from the packet tail.
+func (p *Packet) RemoveTail(n int) error {
+	if n > p.length {
+		return fmt.Errorf("packet: remove_tail %d exceeds packet length", n)
+	}
+	p.length -= n
+	return nil
+}

@@ -1,0 +1,376 @@
+// Package profiler implements the Functional profiler of the paper's
+// Figure 5: an IR interpreter that simulates the network application over a
+// user-supplied packet trace, collecting PPF execution-time estimates,
+// communication-channel utilizations and global data-structure access
+// frequencies. The same interpreter doubles as the XScale execution path at
+// runtime (infrequent aggregates run interpreted, as the paper's XScale
+// binaries run compiled-by-gcc C).
+package profiler
+
+import (
+	"fmt"
+
+	"shangrila/internal/baker/types"
+	"shangrila/internal/ir"
+	"shangrila/internal/packet"
+)
+
+// Value is a register value: a 32-bit word or a packet handle. A handle
+// is the pair (packet, header offset): the head_ptr belongs to the handle,
+// not the packet (Figure 3 of the paper).
+type Value struct {
+	W    uint32
+	P    *packet.Packet
+	Head int
+}
+
+// Env abstracts the world the interpreter runs against: global data
+// storage, channel output and locking. The profiler supplies a host-memory
+// implementation; the runtime supplies one backed by simulated IXP memory.
+type Env interface {
+	// LoadWords reads n 32-bit words from global g at byte offset off.
+	LoadWords(g *types.Global, off uint32, n int) ([]uint32, error)
+	// StoreWords writes words to global g at byte offset off.
+	StoreWords(g *types.Global, off uint32, words []uint32) error
+	// ChannelPut places p, whose current header is at head, on channel ch.
+	ChannelPut(ch *types.Channel, p *packet.Packet, head int) error
+	// Drop releases a packet.
+	Drop(p *packet.Packet)
+	// Lock and Unlock bracket critical sections.
+	Lock(id int)
+	Unlock(id int)
+	// NewPacket allocates a fresh packet for packet_create.
+	NewPacket(proto *types.Protocol) *packet.Packet
+}
+
+// Observer receives execution events for statistics gathering. All methods
+// are optional no-ops in baseObserver.
+type Observer interface {
+	// OnInstr fires for every executed instruction in function fn.
+	OnInstr(fn *ir.Func, in *ir.Instr)
+}
+
+// MaxSteps bounds one function activation to catch runaway loops in user
+// programs (Baker has loops; the budget is generous).
+const MaxSteps = 10_000_000
+
+// Interp interprets IR functions against an Env.
+type Interp struct {
+	Prog *ir.Program
+	Env  Env
+	Obs  Observer
+}
+
+// errHalt wraps user-level runtime errors with position info.
+func execErr(in *ir.Instr, format string, args ...any) error {
+	return fmt.Errorf("%s: %s", in.Pos, fmt.Sprintf(format, args...))
+}
+
+// Run executes fn with the given arguments and returns its result value
+// (zero Value for void).
+func (it *Interp) Run(fn *ir.Func, args []Value) (Value, error) {
+	if len(args) != len(fn.Params) {
+		return Value{}, fmt.Errorf("interp: %s called with %d args, want %d",
+			fn.Name, len(args), len(fn.Params))
+	}
+	regs := make([]Value, fn.NumRegs)
+	for i, p := range fn.Params {
+		regs[p] = args[i]
+	}
+	steps := 0
+	blk := fn.Entry
+	var prev *ir.Block
+	_ = prev
+	for {
+		var next *ir.Block
+		for _, in := range blk.Instrs {
+			steps++
+			if steps > MaxSteps {
+				return Value{}, fmt.Errorf("interp: %s exceeded %d steps (infinite loop?)", fn.Name, MaxSteps)
+			}
+			if it.Obs != nil {
+				it.Obs.OnInstr(fn, in)
+			}
+			switch in.Op {
+			case ir.OpConst:
+				regs[in.Dst[0]] = Value{W: uint32(in.Imm)}
+			case ir.OpMov:
+				regs[in.Dst[0]] = regs[in.Args[0]]
+			case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDivU, ir.OpRemU,
+				ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShrU, ir.OpShrS,
+				ir.OpEq, ir.OpNe, ir.OpLtU, ir.OpLeU, ir.OpLtS, ir.OpLeS:
+				x, y := regs[in.Args[0]], regs[in.Args[1]]
+				v, err := alu(in, x, y)
+				if err != nil {
+					return Value{}, err
+				}
+				regs[in.Dst[0]] = v
+			case ir.OpNot:
+				regs[in.Dst[0]] = Value{W: ^regs[in.Args[0]].W}
+			case ir.OpNeg:
+				regs[in.Dst[0]] = Value{W: -regs[in.Args[0]].W}
+			case ir.OpBr:
+				next = in.Blocks[0]
+			case ir.OpCondBr:
+				if regs[in.Args[0]].W != 0 {
+					next = in.Blocks[0]
+				} else {
+					next = in.Blocks[1]
+				}
+			case ir.OpRet:
+				if len(in.Args) > 0 {
+					return regs[in.Args[0]], nil
+				}
+				return Value{}, nil
+			case ir.OpCall:
+				callee := it.Prog.Func(in.Callee)
+				if callee == nil {
+					return Value{}, execErr(in, "unknown callee %q", in.Callee)
+				}
+				cargs := make([]Value, len(in.Args))
+				for i, a := range in.Args {
+					cargs[i] = regs[a]
+				}
+				rv, err := it.Run(callee, cargs)
+				if err != nil {
+					return Value{}, err
+				}
+				if len(in.Dst) > 0 {
+					regs[in.Dst[0]] = rv
+				}
+			case ir.OpLoad:
+				off, err := it.effAddr(in, regs)
+				if err != nil {
+					return Value{}, err
+				}
+				words, err := it.Env.LoadWords(in.Global, off, len(in.Dst))
+				if err != nil {
+					return Value{}, execErr(in, "%v", err)
+				}
+				for i, d := range in.Dst {
+					regs[d] = Value{W: words[i]}
+				}
+			case ir.OpStore:
+				off, err := it.effAddr(in, regs)
+				if err != nil {
+					return Value{}, err
+				}
+				words := make([]uint32, len(in.Args)-1)
+				for i, a := range in.Args[1:] {
+					words[i] = regs[a].W
+				}
+				if err := it.Env.StoreWords(in.Global, off, words); err != nil {
+					return Value{}, execErr(in, "%v", err)
+				}
+			case ir.OpPktLoad:
+				p := regs[in.Args[0]].P
+				if p == nil {
+					return Value{}, execErr(in, "packet load through nil handle")
+				}
+				head := regs[in.Args[0]].Head
+				if in.Field != nil {
+					v, err := p.ReadField(head, in.Field)
+					if err != nil {
+						return Value{}, execErr(in, "%v", err)
+					}
+					regs[in.Dst[0]] = Value{W: v}
+				} else {
+					raw, err := p.ReadRaw(head, int(in.Off), in.Width)
+					if err != nil {
+						return Value{}, execErr(in, "%v", err)
+					}
+					for i, d := range in.Dst {
+						regs[d] = Value{W: beWord(raw[i*4:])}
+					}
+				}
+			case ir.OpPktStore:
+				p := regs[in.Args[0]].P
+				if p == nil {
+					return Value{}, execErr(in, "packet store through nil handle")
+				}
+				head := regs[in.Args[0]].Head
+				if in.Field != nil {
+					if err := p.WriteField(head, in.Field, regs[in.Args[1]].W); err != nil {
+						return Value{}, execErr(in, "%v", err)
+					}
+				} else {
+					raw, err := p.ReadRaw(head, int(in.Off), in.Width)
+					if err != nil {
+						return Value{}, execErr(in, "%v", err)
+					}
+					for i, a := range in.Args[1:] {
+						putBEWord(raw[i*4:], regs[a].W)
+					}
+				}
+			case ir.OpMetaLoad:
+				p := regs[in.Args[0]].P
+				if in.Field != nil {
+					regs[in.Dst[0]] = Value{W: p.MetaField(in.Field)}
+				} else {
+					if int(in.Off)+in.Width > len(p.Meta) {
+						return Value{}, execErr(in, "raw metadata read out of range")
+					}
+					for i, d := range in.Dst {
+						regs[d] = Value{W: beWord(p.Meta[int(in.Off)+i*4:])}
+					}
+				}
+			case ir.OpMetaStore:
+				p := regs[in.Args[0]].P
+				if in.Field != nil {
+					p.SetMetaField(in.Field, regs[in.Args[1]].W)
+				} else {
+					if int(in.Off)+in.Width > len(p.Meta) {
+						return Value{}, execErr(in, "raw metadata write out of range")
+					}
+					for i, a := range in.Args[1:] {
+						putBEWord(p.Meta[int(in.Off)+i*4:], regs[a].W)
+					}
+				}
+			case ir.OpDecap:
+				h := regs[in.Args[0]]
+				src := it.Prog.Types.ProtoByID[in.Imm]
+				nh, err := h.P.Decap(h.Head, src, it.Prog.Types.Consts)
+				if err != nil {
+					return Value{}, execErr(in, "%v", err)
+				}
+				regs[in.Dst[0]] = Value{P: h.P, Head: nh}
+			case ir.OpEncap:
+				h := regs[in.Args[0]]
+				nh, err := h.P.Encap(h.Head, in.Proto)
+				if err != nil {
+					return Value{}, execErr(in, "%v", err)
+				}
+				regs[in.Dst[0]] = Value{P: h.P, Head: nh}
+			case ir.OpPktCopy:
+				h := regs[in.Args[0]]
+				regs[in.Dst[0]] = Value{P: h.P.Clone(), Head: h.Head}
+			case ir.OpPktCreate:
+				regs[in.Dst[0]] = Value{P: it.Env.NewPacket(in.Proto)}
+			case ir.OpPktDrop:
+				it.Env.Drop(regs[in.Args[0]].P)
+			case ir.OpAddTail:
+				regs[in.Args[0]].P.AddTail(int(regs[in.Args[1]].W))
+			case ir.OpRemoveTail:
+				if err := regs[in.Args[0]].P.RemoveTail(int(regs[in.Args[1]].W)); err != nil {
+					return Value{}, execErr(in, "%v", err)
+				}
+			case ir.OpPktLength:
+				regs[in.Dst[0]] = Value{W: uint32(regs[in.Args[0]].P.Len())}
+			case ir.OpChanPut:
+				h := regs[in.Args[0]]
+				if err := it.Env.ChannelPut(in.Chan, h.P, h.Head); err != nil {
+					return Value{}, execErr(in, "%v", err)
+				}
+			case ir.OpLockAcquire:
+				it.Env.Lock(int(in.Imm))
+			case ir.OpLockRelease:
+				it.Env.Unlock(int(in.Imm))
+			case ir.OpCacheLookup:
+				// The host interpreter models the software cache as always
+				// missing: the load path then reads the home location,
+				// which is semantically the coherent behaviour.
+				regs[in.Dst[0]] = Value{W: 0}
+				for _, d := range in.Dst[1:] {
+					regs[d] = Value{}
+				}
+			case ir.OpCacheFill, ir.OpCacheFlush:
+				// No-ops on the host.
+			default:
+				return Value{}, execErr(in, "interp: unhandled op %s", in.Op)
+			}
+		}
+		if next == nil {
+			return Value{}, fmt.Errorf("interp: %s block b%d fell through without terminator", fn.Name, blk.ID)
+		}
+		prev, blk = blk, next
+	}
+}
+
+func (it *Interp) effAddr(in *ir.Instr, regs []Value) (uint32, error) {
+	off := uint32(in.Off)
+	if len(in.Args) > 0 && in.Args[0] != ir.NoReg {
+		off += regs[in.Args[0]].W
+	}
+	size := uint32(in.Global.Type.SizeBytes())
+	if off+4 > size || off%4 != 0 {
+		// Index out of range: report (Baker has no bounds checking on the
+		// ME, but the profiler flags it as a program bug).
+		if off+4 > size {
+			return 0, execErr(in, "global %s access at byte %d out of range (size %d)",
+				in.Global.Name, off, size)
+		}
+	}
+	return off, nil
+}
+
+func alu(in *ir.Instr, x, y Value) (Value, error) {
+	a, b := x.W, y.W
+	switch in.Op {
+	case ir.OpAdd:
+		return Value{W: a + b}, nil
+	case ir.OpSub:
+		return Value{W: a - b}, nil
+	case ir.OpMul:
+		return Value{W: a * b}, nil
+	case ir.OpDivU:
+		if b == 0 {
+			return Value{}, execErr(in, "division by zero")
+		}
+		return Value{W: a / b}, nil
+	case ir.OpRemU:
+		if b == 0 {
+			return Value{}, execErr(in, "modulo by zero")
+		}
+		return Value{W: a % b}, nil
+	case ir.OpAnd:
+		return Value{W: a & b}, nil
+	case ir.OpOr:
+		return Value{W: a | b}, nil
+	case ir.OpXor:
+		return Value{W: a ^ b}, nil
+	case ir.OpShl:
+		return Value{W: a << (b & 31)}, nil
+	case ir.OpShrU:
+		return Value{W: a >> (b & 31)}, nil
+	case ir.OpShrS:
+		return Value{W: uint32(int32(a) >> (b & 31))}, nil
+	case ir.OpEq:
+		// Handle identity comparison when both sides are handles.
+		if x.P != nil || y.P != nil {
+			return boolVal(x.P == y.P), nil
+		}
+		return boolVal(a == b), nil
+	case ir.OpNe:
+		if x.P != nil || y.P != nil {
+			return boolVal(x.P != y.P), nil
+		}
+		return boolVal(a != b), nil
+	case ir.OpLtU:
+		return boolVal(a < b), nil
+	case ir.OpLeU:
+		return boolVal(a <= b), nil
+	case ir.OpLtS:
+		return boolVal(int32(a) < int32(b)), nil
+	case ir.OpLeS:
+		return boolVal(int32(a) <= int32(b)), nil
+	}
+	return Value{}, execErr(in, "interp: not an ALU op %s", in.Op)
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return Value{W: 1}
+	}
+	return Value{}
+}
+
+func beWord(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func putBEWord(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}

@@ -1,0 +1,394 @@
+package profiler
+
+import (
+	"fmt"
+	"sort"
+
+	"shangrila/internal/baker/types"
+	"shangrila/internal/ir"
+	"shangrila/internal/packet"
+)
+
+// CacheLineBytes is the software-cache line size assumed when estimating
+// hit rates (four words: one CAM entry maps one Local-Memory line).
+const CacheLineBytes = 16
+
+// SWCacheEntries matches the ME's 16-entry CAM (§3.3).
+const SWCacheEntries = 16
+
+// GlobalStats aggregates accesses to one global data structure.
+type GlobalStats struct {
+	Reads      uint64
+	Writes     uint64
+	InCritical bool // some access occurred inside a critical section
+	// LineReads counts reads per cache-line-sized chunk, for hit-rate
+	// estimation.
+	LineReads map[uint32]uint64
+}
+
+// EstHitRate estimates the hit rate of a 16-entry line cache over the
+// observed read stream: the share of reads landing on the 16 hottest lines
+// (an upper-bound working-set argument that matches how the paper picks
+// "high hit rate" candidates).
+func (g *GlobalStats) EstHitRate() float64 {
+	if g.Reads == 0 {
+		return 0
+	}
+	counts := make([]uint64, 0, len(g.LineReads))
+	for _, c := range g.LineReads {
+		counts = append(counts, c)
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	var top uint64
+	for i, c := range counts {
+		if i >= SWCacheEntries {
+			break
+		}
+		top += c
+	}
+	return float64(top) / float64(g.Reads)
+}
+
+// FuncStats aggregates one function's dynamic behaviour.
+type FuncStats struct {
+	Invocations uint64
+	// Instrs counts executed IR instructions (the PPF execution-time
+	// estimate).
+	Instrs uint64
+	// MemAccesses counts executed memory-touching operations (global,
+	// packet and metadata accesses), the dominant cost on the IXP.
+	MemAccesses uint64
+}
+
+// Stats is the Functional profiler's output, consumed by the IPA/global
+// optimizer (aggregation, memory mapping, SWC candidate selection).
+type Stats struct {
+	Packets   uint64 // trace packets injected
+	Forwarded uint64 // packets reaching tx
+	Dropped   uint64
+	Funcs     map[string]*FuncStats
+	Chans     map[string]uint64 // messages per channel
+	Globals   map[string]*GlobalStats
+}
+
+// InstrsPerPacket returns fn's average executed instructions per
+// invocation.
+func (s *Stats) InstrsPerPacket(fn string) float64 {
+	fs := s.Funcs[fn]
+	if fs == nil || fs.Invocations == 0 {
+		return 0
+	}
+	return float64(fs.Instrs) / float64(fs.Invocations)
+}
+
+// hostEnv is the profiler's host-memory execution environment.
+type hostEnv struct {
+	tp      *types.Program
+	mem     map[string][]uint32 // global backing store, word granular
+	queue   []queued            // pending channel messages (FIFO)
+	stats   *Stats
+	locks   map[int]bool
+	inCrit  int
+	current string // function whose accesses are being attributed
+}
+
+type queued struct {
+	ch   *types.Channel
+	p    *packet.Packet
+	head int
+}
+
+func newHostEnv(tp *types.Program, stats *Stats) *hostEnv {
+	env := &hostEnv{tp: tp, mem: map[string][]uint32{}, stats: stats, locks: map[int]bool{}}
+	for name, g := range tp.Globals {
+		env.mem[name] = make([]uint32, (g.Type.SizeBytes()+3)/4)
+	}
+	return env
+}
+
+func (e *hostEnv) gstats(g *types.Global) *GlobalStats {
+	gs := e.stats.Globals[g.Name]
+	if gs == nil {
+		gs = &GlobalStats{LineReads: map[uint32]uint64{}}
+		e.stats.Globals[g.Name] = gs
+	}
+	return gs
+}
+
+func (e *hostEnv) LoadWords(g *types.Global, off uint32, n int) ([]uint32, error) {
+	buf := e.mem[g.Name]
+	if int(off/4)+n > len(buf) {
+		return nil, fmt.Errorf("global %s read out of range (off %d, %d words)", g.Name, off, n)
+	}
+	gs := e.gstats(g)
+	gs.Reads++
+	gs.LineReads[off/CacheLineBytes]++
+	if e.inCrit > 0 {
+		gs.InCritical = true
+	}
+	return buf[off/4 : off/4+uint32(n)], nil
+}
+
+func (e *hostEnv) StoreWords(g *types.Global, off uint32, words []uint32) error {
+	buf := e.mem[g.Name]
+	if int(off/4)+len(words) > len(buf) {
+		return fmt.Errorf("global %s write out of range (off %d, %d words)", g.Name, off, len(words))
+	}
+	gs := e.gstats(g)
+	gs.Writes++
+	if e.inCrit > 0 {
+		gs.InCritical = true
+	}
+	copy(buf[off/4:], words)
+	return nil
+}
+
+func (e *hostEnv) ChannelPut(ch *types.Channel, p *packet.Packet, head int) error {
+	e.stats.Chans[ch.Name]++
+	e.queue = append(e.queue, queued{ch: ch, p: p, head: head})
+	return nil
+}
+
+func (e *hostEnv) Drop(p *packet.Packet) { e.stats.Dropped++ }
+
+func (e *hostEnv) Lock(id int)   { e.inCrit++ }
+func (e *hostEnv) Unlock(id int) { e.inCrit-- }
+
+func (e *hostEnv) NewPacket(proto *types.Protocol) *packet.Packet {
+	size := proto.FixedSize
+	if size < 0 {
+		size = proto.HeaderMin
+	}
+	return packet.New(make([]byte, size), e.tp.Metadata.Bytes)
+}
+
+// observer attributes instruction counts to the running function.
+type observer struct{ stats *Stats }
+
+func (o *observer) OnInstr(fn *ir.Func, in *ir.Instr) {
+	fs := o.stats.Funcs[fn.Name]
+	if fs == nil {
+		fs = &FuncStats{}
+		o.stats.Funcs[fn.Name] = fs
+	}
+	fs.Instrs++
+	switch in.Op {
+	case ir.OpLoad, ir.OpStore, ir.OpPktLoad, ir.OpPktStore,
+		ir.OpMetaLoad, ir.OpMetaStore:
+		fs.MemAccesses++
+	}
+}
+
+// Control names a control-plane invocation used to populate tables before
+// profiling (the compile-time equivalent of the host driving the XScale).
+type Control struct {
+	Name string
+	Args []uint32
+}
+
+// Profile interprets the program over the trace and returns the gathered
+// statistics. Each trace packet enters at the rx-wired PPF; channel
+// messages are dispatched FIFO to consumer PPFs until the system drains.
+func Profile(prog *ir.Program, tr []*packet.Packet) (*Stats, error) {
+	return ProfileWithControls(prog, tr, nil)
+}
+
+// ProfileWithControls is Profile with control-function table setup
+// between init and the packet trace.
+func ProfileWithControls(prog *ir.Program, tr []*packet.Packet, controls []Control) (*Stats, error) {
+	stats := &Stats{
+		Funcs:   map[string]*FuncStats{},
+		Chans:   map[string]uint64{},
+		Globals: map[string]*GlobalStats{},
+	}
+	env := newHostEnv(prog.Types, stats)
+	it := &Interp{Prog: prog, Env: env, Obs: &observer{stats: stats}}
+
+	// Run init functions first (they run on the XScale at load time).
+	for _, name := range prog.Order {
+		fn := prog.Funcs[name]
+		if fn.Kind == ir.FuncInit && len(fn.Params) == 0 {
+			if _, err := it.Run(fn, nil); err != nil {
+				return nil, fmt.Errorf("profile: init %s: %w", name, err)
+			}
+		}
+	}
+
+	for _, c := range controls {
+		vals := make([]Value, len(c.Args))
+		for i, a := range c.Args {
+			vals[i] = Value{W: a}
+		}
+		fn := prog.Func(c.Name)
+		if fn == nil {
+			return nil, fmt.Errorf("profile: no control function %q", c.Name)
+		}
+		if _, err := it.Run(fn, vals); err != nil {
+			return nil, fmt.Errorf("profile: control %s: %w", c.Name, err)
+		}
+	}
+	// Setup traffic (init + table population) must not pollute the
+	// steady-state statistics: SWC's Equation 2 needs the *runtime* store
+	// rate, and aggregation wants data-path execution weights.
+	stats.Funcs = map[string]*FuncStats{}
+	stats.Chans = map[string]uint64{}
+	stats.Globals = map[string]*GlobalStats{}
+
+	entry := prog.Types.Entry
+	if entry == nil {
+		return nil, fmt.Errorf("profile: program has no rx entry PPF")
+	}
+	entryFn := prog.Func(entry.Name)
+	rxPort := prog.Types.Metadata.Field("rx_port")
+
+	for _, p := range tr {
+		stats.Packets++
+		if rxPort != nil {
+			p.SetMetaField(rxPort, p.Port)
+		}
+		if err := runPPF(it, stats, entryFn, p, 0); err != nil {
+			return nil, err
+		}
+		// Drain channel messages.
+		for len(env.queue) > 0 {
+			msg := env.queue[0]
+			env.queue = env.queue[1:]
+			if msg.ch.Consumer == "tx" {
+				stats.Forwarded++
+				continue
+			}
+			consumer := prog.Func(msg.ch.Consumer)
+			if consumer == nil {
+				return nil, fmt.Errorf("profile: channel %s consumer %q missing",
+					msg.ch.Name, msg.ch.Consumer)
+			}
+			if err := runPPF(it, stats, consumer, msg.p, msg.head); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return stats, nil
+}
+
+func runPPF(it *Interp, stats *Stats, fn *ir.Func, p *packet.Packet, head int) error {
+	fs := stats.Funcs[fn.Name]
+	if fs == nil {
+		fs = &FuncStats{}
+		stats.Funcs[fn.Name] = fs
+	}
+	fs.Invocations++
+	_, err := it.Run(fn, []Value{{P: p, Head: head}})
+	if err != nil {
+		return fmt.Errorf("profile: %s: %w", fn.Name, err)
+	}
+	return nil
+}
+
+// RunControl invokes a control function (host-triggered table update) in
+// the same environment used by Profile. It is exposed for tests and for
+// the quickstart example; the runtime package has its own simulated-memory
+// equivalent.
+func (e *hostEnv) RunControl(it *Interp, name string, args []uint32) error {
+	fn := it.Prog.Func(name)
+	if fn == nil {
+		return fmt.Errorf("no control function %q", name)
+	}
+	vals := make([]Value, len(args))
+	for i, a := range args {
+		vals[i] = Value{W: a}
+	}
+	_, err := it.Run(fn, vals)
+	return err
+}
+
+// Session bundles an interpreter and host environment for integration
+// tests and examples that want to run a Baker program functionally
+// (outside the IXP model): inject packets, invoke control functions, and
+// inspect outputs.
+type Session struct {
+	Prog  *ir.Program
+	Stats *Stats
+	env   *hostEnv
+	it    *Interp
+	// Out receives packets forwarded to tx along with the channel they
+	// left on.
+	Out []OutPacket
+}
+
+// OutPacket is a transmitted packet, its exit channel and final header
+// offset.
+type OutPacket struct {
+	Chan *types.Channel
+	P    *packet.Packet
+	Head int
+}
+
+// NewSession builds a functional execution session, running init
+// functions.
+func NewSession(prog *ir.Program) (*Session, error) {
+	stats := &Stats{
+		Funcs:   map[string]*FuncStats{},
+		Chans:   map[string]uint64{},
+		Globals: map[string]*GlobalStats{},
+	}
+	env := newHostEnv(prog.Types, stats)
+	s := &Session{Prog: prog, Stats: stats, env: env}
+	s.it = &Interp{Prog: prog, Env: env}
+	for _, name := range prog.Order {
+		fn := prog.Funcs[name]
+		if fn.Kind == ir.FuncInit && len(fn.Params) == 0 {
+			if _, err := s.it.Run(fn, nil); err != nil {
+				return nil, fmt.Errorf("init %s: %w", name, err)
+			}
+		}
+	}
+	return s, nil
+}
+
+// Control invokes a control function with word arguments.
+func (s *Session) Control(name string, args ...uint32) error {
+	return s.env.RunControl(s.it, name, args)
+}
+
+// Inject runs one packet through the application, collecting transmitted
+// packets into s.Out.
+func (s *Session) Inject(p *packet.Packet) error {
+	entry := s.Prog.Types.Entry
+	if entry == nil {
+		return fmt.Errorf("program has no rx entry")
+	}
+	if rx := s.Prog.Types.Metadata.Field("rx_port"); rx != nil {
+		p.SetMetaField(rx, p.Port)
+	}
+	s.Stats.Packets++
+	if err := runPPF(s.it, s.Stats, s.Prog.Func(entry.Name), p, 0); err != nil {
+		return err
+	}
+	for len(s.env.queue) > 0 {
+		msg := s.env.queue[0]
+		s.env.queue = s.env.queue[1:]
+		if msg.ch.Consumer == "tx" {
+			s.Stats.Forwarded++
+			s.Out = append(s.Out, OutPacket{Chan: msg.ch, P: msg.p, Head: msg.head})
+			continue
+		}
+		if err := runPPF(s.it, s.Stats, s.Prog.Func(msg.ch.Consumer), msg.p, msg.head); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadGlobalWord reads one word of a global's host backing store (test
+// hook).
+func (s *Session) ReadGlobalWord(name string, off uint32) (uint32, error) {
+	g := s.Prog.Types.Globals[name]
+	if g == nil {
+		return 0, fmt.Errorf("no global %q", name)
+	}
+	w, err := s.env.LoadWords(g, off, 1)
+	if err != nil {
+		return 0, err
+	}
+	return w[0], nil
+}

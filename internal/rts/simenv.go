@@ -1,0 +1,146 @@
+package rts
+
+import (
+	"fmt"
+
+	"shangrila/internal/baker/types"
+	"shangrila/internal/cg"
+	"shangrila/internal/packet"
+)
+
+// pktCtx tracks the simulated-buffer identity of a host packet object
+// while the XScale interpreter processes it.
+type pktCtx struct {
+	id      uint32
+	origLen int    // bytes between entry head and end at materialization
+	headBuf uint32 // buffer-relative offset the host packet's start maps to
+}
+
+// simEnv implements profiler.Env against the machine's simulated
+// memories: the XScale's view of the world. Global loads/stores hit
+// Scratch/SRAM directly; channel puts write packets back to DRAM and push
+// ring descriptors.
+type simEnv struct {
+	rt   *Runtime
+	pkts map[*packet.Packet]*pktCtx
+}
+
+// track registers the buffer identity of a materialized packet.
+func (e *simEnv) track(p *packet.Packet, id uint32, origLen int, headBuf uint32) {
+	if e.pkts == nil {
+		e.pkts = map[*packet.Packet]*pktCtx{}
+	}
+	e.pkts[p] = &pktCtx{id: id, origLen: origLen, headBuf: headBuf}
+}
+
+func (e *simEnv) addrOf(g *types.Global, off uint32) ([]byte, error) {
+	lay := e.rt.Img.Layout
+	base, ok := lay.GlobalAddr[g.Name]
+	if !ok {
+		return nil, fmt.Errorf("rts: global %s has no address", g.Name)
+	}
+	var mem []byte
+	switch g.Space {
+	case types.SpaceScratch:
+		mem = e.rt.M.Scratch
+	case types.SpaceLocal:
+		return nil, fmt.Errorf("rts: XScale cannot access per-ME local global %s", g.Name)
+	default:
+		mem = e.rt.M.SRAM
+	}
+	if int(base+off)+4 > len(mem) {
+		return nil, fmt.Errorf("rts: global %s access out of range", g.Name)
+	}
+	return mem[base+off:], nil
+}
+
+func (e *simEnv) LoadWords(g *types.Global, off uint32, n int) ([]uint32, error) {
+	out := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		b, err := e.addrOf(g, off+uint32(i*4))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = beWord(b)
+	}
+	return out, nil
+}
+
+func (e *simEnv) StoreWords(g *types.Global, off uint32, words []uint32) error {
+	for i, w := range words {
+		b, err := e.addrOf(g, off+uint32(i*4))
+		if err != nil {
+			return err
+		}
+		putBE(b, w)
+	}
+	return nil
+}
+
+// ChannelPut writes the packet back to its simulated buffer and pushes a
+// descriptor onto the channel's ring.
+func (e *simEnv) ChannelPut(ch *types.Channel, p *packet.Packet, head int) error {
+	ctx := e.pkts[p]
+	if ctx == nil {
+		return fmt.Errorf("rts: channel_put of untracked packet on %s", ch.Name)
+	}
+	ring, ok := e.rt.Img.RingOf[ch.Name]
+	if !ok {
+		return fmt.Errorf("rts: channel %s has no ring (internal channel on the XScale path?)", ch.Name)
+	}
+	lay := e.rt.Img.Layout
+	m := e.rt.M
+	grow := p.Len() - ctx.origLen
+	newStart := int(ctx.headBuf) - grow
+	if newStart < 0 {
+		return fmt.Errorf("rts: packet outgrew buffer headroom")
+	}
+	base := lay.BufAddr(ctx.id)
+	copy(m.DRAM[base+uint32(newStart):], p.Bytes())
+	newHead := uint32(newStart + head)
+	newEnd := uint32(newStart + p.Len())
+	maddr := lay.MetaAddr(ctx.id)
+	putBE(m.SRAM[maddr+cg.MetaLenOff:], newEnd)
+	putBE(m.SRAM[maddr+cg.MetaHeadOff:], newHead)
+	copy(m.SRAM[maddr+lay.MetaAppOff:maddr+lay.MetaRecBytes], p.Meta)
+	if !m.Rings[ring].Put(ctx.id, newHead<<16|newEnd) {
+		// Downstream full: drop (the XScale does not spin).
+		m.Rings[cg.RingFree].Put(ctx.id, 0)
+		m.Stats.FreedPackets++
+	}
+	delete(e.pkts, p)
+	return nil
+}
+
+func (e *simEnv) Drop(p *packet.Packet) {
+	if ctx := e.pkts[p]; ctx != nil {
+		e.rt.M.Rings[cg.RingFree].Put(ctx.id, 0)
+		e.rt.M.Stats.FreedPackets++
+		delete(e.pkts, p)
+	}
+}
+
+func (e *simEnv) Lock(id int) {
+	// The XScale acquires the same scratch lock word MEs use; the
+	// interpreter runs to completion atomically within a tick, so the
+	// acquisition is modeled as immediate.
+	lay := e.rt.Img.Layout
+	putBE(e.rt.M.Scratch[lay.LockBase+uint32(id)*4:], 1)
+}
+
+func (e *simEnv) Unlock(id int) {
+	lay := e.rt.Img.Layout
+	putBE(e.rt.M.Scratch[lay.LockBase+uint32(id)*4:], 0)
+}
+
+func (e *simEnv) NewPacket(proto *types.Protocol) *packet.Packet {
+	size := proto.FixedSize
+	if size < 0 {
+		size = proto.HeaderMin
+	}
+	p := packet.New(make([]byte, size), int(e.rt.Img.Layout.MetaRecBytes-e.rt.Img.Layout.MetaAppOff))
+	if id, _, ok := e.rt.M.Rings[cg.RingFree].Get(); ok {
+		e.track(p, id, size, e.rt.Img.Layout.BufHeadroom)
+	}
+	return p
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shangrila/internal/baker/parser"
+	"shangrila/internal/baker/types"
+)
+
+func env(t *testing.T) *types.Program {
+	t.Helper()
+	src := `
+protocol ether { dst_hi:16; dst_lo:32; src_hi:16; src_lo:32; type:16; demux { 14 }; }
+protocol ipv4 { ver:4; hlen:4; tos:8; length:16; id:16; flags:3; frag:13;
+                ttl:8; proto:8; cksum:16; src:32; dst:32; demux { hlen << 2 }; }
+module m { ppf f(ether ph){ packet_drop(ph); } wiring { rx -> f; } }
+`
+	prog, err := parser.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := types.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a = NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestBuildLayers(t *testing.T) {
+	tp := env(t)
+	eth := tp.Protocols["ether"]
+	ip := tp.Protocols["ipv4"]
+	p, err := Build([]Layer{
+		{Proto: eth, Fields: map[string]uint32{"type": 0x0800}},
+		{Proto: ip, Fields: map[string]uint32{"ver": 4, "hlen": 5, "ttl": 64, "dst": 0x0a000001}, Size: 20},
+	}, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 64 {
+		t.Fatalf("len = %d, want 64", p.Len())
+	}
+	v, err := p.ReadField(0, eth.Field("type"))
+	if err != nil || v != 0x0800 {
+		t.Fatalf("type = %#x, err %v", v, err)
+	}
+	head, err := p.Decap(0, eth, tp.Consts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, _ := p.ReadField(head, ip.Field("dst"))
+	if dst != 0x0a000001 {
+		t.Fatalf("dst = %#x", dst)
+	}
+	hs, err := p.HeaderSize(head, ip, tp.Consts)
+	if err != nil || hs != 20 {
+		t.Fatalf("hlen propagated wrong: %d %v", hs, err)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	tp := env(t)
+	ip := tp.Protocols["ipv4"]
+	if _, err := Build([]Layer{{Proto: ip}}, 64, 4); err == nil {
+		t.Fatal("dynamic layer without Size must error")
+	}
+	eth := tp.Protocols["ether"]
+	if _, err := Build([]Layer{{Proto: eth, Fields: map[string]uint32{"bogus": 1}}}, 64, 4); err == nil {
+		t.Fatal("unknown field must error")
+	}
+}
+
+func TestPrefixMatchProperty(t *testing.T) {
+	r := NewRand(7)
+	f := func(seed uint64) bool {
+		rr := NewRand(seed)
+		pfs := GenPrefixes(rr, 8)
+		for _, pf := range pfs {
+			addr := AddrInPrefix(r, pf)
+			if !pf.Match(addr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenPrefixesDistinctNextHops(t *testing.T) {
+	pfs := GenPrefixes(NewRand(1), 32)
+	seen := map[uint32]bool{}
+	for _, pf := range pfs {
+		if seen[pf.NextHop] {
+			t.Fatalf("duplicate next hop %d", pf.NextHop)
+		}
+		seen[pf.NextHop] = true
+		if pf.Len < 8 || pf.Len > 24 {
+			t.Fatalf("prefix length %d out of range", pf.Len)
+		}
+		mask := ^uint32(0) << uint(32-pf.Len)
+		if pf.Addr&^mask != 0 {
+			t.Fatalf("prefix %08x has host bits set", pf.Addr)
+		}
+	}
+}
