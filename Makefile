@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build test vet fmt-check race verify bench-smoke clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@fmt_out=$$(gofmt -l .); \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
+
+# Race-check the concurrent packages: the sweep runner's worker pool and
+# the metrics instruments it samples.
+race:
+	$(GO) test -race ./internal/harness/ ./internal/metrics/
+
+# Tier-1 verification: everything CI gates on.
+verify: build vet fmt-check test race
+
+# Quick end-to-end pass over the evaluation binary: short windows, report
+# written to a scratch location.
+bench-smoke: build
+	$(GO) run ./cmd/shangrila-bench -quick -exp table1 -report /tmp/bench_report.json
+	@test -s /tmp/bench_report.json && echo "bench-smoke: report OK"
+
+clean:
+	rm -f bench_report.json

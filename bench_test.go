@@ -19,6 +19,7 @@ package shangrila
 //	go test -bench=BenchmarkFigure15 -v   (MPLS)
 
 import (
+	"os"
 	"testing"
 
 	"shangrila/internal/apps"
@@ -54,17 +55,28 @@ func BenchmarkFigure6(b *testing.B) {
 }
 
 // BenchmarkTable1 regenerates the per-packet dynamic memory access table
-// for all three applications across the paper's configuration rows.
+// for all three applications across the paper's configuration rows. The
+// app × level grid fans out over the sweep runner's workers; the last
+// iteration's results (with telemetry) are written to bench_report.json.
 func BenchmarkTable1(b *testing.B) {
-	var rows []*harness.AppResult
+	var rows []*harness.Result
 	for i := 0; i < b.N; i++ {
-		r, err := harness.Table1(benchCfg())
+		r, err := harness.Table1(benchCfg(), harness.WithTelemetry(0))
 		if err != nil {
 			b.Fatal(err)
 		}
 		rows = r
 	}
 	b.Log("\n" + harness.FormatTable1(rows))
+	f, err := os.Create("bench_report.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if err := harness.BuildReport(rows).WriteJSON(f); err != nil {
+		b.Fatal(err)
+	}
+	b.Log("wrote bench_report.json")
 	for _, r := range rows {
 		if r.Level == driver.LevelSWC {
 			b.ReportMetric(r.Total(), "accesses/pkt:"+r.App+"+SWC")
@@ -129,10 +141,11 @@ func BenchmarkSimulator(b *testing.B) {
 		b.Fatal(err)
 	}
 	cfg := benchCfg()
+	opts := append(cfg.Options(), harness.WithCompiled(res))
 	b.ResetTimer()
 	var cycles int64
 	for i := 0; i < b.N; i++ {
-		r, err := harness.Measure(a, res, cfg)
+		r, err := harness.Run(a, opts...)
 		if err != nil {
 			b.Fatal(err)
 		}

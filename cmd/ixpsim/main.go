@@ -40,17 +40,16 @@ func main() {
 		os.Exit(2)
 	}
 	lvl := driver.Level(*level)
-	res, err := harness.Compile(app, lvl, *seed)
+	r, err := harness.Run(app,
+		harness.WithLevel(lvl),
+		harness.WithMEs(*mes),
+		harness.WithWindows(*warm, *cycles),
+		harness.WithSeed(*seed),
+		harness.WithTrace(384),
+		harness.WithTelemetry(0),
+	)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ixpsim: compile: %v\n", err)
-		os.Exit(1)
-	}
-	cfg := harness.RunConfig{
-		NumMEs: *mes, Warmup: *warm, Measure: *cycles, Seed: *seed, TraceN: 384,
-	}
-	r, err := harness.Measure(app, res, cfg)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "ixpsim: run: %v\n", err)
+		fmt.Fprintf(os.Stderr, "ixpsim: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("%s at %v on %d ME(s): %.2f Gbps (%d packets in %.2f ms simulated)\n",
@@ -60,5 +59,19 @@ func main() {
 	fmt.Printf("  packet: scratch %.1f  sram %.1f  dram %.1f\n", r.PktScratch, r.PktSRAM, r.PktDRAM)
 	fmt.Printf("  app:    scratch %.1f  sram %.1f\n", r.AppScratch, r.AppSRAM)
 	fmt.Printf("  total:  %.1f\n", r.Total())
+	if tel := r.Telemetry; tel != nil {
+		fmt.Println("\ntelemetry (measured window):")
+		fmt.Print("  ME utilization: ")
+		for i, u := range tel.MEUtilization {
+			if i > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Printf("%.0f%%", u*100)
+		}
+		fmt.Printf("\n  controller saturation: scratch %.0f%%  sram %.0f%%  dram %.0f%%\n",
+			tel.CtrlSaturation["scratch"]*100, tel.CtrlSaturation["sram"]*100,
+			tel.CtrlSaturation["dram"]*100)
+		fmt.Printf("  ring max occupancy: %v\n", tel.RingMaxOcc)
+	}
 	_ = cg.CodeStoreLimit
 }

@@ -1,11 +1,15 @@
 // Command shangrila-bench regenerates the paper's evaluation: Figure 6
 // (memory micro-benchmark), Table 1 (per-packet dynamic memory accesses)
 // and Figures 13-15 (forwarding rate vs enabled MEs per optimization
-// level for L3-Switch, Firewall and MPLS).
+// level for L3-Switch, Firewall and MPLS). Sweep points fan out across
+// worker goroutines and every point's measurement — forwarding rate,
+// per-packet accesses, simulator telemetry, compile pass timings — is
+// written to a machine-readable JSON report.
 //
 // Usage:
 //
 //	shangrila-bench [-exp all|fig6|table1|fig13|fig14|fig15] [-quick]
+//	                [-report bench_report.json] [-workers N]
 package main
 
 import (
@@ -21,6 +25,8 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: all|fig6|table1|fig13|fig14|fig15")
 	quick := flag.Bool("quick", false, "shorter measurement windows (noisier)")
 	seed := flag.Uint64("seed", 1234, "traffic seed")
+	report := flag.String("report", "bench_report.json", "machine-readable report path (empty disables)")
+	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	cfg := harness.DefaultRunConfig()
@@ -29,6 +35,10 @@ func main() {
 	if *quick {
 		cfg.Warmup, cfg.Measure = 60_000, 250_000
 		figWarm, figMeas = 30_000, 150_000
+	}
+	opts := []harness.Option{
+		harness.WithTelemetry(0),
+		harness.WithWorkers(*workers),
 	}
 
 	run := func(name string, fn func() error) {
@@ -41,6 +51,7 @@ func main() {
 		}
 	}
 
+	var all []*harness.Result
 	run("fig6", func() error {
 		pts, err := harness.Figure6(figWarm, figMeas)
 		if err != nil {
@@ -50,12 +61,13 @@ func main() {
 		return nil
 	})
 	run("table1", func() error {
-		rows, err := harness.Table1(cfg)
+		rows, err := harness.Table1(cfg, opts...)
 		if err != nil {
 			return err
 		}
 		fmt.Println("Table 1 — dynamic memory accesses per packet")
 		fmt.Println(harness.FormatTable1(rows))
+		all = append(all, rows...)
 		return nil
 	})
 	figs := []struct {
@@ -70,12 +82,31 @@ func main() {
 	for _, f := range figs {
 		f := f
 		run(f.name, func() error {
-			series, err := harness.FigureRates(f.app(), cfg, 6)
+			series, results, err := harness.FigureResults(f.app(), cfg, 6, opts...)
 			if err != nil {
 				return err
 			}
 			fmt.Println(harness.FormatFigure(f.title, series))
+			all = append(all, results...)
 			return nil
 		})
+	}
+
+	if *report != "" && len(all) > 0 {
+		f, err := os.Create(*report)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shangrila-bench: report: %v\n", err)
+			os.Exit(1)
+		}
+		if err := harness.BuildReport(all).WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "shangrila-bench: report: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "shangrila-bench: report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d sweep points)\n", *report, len(all))
 	}
 }

@@ -20,13 +20,13 @@ func main() {
 
 	fmt.Println("=== compiling L3-Switch at BASE and +SWC ===")
 	for _, lvl := range []driver.Level{driver.LevelBase, driver.LevelSWC} {
-		res, err := harness.Compile(app, lvl, 7)
-		if err != nil {
-			log.Fatal(err)
-		}
-		r, err := harness.Measure(app, res, harness.RunConfig{
-			NumMEs: 6, Warmup: 100_000, Measure: 500_000, Seed: 7, TraceN: 384,
-		})
+		r, err := harness.Run(app,
+			harness.WithLevel(lvl),
+			harness.WithMEs(6),
+			harness.WithWindows(100_000, 500_000),
+			harness.WithSeed(7),
+			harness.WithTrace(384),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,7 +58,7 @@ func main() {
 	if err := rt.Run(400_000); err != nil {
 		log.Fatal(err)
 	}
-	st := &rt.M.Stats
+	st := rt.M.Snapshot()
 	fmt.Printf("forwarded %d packets at %.2f Gbps across the update\n",
 		st.TxPackets, st.Gbps(rt.M.Cfg.ClockMHz))
 	fmt.Println("(delivery during the staleness window used the old next hop —")

@@ -115,7 +115,7 @@ func main() {
 	if err := rt.Run(500_000); err != nil {
 		log.Fatal(err)
 	}
-	st := &rt.M.Stats
+	st := rt.M.Snapshot()
 	fmt.Printf("simulated:  %.2f Gbps, %d forwarded, %d dropped (ttl<=1)\n",
 		st.Gbps(rt.M.Cfg.ClockMHz), st.TxPackets, st.FreedPackets)
 	if len(rt.TxCapture) > 0 {

@@ -8,6 +8,7 @@ package driver
 
 import (
 	"fmt"
+	"time"
 
 	"shangrila/internal/aggregate"
 	"shangrila/internal/baker/parser"
@@ -66,6 +67,15 @@ type Config struct {
 	SWC swc.Config
 }
 
+// PassTiming records one Figure-5 pipeline stage: wall-clock time and the
+// whole-program IR size before and after (codegen reports CGIR size after).
+type PassTiming struct {
+	Pass         string `json:"pass"`
+	Nanos        int64  `json:"nanos"`
+	InstrsBefore int    `json:"instrs_before"`
+	InstrsAfter  int    `json:"instrs_after"`
+}
+
 // Report summarizes what the compiler did.
 type Report struct {
 	Level        Level
@@ -77,6 +87,38 @@ type Report struct {
 	SWCCands     []*swc.Candidate
 	// CodeSizes per ME aggregate (CGIR instructions).
 	CodeSizes []int
+	// Passes holds one timing entry per executed pipeline stage, in
+	// execution order.
+	Passes []PassTiming
+}
+
+// irSize counts IR instructions across every function of a program.
+func irSize(p *ir.Program) int {
+	if p == nil {
+		return 0
+	}
+	n := 0
+	for _, fn := range p.Funcs {
+		for _, b := range fn.Blocks {
+			n += len(b.Instrs)
+		}
+	}
+	return n
+}
+
+// timePass runs f, recording a PassTiming whose before/after sizes come
+// from size().
+func (r *Report) timePass(pass string, size func() int, f func() error) error {
+	before := size()
+	t0 := time.Now()
+	err := f()
+	r.Passes = append(r.Passes, PassTiming{
+		Pass:         pass,
+		Nanos:        time.Since(t0).Nanoseconds(),
+		InstrsBefore: before,
+		InstrsAfter:  size(),
+	})
+	return err
 }
 
 // Result bundles everything the runtime needs.
@@ -119,8 +161,23 @@ func CompileIR(prog *ir.Program, cfg Config) (*Result, error) {
 	lvl := cfg.Level
 	rep := &Report{Level: lvl}
 
+	// Every pass timing measures the whole program: the top-level IR plus
+	// (once aggregation has run) every merged aggregate body.
+	var merged []*aggregate.Merged
+	size := func() int {
+		n := irSize(prog)
+		for _, m := range merged {
+			n += irSize(m.Prog)
+		}
+		return n
+	}
+
 	// 1. Functional profiler (on unoptimized IR, as in Figure 5).
-	stats, err := profiler.ProfileWithControls(prog, cfg.ProfileTrace, cfg.Controls)
+	var stats *profiler.Stats
+	err := rep.timePass("profile", size, func() (err error) {
+		stats, err = profiler.ProfileWithControls(prog, cfg.ProfileTrace, cfg.Controls)
+		return err
+	})
 	if err != nil {
 		return nil, fmt.Errorf("profile: %w", err)
 	}
@@ -129,7 +186,10 @@ func CompileIR(prog *ir.Program, cfg Config) (*Result, error) {
 	// 2. Inlining is mandatory for ME code generation (calls become
 	// branches with globally allocated registers in the paper; here the
 	// bodies merge outright). Scalar optimization is -O1.
-	opt.Optimize(prog, opt.Options{Scalar: lvl >= LevelO1, Inline: true})
+	_ = rep.timePass("inline+scalar", size, func() error {
+		opt.Optimize(prog, opt.Options{Scalar: lvl >= LevelO1, Inline: true})
+		return nil
+	})
 
 	// 3. SOAR analysis runs whenever PAC or later optimizations need its
 	// offset facts (PAC's cross-header aliasing requires the proven
@@ -138,16 +198,22 @@ func CompileIR(prog *ir.Program, cfg Config) (*Result, error) {
 	analyze := lvl >= LevelPAC
 	var facts *soar.Stats
 	if analyze {
-		facts = soar.Analyze(prog)
+		_ = rep.timePass("soar", size, func() error {
+			facts = soar.Analyze(prog)
+			return nil
+		})
 		if lvl >= LevelSOAR {
 			rep.SOAR = facts
 		}
 	}
 	// 4. PAC on the whole program.
 	if lvl >= LevelPAC {
-		rep.PAC = pac.Run(prog)
-		opt.Optimize(prog, opt.Options{Scalar: lvl >= LevelO1})
-		facts = soar.Analyze(prog) // re-annotate the combined accesses
+		_ = rep.timePass("pac", size, func() error {
+			rep.PAC = pac.Run(prog)
+			opt.Optimize(prog, opt.Options{Scalar: lvl >= LevelO1})
+			facts = soar.Analyze(prog) // re-annotate the combined accesses
+			return nil
+		})
 	}
 
 	// 5. Aggregation (Figure 7).
@@ -155,15 +221,23 @@ func CompileIR(prog *ir.Program, cfg Config) (*Result, error) {
 	if aggCfg.NumMEs == 0 {
 		aggCfg = aggregate.DefaultConfig()
 	}
-	plan, err := aggregate.Build(prog, stats, aggCfg)
+	var plan *aggregate.Plan
+	var classes map[*types.Channel]aggregate.ChannelClass
+	err = rep.timePass("aggregate", size, func() (err error) {
+		plan, err = aggregate.Build(prog, stats, aggCfg)
+		if err != nil {
+			return fmt.Errorf("aggregate: %w", err)
+		}
+		rep.Plan = plan
+		classes = aggregate.ClassifyChannels(prog, plan)
+		merged, err = aggregate.BuildMerged(prog, plan, classes)
+		if err != nil {
+			return fmt.Errorf("merge: %w", err)
+		}
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("aggregate: %w", err)
-	}
-	rep.Plan = plan
-	classes := aggregate.ClassifyChannels(prog, plan)
-	merged, err := aggregate.BuildMerged(prog, plan, classes)
-	if err != nil {
-		return nil, fmt.Errorf("merge: %w", err)
+		return nil, err
 	}
 
 	// 6. Per-aggregate optimization: scalar cleanup, SOAR annotation (the
@@ -180,61 +254,88 @@ func CompileIR(prog *ir.Program, cfg Config) (*Result, error) {
 		}
 		soar.AnalyzeWithEntries(m.Prog, entries)
 	}
-	for _, m := range merged {
-		if m.Agg.Target != aggregate.TargetME {
-			continue
-		}
-		opt.Optimize(m.Prog, opt.Options{Scalar: lvl >= LevelO1})
-		if lvl >= LevelPAC {
-			annotateMerged(m)
-			pac.Run(m.Prog)
+	_ = rep.timePass("agg-opt", size, func() error {
+		for _, m := range merged {
+			if m.Agg.Target != aggregate.TargetME {
+				continue
+			}
 			opt.Optimize(m.Prog, opt.Options{Scalar: lvl >= LevelO1})
+			if lvl >= LevelPAC {
+				annotateMerged(m)
+				pac.Run(m.Prog)
+				opt.Optimize(m.Prog, opt.Options{Scalar: lvl >= LevelO1})
+			}
 		}
-	}
+		return nil
+	})
 	if lvl >= LevelPHR {
-		rep.PHR = phr.Run(prog, plan, merged)
+		_ = rep.timePass("phr", size, func() error {
+			rep.PHR = phr.Run(prog, plan, merged)
+			return nil
+		})
 	}
 	if lvl >= LevelSWC {
-		swcCfg := cfg.SWC
-		if swcCfg.MaxLineWords == 0 {
-			swcCfg = swc.DefaultConfig()
+		err = rep.timePass("swc", size, func() error {
+			swcCfg := cfg.SWC
+			if swcCfg.MaxLineWords == 0 {
+				swcCfg = swc.DefaultConfig()
+			}
+			cands := swc.SelectCandidates(prog, stats, swcCfg)
+			if _, err := swc.Apply(prog, merged, cands, swcCfg); err != nil {
+				return fmt.Errorf("swc: %w", err)
+			}
+			rep.SWCCands = cands
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		cands := swc.SelectCandidates(prog, stats, swcCfg)
-		if _, err := swc.Apply(prog, merged, cands, swcCfg); err != nil {
-			return nil, fmt.Errorf("swc: %w", err)
-		}
-		rep.SWCCands = cands
 	}
 	// PHR's pair elimination redirects accesses to shared handles, which
 	// exposes further combining: run PAC once more, then a final scalar
 	// cleanup and SOAR re-annotation of the merged bodies.
-	for _, m := range merged {
-		if m.Agg.Target != aggregate.TargetME {
-			continue
+	_ = rep.timePass("final-opt", size, func() error {
+		for _, m := range merged {
+			if m.Agg.Target != aggregate.TargetME {
+				continue
+			}
+			if lvl >= LevelPHR {
+				annotateMerged(m)
+				pac.Run(m.Prog)
+			}
+			opt.Optimize(m.Prog, opt.Options{Scalar: lvl >= LevelO1})
+			if analyze {
+				annotateMerged(m)
+			}
 		}
-		if lvl >= LevelPHR {
-			annotateMerged(m)
-			pac.Run(m.Prog)
-		}
-		opt.Optimize(m.Prog, opt.Options{Scalar: lvl >= LevelO1})
-		if analyze {
-			annotateMerged(m)
-		}
-	}
+		return nil
+	})
 
-	// 7. Code generation.
+	// 7. Code generation. InstrsAfter reports generated CGIR instructions
+	// rather than IR.
+	var img *cg.Image
+	irBefore := size()
+	t0 := time.Now()
 	opts := cg.Options{
 		O2:   lvl >= LevelO2,
 		SOAR: lvl >= LevelSOAR,
 		PHR:  lvl >= LevelPHR,
 		SWC:  lvl >= LevelSWC,
 	}
-	img, err := cg.Compile(prog, plan, merged, classes, facts, opts)
+	img, err = cg.Compile(prog, plan, merged, classes, facts, opts)
 	if err != nil {
 		return nil, fmt.Errorf("codegen: %w", err)
 	}
+	cgSize := 0
 	for _, c := range img.MECode {
 		rep.CodeSizes = append(rep.CodeSizes, len(c.Program.Code))
+		cgSize += len(c.Program.Code)
 	}
+	rep.Passes = append(rep.Passes, PassTiming{
+		Pass:         "codegen",
+		Nanos:        time.Since(t0).Nanoseconds(),
+		InstrsBefore: irBefore,
+		InstrsAfter:  cgSize,
+	})
 	return &Result{Image: img, Prog: prog, Report: rep}, nil
 }

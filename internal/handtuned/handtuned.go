@@ -113,7 +113,10 @@ func L3Forwarder(sramTableBase uint32) *cg.Program {
 // reference point compiled code is compared against).
 func Run(prog *cg.Program, numMEs int, warmup, measure int64) (float64, error) {
 	cfg := ixp.DefaultConfig()
-	m := ixp.New(cfg, 3, 256)
+	m, err := ixp.New(cfg, 3, 256)
+	if err != nil {
+		return 0, err
+	}
 	m.GrowRing(cg.RingFree, 600)
 	for id := 0; id < 512; id++ {
 		m.Rings[cg.RingFree].Put(uint32(id), 64<<16|128)
@@ -128,7 +131,7 @@ func Run(prog *cg.Program, numMEs int, warmup, measure int64) (float64, error) {
 		}
 		m.ChargeRxDMA(64, 4)
 		m.Rings[cg.RingRx].Put(id, 64<<16|128)
-		m.Stats.RxPackets++
+		m.NoteRxPacket()
 		return true
 	}
 	m.OnTx = func(m *ixp.Machine, w0, w1 uint32) int {
@@ -145,5 +148,5 @@ func Run(prog *cg.Program, numMEs int, warmup, measure int64) (float64, error) {
 	if err := m.Run(measure); err != nil {
 		return 0, err
 	}
-	return m.Stats.Gbps(cfg.ClockMHz), nil
+	return m.Snapshot().Gbps(cfg.ClockMHz), nil
 }

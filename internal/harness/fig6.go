@@ -94,7 +94,10 @@ func Figure6Kernel(level cg.MemLevel, words, accesses int) *cg.Program {
 // descriptor source and returns the measured forwarding rate.
 func RunKernel(prog *cg.Program, numMEs int, warmup, measure int64) (float64, error) {
 	cfg := ixp.DefaultConfig()
-	m := ixp.New(cfg, 3, 256)
+	m, err := ixp.New(cfg, 3, 256)
+	if err != nil {
+		return 0, err
+	}
 	m.GrowRing(cg.RingFree, 600)
 	for id := 0; id < 512; id++ {
 		m.Rings[cg.RingFree].Put(uint32(id), 64<<16|128)
@@ -109,7 +112,7 @@ func RunKernel(prog *cg.Program, numMEs int, warmup, measure int64) (float64, er
 		}
 		m.ChargeRxDMA(64, 4)
 		m.Rings[cg.RingRx].Put(id, 64<<16|128)
-		m.Stats.RxPackets++
+		m.NoteRxPacket()
 		return true
 	}
 	m.OnTx = func(m *ixp.Machine, w0, w1 uint32) int {
@@ -126,7 +129,7 @@ func RunKernel(prog *cg.Program, numMEs int, warmup, measure int64) (float64, er
 	if err := m.Run(measure); err != nil {
 		return 0, err
 	}
-	return m.Stats.Gbps(cfg.ClockMHz), nil
+	return m.Snapshot().Gbps(cfg.ClockMHz), nil
 }
 
 // Figure6 sweeps all six curves over the access counts with six MEs (two

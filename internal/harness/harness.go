@@ -2,6 +2,9 @@
 // memory micro-benchmark, Table 1's per-packet dynamic memory access
 // counts, and Figures 13–15's packet forwarding rates for L3-Switch,
 // Firewall and MPLS across optimization levels and enabled-ME counts.
+//
+// The evaluation engine measures one point with Run(app, ...Option) and
+// fans whole parameter sweeps across worker goroutines with Sweep.
 package harness
 
 import (
@@ -9,9 +12,7 @@ import (
 	"strings"
 
 	"shangrila/internal/apps"
-	"shangrila/internal/cg"
 	"shangrila/internal/driver"
-	"shangrila/internal/rts"
 )
 
 // RunConfig controls one measured simulation.
@@ -36,23 +37,15 @@ func DefaultRunConfig() RunConfig {
 	}
 }
 
-// AppResult is one measured data point.
-type AppResult struct {
-	App    string
-	Level  driver.Level
-	NumMEs int
-	Gbps   float64
-	// Table 1 columns: packet Scratch/SRAM/DRAM, app Scratch/SRAM.
-	PktScratch, PktSRAM, PktDRAM float64
-	AppScratch, AppSRAM          float64
-	TxPackets                    uint64
-	CodeSizes                    []int
-	Stages                       int
-}
-
-// Total returns the Table 1 "Total" column.
-func (r *AppResult) Total() float64 {
-	return r.PktScratch + r.PktSRAM + r.PktDRAM + r.AppScratch + r.AppSRAM
+// Options converts a RunConfig to the equivalent Option list (bridge for
+// pre-redesign callers).
+func (c RunConfig) Options() []Option {
+	return []Option{
+		WithMEs(c.NumMEs),
+		WithWindows(c.Warmup, c.Measure),
+		WithSeed(c.Seed),
+		WithTrace(c.TraceN),
+	}
 }
 
 // Compile compiles an app at a level, generating its profile trace from
@@ -71,50 +64,18 @@ func Compile(a *apps.App, lvl driver.Level, seed uint64) (*driver.Result, error)
 }
 
 // Measure runs one compiled app on the machine model and returns the data
-// point. Counters reset after warm-up so the steady state is measured.
+// point.
+//
+// Deprecated: use Run with WithCompiled.
 func Measure(a *apps.App, res *driver.Result, cfg RunConfig) (*AppResult, error) {
-	trc := a.Trace(res.Prog.Types, cfg.Seed+1, cfg.TraceN)
-	rt, err := rts.New(res.Image, res.Prog, trc, rts.Options{NumMEs: cfg.NumMEs})
-	if err != nil {
-		return nil, err
-	}
-	for _, c := range a.Controls {
-		if err := rt.Control(c.Name, c.Args...); err != nil {
-			return nil, fmt.Errorf("%s control %s: %w", a.Name, c.Name, err)
-		}
-	}
-	if err := rt.Run(cfg.Warmup); err != nil {
-		return nil, fmt.Errorf("%s warmup: %w", a.Name, err)
-	}
-	rt.M.ResetStats()
-	if err := rt.Run(cfg.Measure); err != nil {
-		return nil, fmt.Errorf("%s measure: %w", a.Name, err)
-	}
-	st := &rt.M.Stats
-	out := &AppResult{
-		App:        a.Name,
-		Level:      res.Report.Level,
-		NumMEs:     cfg.NumMEs,
-		Gbps:       st.Gbps(rt.M.Cfg.ClockMHz),
-		PktScratch: st.PerPacket(cg.MemScratch, cg.ClassPacketRing),
-		PktSRAM:    st.PerPacket(cg.MemSRAM, cg.ClassPacketMeta),
-		PktDRAM:    st.PerPacket(cg.MemDRAM, cg.ClassPacketData),
-		AppScratch: st.PerPacket(cg.MemScratch, cg.ClassAppData),
-		AppSRAM:    st.PerPacket(cg.MemSRAM, cg.ClassAppData),
-		TxPackets:  st.TxPackets,
-		CodeSizes:  res.Report.CodeSizes,
-		Stages:     len(res.Image.MECode),
-	}
-	return out, nil
+	return Run(a, append(cfg.Options(), WithCompiled(res))...)
 }
 
 // RunPoint compiles and measures in one step.
+//
+// Deprecated: use Run.
 func RunPoint(a *apps.App, lvl driver.Level, cfg RunConfig) (*AppResult, error) {
-	res, err := Compile(a, lvl, cfg.Seed)
-	if err != nil {
-		return nil, fmt.Errorf("%s at %v: %w", a.Name, lvl, err)
-	}
-	return Measure(a, res, cfg)
+	return Run(a, append(cfg.Options(), WithLevel(lvl))...)
 }
 
 // ---------------------------------------------------------------------------
@@ -128,23 +89,21 @@ func Table1Levels() []driver.Level {
 }
 
 // Table1 measures the per-packet dynamic memory access table for every
-// app.
-func Table1(cfg RunConfig) ([]*AppResult, error) {
-	var rows []*AppResult
+// app, fanning the app × level grid across the sweep runner's workers.
+func Table1(cfg RunConfig, opts ...Option) ([]*Result, error) {
+	var points []Point
 	for _, a := range apps.All() {
 		for _, lvl := range Table1Levels() {
-			r, err := RunPoint(a, lvl, cfg)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, r)
+			points = append(points, Point{
+				App: a, Level: lvl, NumMEs: cfg.NumMEs, Seed: cfg.Seed,
+			})
 		}
 	}
-	return rows, nil
+	return Sweep(points, append(cfg.Options(), opts...)...)
 }
 
 // FormatTable1 renders rows in the paper's Table 1 shape.
-func FormatTable1(rows []*AppResult) string {
+func FormatTable1(rows []*Result) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-10s %-6s | %8s %8s %8s | %8s %8s | %7s\n",
 		"App", "Config", "Scratch", "SRAM", "DRAM", "Scratch", "SRAM", "Total")
@@ -173,27 +132,36 @@ type FigureSeries struct {
 }
 
 // FigureRates sweeps optimization levels × ME counts for one app
-// (Figures 13, 14, 15).
-func FigureRates(a *apps.App, cfg RunConfig, maxMEs int) ([]*FigureSeries, error) {
-	var out []*FigureSeries
-	for _, lvl := range driver.Levels() {
-		res, err := Compile(a, lvl, cfg.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("%s at %v: %w", a.Name, lvl, err)
+// (Figures 13, 14, 15) on the parallel sweep runner: each level compiles
+// once, and its per-ME-count measurements share the compiled image.
+func FigureRates(a *apps.App, cfg RunConfig, maxMEs int, opts ...Option) ([]*FigureSeries, error) {
+	series, _, err := FigureResults(a, cfg, maxMEs, opts...)
+	return series, err
+}
+
+// FigureResults is FigureRates plus the underlying per-point results (for
+// report export).
+func FigureResults(a *apps.App, cfg RunConfig, maxMEs int, opts ...Option) ([]*FigureSeries, []*Result, error) {
+	levels := driver.Levels()
+	var points []Point
+	for _, lvl := range levels {
+		for n := 1; n <= maxMEs; n++ {
+			points = append(points, Point{App: a, Level: lvl, NumMEs: n, Seed: cfg.Seed})
 		}
+	}
+	results, err := Sweep(points, append(cfg.Options(), opts...)...)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []*FigureSeries
+	for i, lvl := range levels {
 		s := &FigureSeries{App: a.Name, Level: lvl}
 		for n := 1; n <= maxMEs; n++ {
-			c := cfg
-			c.NumMEs = n
-			r, err := Measure(a, res, c)
-			if err != nil {
-				return nil, err
-			}
-			s.Gbps = append(s.Gbps, r.Gbps)
+			s.Gbps = append(s.Gbps, results[i*maxMEs+n-1].Gbps)
 		}
 		out = append(out, s)
 	}
-	return out, nil
+	return out, results, nil
 }
 
 // FormatFigure renders the series as the paper's figure data.

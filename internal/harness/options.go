@@ -1,0 +1,250 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+
+	"shangrila/internal/apps"
+	"shangrila/internal/cg"
+	"shangrila/internal/driver"
+	"shangrila/internal/ixp"
+	"shangrila/internal/metrics"
+	"shangrila/internal/rts"
+)
+
+// Option configures a Run or Sweep call. Options compose left to right;
+// later options override earlier ones.
+type Option func(*settings)
+
+// settings is the resolved option set for one measurement.
+type settings struct {
+	run            RunConfig
+	level          driver.Level
+	telemetry      bool
+	sampleInterval int64
+	sampleWindow   int
+	compiled       *driver.Result
+	workers        int
+}
+
+func defaultSettings() settings {
+	return settings{
+		run:            DefaultRunConfig(),
+		level:          driver.LevelSWC,
+		sampleInterval: 10_000,
+	}
+}
+
+func (s *settings) apply(opts []Option) {
+	for _, o := range opts {
+		o(s)
+	}
+}
+
+// WithLevel selects the optimization level (default +SWC, the paper's
+// full pipeline).
+func WithLevel(lvl driver.Level) Option {
+	return func(s *settings) { s.level = lvl }
+}
+
+// WithMEs sets the number of enabled packet-processing microengines.
+func WithMEs(n int) Option {
+	return func(s *settings) { s.run.NumMEs = n }
+}
+
+// WithSeed sets the seed for both the profile trace and the measurement
+// trace (the measurement trace uses seed+1, as the paper separates
+// training and evaluation traffic).
+func WithSeed(seed uint64) Option {
+	return func(s *settings) { s.run.Seed = seed }
+}
+
+// WithTrace sets the number of distinct packets in the cycled
+// measurement trace.
+func WithTrace(n int) Option {
+	return func(s *settings) { s.run.TraceN = n }
+}
+
+// WithWindows sets the warm-up and measured cycle windows.
+func WithWindows(warmup, measure int64) Option {
+	return func(s *settings) {
+		s.run.Warmup = warmup
+		s.run.Measure = measure
+	}
+}
+
+// WithTelemetry enables simulator telemetry collection. interval is the
+// sampling period in cycles (0 keeps the default of 10k cycles); the
+// sampled series land in Result.Telemetry.Series alongside the aggregate
+// utilization/saturation/occupancy summaries.
+func WithTelemetry(interval int64) Option {
+	return func(s *settings) {
+		s.telemetry = true
+		if interval > 0 {
+			s.sampleInterval = interval
+		}
+	}
+}
+
+// WithSampleWindow bounds each telemetry series to the last n samples
+// (0 keeps every sample).
+func WithSampleWindow(n int) Option {
+	return func(s *settings) { s.sampleWindow = n }
+}
+
+// WithCompiled supplies an already-compiled image, skipping compilation.
+// The result's level is taken from the compile report; WithLevel is
+// ignored.
+func WithCompiled(res *driver.Result) Option {
+	return func(s *settings) { s.compiled = res }
+}
+
+// WithWorkers bounds sweep parallelism (Run ignores it). 0 or negative
+// means GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(s *settings) { s.workers = n }
+}
+
+func (s *settings) workerCount() int {
+	if s.workers > 0 {
+		return s.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Telemetry is the simulator-side measurement data attached to a Result
+// when telemetry is enabled.
+type Telemetry struct {
+	// SampleInterval is the cycle period of the sampled series.
+	SampleInterval int64 `json:"sample_interval"`
+	// MEUtilization is each ME's busy fraction over the measured window.
+	MEUtilization []float64 `json:"me_utilization"`
+	// CtrlSaturation maps controller name (scratch/sram/dram) to busy
+	// fraction of the measured window.
+	CtrlSaturation map[string]float64 `json:"controller_saturation"`
+	// RingMaxOcc is each scratch ring's max occupancy since warm-up.
+	RingMaxOcc []int `json:"ring_max_occupancy"`
+	// Series holds the sampled time-series (me{i}.util,
+	// ctrl.{name}.sat, ctrl.{name}.queue, ring{i}.occ).
+	Series map[string][]metrics.Sample `json:"series,omitempty"`
+}
+
+// Result is one measured data point of the evaluation engine.
+type Result struct {
+	App    string
+	Level  driver.Level
+	NumMEs int
+	Seed   uint64
+	Gbps   float64
+	// Table 1 columns: packet Scratch/SRAM/DRAM, app Scratch/SRAM.
+	PktScratch, PktSRAM, PktDRAM float64
+	AppScratch, AppSRAM          float64
+	TxPackets                    uint64
+	CodeSizes                    []int
+	Stages                       int
+	// CompilePasses are the per-stage compile timings (Figure 5 pipeline).
+	CompilePasses []driver.PassTiming
+	// Telemetry is non-nil when the point ran with WithTelemetry.
+	Telemetry *Telemetry
+}
+
+// AppResult is the pre-redesign name for Result.
+//
+// Deprecated: use Result.
+type AppResult = Result
+
+// Total returns the Table 1 "Total" column.
+func (r *Result) Total() float64 {
+	return r.PktScratch + r.PktSRAM + r.PktDRAM + r.AppScratch + r.AppSRAM
+}
+
+// Run compiles (unless WithCompiled) and measures one data point:
+//
+//	res, err := harness.Run(apps.L3Switch(),
+//	    harness.WithLevel(driver.LevelPAC),
+//	    harness.WithMEs(4),
+//	    harness.WithSeed(7),
+//	    harness.WithTelemetry(0))
+func Run(a *apps.App, opts ...Option) (*Result, error) {
+	s := defaultSettings()
+	s.apply(opts)
+	res := s.compiled
+	if res == nil {
+		var err error
+		res, err = Compile(a, s.level, s.run.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s at %v: %w", a.Name, s.level, err)
+		}
+	}
+	return measure(a, res, &s)
+}
+
+// measure runs one compiled app on the machine model. Counters reset
+// after warm-up so the steady state is measured.
+func measure(a *apps.App, res *driver.Result, s *settings) (*Result, error) {
+	trc := a.Trace(res.Prog.Types, s.run.Seed+1, s.run.TraceN)
+	var cfg ixp.Config
+	if s.telemetry {
+		cfg = ixp.DefaultConfig()
+		cfg.SampleInterval = s.sampleInterval
+		cfg.SampleWindow = s.sampleWindow
+	}
+	rt, err := rts.New(res.Image, res.Prog, trc, rts.Options{
+		NumMEs: s.run.NumMEs, Cfg: cfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range a.Controls {
+		if err := rt.Control(c.Name, c.Args...); err != nil {
+			return nil, fmt.Errorf("%s control %s: %w", a.Name, c.Name, err)
+		}
+	}
+	if err := rt.Run(s.run.Warmup); err != nil {
+		return nil, fmt.Errorf("%s warmup: %w", a.Name, err)
+	}
+	rt.M.ResetStats()
+	if err := rt.Run(s.run.Measure); err != nil {
+		return nil, fmt.Errorf("%s measure: %w", a.Name, err)
+	}
+	st := rt.M.Snapshot()
+	out := &Result{
+		App:           a.Name,
+		Level:         res.Report.Level,
+		NumMEs:        s.run.NumMEs,
+		Seed:          s.run.Seed,
+		Gbps:          st.Gbps(rt.M.Cfg.ClockMHz),
+		PktScratch:    st.PerPacket(cg.MemScratch, cg.ClassPacketRing),
+		PktSRAM:       st.PerPacket(cg.MemSRAM, cg.ClassPacketMeta),
+		PktDRAM:       st.PerPacket(cg.MemDRAM, cg.ClassPacketData),
+		AppScratch:    st.PerPacket(cg.MemScratch, cg.ClassAppData),
+		AppSRAM:       st.PerPacket(cg.MemSRAM, cg.ClassAppData),
+		TxPackets:     st.TxPackets,
+		CodeSizes:     res.Report.CodeSizes,
+		Stages:        len(res.Image.MECode),
+		CompilePasses: res.Report.Passes,
+	}
+	if s.telemetry {
+		out.Telemetry = collectTelemetry(rt.M, &st, s)
+	}
+	return out, nil
+}
+
+// collectTelemetry derives the summary metrics from the post-warmup
+// snapshot and attaches the sampled series.
+func collectTelemetry(m *ixp.Machine, st *ixp.Stats, s *settings) *Telemetry {
+	tel := &Telemetry{
+		SampleInterval: s.sampleInterval,
+		CtrlSaturation: map[string]float64{
+			"scratch": st.Saturation(cg.MemScratch),
+			"sram":    st.Saturation(cg.MemSRAM),
+			"dram":    st.Saturation(cg.MemDRAM),
+		},
+		RingMaxOcc: m.RingMaxOcc(),
+	}
+	for i := 0; i < m.Cfg.NumMEs; i++ {
+		tel.MEUtilization = append(tel.MEUtilization, st.Utilization(i))
+	}
+	tel.Series = m.Metrics().Snapshot().Series
+	return tel
+}

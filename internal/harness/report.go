@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+
+	"shangrila/internal/driver"
+)
+
+// ReportPoint is one sweep point in the machine-readable bench report.
+type ReportPoint struct {
+	App    string `json:"app"`
+	Level  string `json:"level"`
+	NumMEs int    `json:"num_mes"`
+	Seed   uint64 `json:"seed"`
+
+	Gbps      float64 `json:"gbps"`
+	TxPackets uint64  `json:"tx_packets"`
+	// PerPacket holds the Table 1 columns keyed by
+	// {pkt_scratch, pkt_sram, pkt_dram, app_scratch, app_sram}.
+	PerPacket map[string]float64 `json:"per_packet"`
+
+	CodeSizes     []int               `json:"code_sizes,omitempty"`
+	Stages        int                 `json:"stages,omitempty"`
+	CompilePasses []driver.PassTiming `json:"compile_passes,omitempty"`
+	Telemetry     *Telemetry          `json:"telemetry,omitempty"`
+}
+
+// BenchReport is the top-level bench_report.json document.
+type BenchReport struct {
+	Schema string        `json:"schema"`
+	Points []ReportPoint `json:"points"`
+}
+
+// ReportSchema versions the bench report layout.
+const ReportSchema = "shangrila-bench/v1"
+
+// BuildReport converts sweep results into the export document, in result
+// order.
+func BuildReport(results []*Result) *BenchReport {
+	rep := &BenchReport{Schema: ReportSchema}
+	for _, r := range results {
+		rep.Points = append(rep.Points, ReportPoint{
+			App:    r.App,
+			Level:  r.Level.String(),
+			NumMEs: r.NumMEs,
+			Seed:   r.Seed,
+			Gbps:   r.Gbps,
+			PerPacket: map[string]float64{
+				"pkt_scratch": r.PktScratch,
+				"pkt_sram":    r.PktSRAM,
+				"pkt_dram":    r.PktDRAM,
+				"app_scratch": r.AppScratch,
+				"app_sram":    r.AppSRAM,
+			},
+			TxPackets:     r.TxPackets,
+			CodeSizes:     r.CodeSizes,
+			Stages:        r.Stages,
+			CompilePasses: r.CompilePasses,
+			Telemetry:     r.Telemetry,
+		})
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON (map keys marshal sorted,
+// so identical reports produce identical bytes).
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// CanonicalJSON returns the report's deterministic byte form: wall-clock
+// pass timings are zeroed (they vary run to run) while every simulated
+// quantity — rates, access counts, telemetry, IR sizes — is kept. Two
+// sweeps over the same points with the same seeds must produce identical
+// canonical bytes at any worker count.
+func (r *BenchReport) CanonicalJSON() ([]byte, error) {
+	cp := BenchReport{Schema: r.Schema, Points: make([]ReportPoint, len(r.Points))}
+	copy(cp.Points, r.Points)
+	for i := range cp.Points {
+		if n := len(cp.Points[i].CompilePasses); n > 0 {
+			passes := make([]driver.PassTiming, n)
+			copy(passes, cp.Points[i].CompilePasses)
+			for j := range passes {
+				passes[j].Nanos = 0
+			}
+			cp.Points[i].CompilePasses = passes
+		}
+	}
+	return json.MarshalIndent(&cp, "", "  ")
+}

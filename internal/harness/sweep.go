@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"shangrila/internal/apps"
+	"shangrila/internal/driver"
+)
+
+// Point is one sweep coordinate: app × level × enabled MEs × seed.
+type Point struct {
+	App    *apps.App
+	Level  driver.Level
+	NumMEs int
+	Seed   uint64
+}
+
+// compileKey identifies a shared compilation: the measurement grid varies
+// ME counts against one compiled image per (app, level, seed).
+type compileKey struct {
+	app   string
+	level driver.Level
+	seed  uint64
+}
+
+// compileOnce is a per-sweep memoized compiler: the first worker to need
+// a (app, level, seed) image compiles it, later workers block on the
+// entry and share the result. Measurement is read-only over the compiled
+// image, so sharing across goroutines is safe.
+type compileOnce struct {
+	mu    sync.Mutex
+	cache map[compileKey]*compileEntry
+}
+
+type compileEntry struct {
+	once sync.Once
+	res  *driver.Result
+	err  error
+}
+
+func (c *compileOnce) get(a *apps.App, lvl driver.Level, seed uint64) (*driver.Result, error) {
+	key := compileKey{app: a.Name, level: lvl, seed: seed}
+	c.mu.Lock()
+	e, ok := c.cache[key]
+	if !ok {
+		e = &compileEntry{}
+		c.cache[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.res, e.err = Compile(a, lvl, seed)
+	})
+	return e.res, e.err
+}
+
+// Sweep measures every point on a worker pool. Each (app, level, seed)
+// combination compiles exactly once; simulation points fan out across
+// min(WithWorkers, len(points)) goroutines (default GOMAXPROCS). Results
+// are returned in point order regardless of completion order — the same
+// points with the same seeds produce the same results at any worker
+// count, because each point's simulation is single-threaded and seeded.
+// The first error cancels unstarted points.
+func Sweep(points []Point, opts ...Option) ([]*Result, error) {
+	base := defaultSettings()
+	base.apply(opts)
+	workers := base.workerCount()
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if len(points) == 0 {
+		return nil, nil
+	}
+
+	compiler := &compileOnce{cache: map[compileKey]*compileEntry{}}
+	results := make([]*Result, len(points))
+	errs := make([]error, len(points))
+	var failed atomic.Bool
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				p := points[i]
+				res, err := compiler.get(p.App, p.Level, p.Seed)
+				if err != nil {
+					errs[i] = fmt.Errorf("%s at %v: %w", p.App.Name, p.Level, err)
+					failed.Store(true)
+					continue
+				}
+				s := base
+				s.run.NumMEs = p.NumMEs
+				s.run.Seed = p.Seed
+				s.level = p.Level
+				results[i], errs[i] = measure(p.App, res, &s)
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	// Stop feeding once any finished point errored; already-dispatched
+	// points run to completion.
+	for i := range points {
+		if failed.Load() {
+			break
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep point %d (%s %v %dME seed %d): %w",
+				i, points[i].App.Name, points[i].Level, points[i].NumMEs,
+				points[i].Seed, err)
+		}
+	}
+	return results, nil
+}

@@ -19,8 +19,10 @@ package ixp
 import (
 	"container/heap"
 	"fmt"
+	"math"
 
 	"shangrila/internal/cg"
+	"shangrila/internal/metrics"
 )
 
 // Config sets the machine's physical parameters.
@@ -46,6 +48,46 @@ type Config struct {
 	DRAMBytes    int
 	LocalBytes   int
 	CAMEntries   int
+
+	// SampleInterval, when positive, schedules a telemetry sampler every
+	// that many cycles: per-ME utilization, per-controller saturation and
+	// queue depth, and per-ring occupancy are appended to the machine's
+	// metrics registry as time-series.
+	SampleInterval int64
+	// SampleWindow bounds each telemetry series to the most recent N
+	// samples (0 keeps every sample).
+	SampleWindow int
+}
+
+// Validate rejects configurations that would make the timing model divide
+// by zero or produce NaN/Inf rates (zero or negative clock, port rate,
+// structural sizes).
+func (c *Config) Validate() error {
+	switch {
+	case c.NumMEs <= 0:
+		return fmt.Errorf("ixp: config: NumMEs must be positive (got %d)", c.NumMEs)
+	case c.ThreadsPerME <= 0:
+		return fmt.Errorf("ixp: config: ThreadsPerME must be positive (got %d)", c.ThreadsPerME)
+	case math.IsNaN(c.ClockMHz) || math.IsInf(c.ClockMHz, 0) || c.ClockMHz <= 0:
+		return fmt.Errorf("ixp: config: ClockMHz must be a positive finite value (got %v); a zero or negative clock makes every rate NaN/Inf", c.ClockMHz)
+	case math.IsNaN(c.PortGbps) || math.IsInf(c.PortGbps, 0) || c.PortGbps <= 0:
+		return fmt.Errorf("ixp: config: PortGbps must be a positive finite value (got %v); the Rx injection interval is derived from it", c.PortGbps)
+	case c.ScratchLatency < 0 || c.SRAMLatency < 0 || c.DRAMLatency < 0 || c.LocalLatency < 0:
+		return fmt.Errorf("ixp: config: memory latencies must be non-negative")
+	case c.ScratchSvcBase < 0 || c.ScratchSvcWord < 0 ||
+		c.SRAMSvcBase < 0 || c.SRAMSvcWord < 0 ||
+		c.DRAMSvcBase < 0 || c.DRAMSvcWord < 0:
+		return fmt.Errorf("ixp: config: controller service times must be non-negative")
+	case c.ScratchBytes <= 0 || c.SRAMBytes <= 0 || c.DRAMBytes <= 0 || c.LocalBytes <= 0:
+		return fmt.Errorf("ixp: config: memory sizes must be positive")
+	case c.CAMEntries <= 0:
+		return fmt.Errorf("ixp: config: CAMEntries must be positive (got %d)", c.CAMEntries)
+	case c.SampleInterval < 0:
+		return fmt.Errorf("ixp: config: SampleInterval must be non-negative (got %d)", c.SampleInterval)
+	case c.SampleWindow < 0:
+		return fmt.Errorf("ixp: config: SampleWindow must be non-negative (got %d)", c.SampleWindow)
+	}
+	return nil
 }
 
 // DefaultConfig returns the calibrated IXP2400 model.
@@ -90,13 +132,47 @@ type Stats struct {
 	MEAccesses map[AccessKey]uint64
 	// MEInstrs counts executed CGIR instructions per ME.
 	MEInstrs []uint64
+	// MEBusy accumulates executing (non-idle) cycles per ME; divided by
+	// Cycles it is the ME's utilization over the measured window.
+	MEBusy []int64
 	// Busy accumulates controller occupancy cycles per level.
 	Busy [4]int64
 }
 
+// clone deep-copies the statistics (maps and slices included).
+func (s *Stats) clone() Stats {
+	cp := *s
+	cp.MEAccesses = make(map[AccessKey]uint64, len(s.MEAccesses))
+	for k, v := range s.MEAccesses {
+		cp.MEAccesses[k] = v
+	}
+	cp.MEInstrs = append([]uint64(nil), s.MEInstrs...)
+	cp.MEBusy = append([]int64(nil), s.MEBusy...)
+	return cp
+}
+
+// Utilization returns ME i's busy fraction over the measured window.
+func (s Stats) Utilization(i int) float64 {
+	if s.Cycles == 0 || i >= len(s.MEBusy) {
+		return 0
+	}
+	return float64(s.MEBusy[i]) / float64(s.Cycles)
+}
+
+// Saturation returns the named controller level's occupancy fraction over
+// the measured window (1.0 = the controller was busy every cycle).
+func (s Stats) Saturation(level cg.MemLevel) float64 {
+	if s.Cycles == 0 || int(level) >= len(s.Busy) {
+		return 0
+	}
+	return float64(s.Busy[level]) / float64(s.Cycles)
+}
+
 // Gbps returns the measured forwarding rate over the simulated interval.
-func (s *Stats) Gbps(clockMHz float64) float64 {
-	if s.Cycles == 0 {
+// A non-positive clock yields 0 rather than NaN/Inf (ixp.New rejects such
+// configurations; this guards direct Stats use).
+func (s Stats) Gbps(clockMHz float64) float64 {
+	if s.Cycles == 0 || clockMHz <= 0 || math.IsNaN(clockMHz) || math.IsInf(clockMHz, 0) {
 		return 0
 	}
 	seconds := float64(s.Cycles) / (clockMHz * 1e6)
@@ -105,7 +181,7 @@ func (s *Stats) Gbps(clockMHz float64) float64 {
 
 // PerPacket returns ME accesses per forwarded-or-dropped packet for a
 // level/class pair.
-func (s *Stats) PerPacket(level cg.MemLevel, class cg.AccessClass) float64 {
+func (s Stats) PerPacket(level cg.MemLevel, class cg.AccessClass) float64 {
 	done := s.TxPackets + s.FreedPackets
 	if done == 0 {
 		return 0
@@ -119,6 +195,7 @@ type Ring struct {
 	cap  int
 	head int
 	n    int
+	hwm  int // high-water occupancy since the last stats reset
 }
 
 func newRing(capacity int) *Ring { return &Ring{buf: make([][2]uint32, capacity), cap: capacity} }
@@ -130,6 +207,9 @@ func (r *Ring) Put(a, b uint32) bool {
 	}
 	r.buf[(r.head+r.n)%r.cap] = [2]uint32{a, b}
 	r.n++
+	if r.n > r.hwm {
+		r.hwm = r.n
+	}
 	return true
 }
 
@@ -149,6 +229,16 @@ func (r *Ring) Len() int { return r.n }
 
 // Space returns free slots.
 func (r *Ring) Space() int { return r.cap - r.n }
+
+// Cap returns the slot count.
+func (r *Ring) Cap() int { return r.cap }
+
+// MaxOcc returns the high-water occupancy since the last stats reset.
+func (r *Ring) MaxOcc() int { return r.hwm }
+
+// resetHWM restarts the high-water mark at the current occupancy (a ring
+// may carry standing entries across a stats reset).
+func (r *Ring) resetHWM() { r.hwm = r.n }
 
 // controller models one shared memory channel.
 type controller struct {
@@ -224,6 +314,7 @@ const (
 	evTxTick
 	evXScale
 	evCallback
+	evSample
 )
 
 type event struct {
@@ -262,8 +353,11 @@ type Machine struct {
 	DRAM    []byte
 	MEs     []*ME
 	Rings   []*Ring
-	Stats   Stats
 
+	stats     Stats
+	reg       *metrics.Registry
+	lastBusy  [4]int64       // controller busy at the previous telemetry sample
+	lastME    []int64        // per-ME busy at the previous telemetry sample
 	ctrl      [3]*controller // scratch, sram, dram (local is uncontended)
 	events    eventHeap
 	now       int64
@@ -286,16 +380,31 @@ type Machine struct {
 	XScaleRings []int
 }
 
-// New builds a machine with the given ring count.
-func New(cfg Config, numRings, ringSlots int) *Machine {
+// New builds a machine with the given ring count. The configuration is
+// validated up front: zero or negative clock, port rate or structural
+// sizes are rejected with a descriptive error instead of surfacing later
+// as NaN/Inf rates.
+func New(cfg Config, numRings, ringSlots int) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if numRings < 0 {
+		return nil, fmt.Errorf("ixp: ring count must be non-negative (got %d)", numRings)
+	}
+	if numRings > 0 && ringSlots <= 0 {
+		return nil, fmt.Errorf("ixp: ring slots must be positive (got %d)", ringSlots)
+	}
 	m := &Machine{
 		Cfg:     cfg,
 		Scratch: make([]byte, cfg.ScratchBytes),
 		SRAM:    make([]byte, cfg.SRAMBytes),
 		DRAM:    make([]byte, cfg.DRAMBytes),
+		reg:     metrics.NewRegistry(),
+		lastME:  make([]int64, cfg.NumMEs),
 	}
-	m.Stats.MEAccesses = map[AccessKey]uint64{}
-	m.Stats.MEInstrs = make([]uint64, cfg.NumMEs)
+	m.stats.MEAccesses = map[AccessKey]uint64{}
+	m.stats.MEInstrs = make([]uint64, cfg.NumMEs)
+	m.stats.MEBusy = make([]int64, cfg.NumMEs)
 	m.ctrl[0] = &controller{level: cg.MemScratch, latency: cfg.ScratchLatency, svcBase: cfg.ScratchSvcBase, svcWord: cfg.ScratchSvcWord}
 	m.ctrl[1] = &controller{level: cg.MemSRAM, latency: cfg.SRAMLatency, svcBase: cfg.SRAMSvcBase, svcWord: cfg.SRAMSvcWord}
 	m.ctrl[2] = &controller{level: cg.MemDRAM, latency: cfg.DRAMLatency, svcBase: cfg.DRAMSvcBase, svcWord: cfg.DRAMSvcWord}
@@ -313,11 +422,28 @@ func New(cfg Config, numRings, ringSlots int) *Machine {
 	for i := 0; i < numRings; i++ {
 		m.Rings = append(m.Rings, newRing(ringSlots))
 	}
-	return m
+	return m, nil
 }
 
-// GrowRing resizes ring i (the free ring must hold every buffer).
-func (m *Machine) GrowRing(i, slots int) { m.Rings[i] = newRing(slots) }
+// GrowRing resizes ring i (the free ring must hold every buffer). Entries
+// already queued are preserved in FIFO order, so a ring can be grown
+// mid-run; shrinking below the current occupancy drops the excess tail.
+func (m *Machine) GrowRing(i, slots int) {
+	old := m.Rings[i]
+	nr := newRing(slots)
+	for {
+		a, b, ok := old.Get()
+		if !ok || !nr.Put(a, b) {
+			break
+		}
+	}
+	m.Rings[i] = nr
+}
+
+// Metrics returns the machine's telemetry registry. Time-series are only
+// populated when Cfg.SampleInterval is positive; the registry itself is
+// always available for callers that want to attach their own instruments.
+func (m *Machine) Metrics() *metrics.Registry { return m.reg }
 
 // LoadProgram installs code on an ME and starts its threads.
 func (m *Machine) LoadProgram(me int, prog *cg.Program) {
@@ -403,12 +529,15 @@ func (m *Machine) Run(cycles int64) error {
 		if m.XScaleStep != nil && len(m.XScaleRings) > 0 {
 			m.schedule(m.now, evXScale, 0, 0, nil)
 		}
+		if m.Cfg.SampleInterval > 0 {
+			m.schedule(m.now+m.Cfg.SampleInterval, evSample, 0, 0, nil)
+		}
 	}
 	for m.err == nil && len(m.events) > 0 {
 		ev := heap.Pop(&m.events).(*event)
 		if ev.time > deadline {
 			m.now = deadline
-			m.Stats.Cycles = m.now - m.statsBase
+			m.stats.Cycles = m.now - m.statsBase
 			// Push it back for a future Run call.
 			heap.Push(&m.events, ev)
 			return m.err
@@ -434,9 +563,11 @@ func (m *Machine) Run(cycles int64) error {
 			m.xscaleTick()
 		case evCallback:
 			ev.fn()
+		case evSample:
+			m.sampleTick()
 		}
 	}
-	m.Stats.Cycles = m.now - m.statsBase
+	m.stats.Cycles = m.now - m.statsBase
 	return m.err
 }
 
@@ -472,7 +603,7 @@ func (m *Machine) runME(meIdx int) {
 			return
 		}
 		in := code[th.pc]
-		m.Stats.MEInstrs[meIdx]++
+		m.stats.MEInstrs[meIdx]++
 		cycles++
 		next := th.pc + 1
 		switch in.Op {
@@ -557,6 +688,7 @@ func (m *Machine) runME(meIdx int) {
 		// Instruction budget exhausted without a yield point (long ALU
 		// stretch): requeue the same thread.
 	}
+	m.stats.MEBusy[meIdx] += cycles
 	mx.rrNext = (ti + 1) % len(mx.threads)
 	// Context switch overhead of 1 cycle, then run the next ready thread.
 	hasReady := false
@@ -607,13 +739,13 @@ func (m *Machine) execMem(mx *ME, th *Thread, in *cg.Instr, cyclesSoFar int64) (
 		}
 	}
 	if in.Class != cg.ClassNone {
-		m.Stats.MEAccesses[AccessKey{in.Level, in.Class}]++
+		m.stats.MEAccesses[AccessKey{in.Level, in.Class}]++
 	}
 	if in.Level == cg.MemLocal {
 		return true, 0 // 3-cycle pipeline, no context swap (charged by caller)
 	}
 	c := m.controllerFor(in.Level)
-	return true, c.access(m.now+cyclesSoFar, in.NWords, &m.Stats)
+	return true, c.access(m.now+cyclesSoFar, in.NWords, &m.stats)
 }
 
 // ringGet pops a descriptor pair, writing InvalidPktID on empty.
@@ -626,10 +758,10 @@ func (m *Machine) ringGet(mx *ME, th *Thread, in *cg.Instr, cyclesSoFar int64) i
 	th.regs[in.Dst] = a
 	th.regs[in.Dst2] = b
 	if in.Class != cg.ClassNone {
-		m.Stats.MEAccesses[AccessKey{cg.MemScratch, in.Class}]++
+		m.stats.MEAccesses[AccessKey{cg.MemScratch, in.Class}]++
 	}
 	c := m.ctrl[0]
-	return c.access(m.now+cyclesSoFar, 2, &m.Stats)
+	return c.access(m.now+cyclesSoFar, 2, &m.stats)
 }
 
 // ringPut pushes a pair; Dst receives 1 on success, 0 when full.
@@ -637,7 +769,7 @@ func (m *Machine) ringPut(mx *ME, th *Thread, in *cg.Instr, cyclesSoFar int64) i
 	r := m.Rings[in.Ring]
 	ok := r.Put(th.regs[in.SrcA], m.srcB(th, in))
 	if ok && in.Ring == cg.RingFree {
-		m.Stats.FreedPackets++ // an ME dropped (or recycled) a packet
+		m.stats.FreedPackets++ // an ME dropped (or recycled) a packet
 	}
 	if in.Dst != cg.NoPReg {
 		if ok {
@@ -647,10 +779,10 @@ func (m *Machine) ringPut(mx *ME, th *Thread, in *cg.Instr, cyclesSoFar int64) i
 		}
 	}
 	if in.Class != cg.ClassNone {
-		m.Stats.MEAccesses[AccessKey{cg.MemScratch, in.Class}]++
+		m.stats.MEAccesses[AccessKey{cg.MemScratch, in.Class}]++
 	}
 	c := m.ctrl[0]
-	return c.access(m.now+cyclesSoFar, 2, &m.Stats)
+	return c.access(m.now+cyclesSoFar, 2, &m.stats)
 }
 
 func (m *Machine) camLookup(mx *ME, key uint32) (hit, entry uint32) {
@@ -692,15 +824,24 @@ func (m *Machine) rxTick() {
 }
 
 // RxIntervalOrDefault spaces injections at the configured media rate for
-// minimum-size frames.
+// minimum-size frames. Degenerate configurations (non-positive or
+// non-finite clock or port rate — rejected by New, but this method is
+// callable on a bare Config) fall back to a 64-cycle interval instead of
+// returning zero or negative intervals that would wedge the event loop.
 func (c *Config) RxIntervalOrDefault() int64 {
-	if c.PortGbps <= 0 {
+	if c.PortGbps <= 0 || c.ClockMHz <= 0 ||
+		math.IsNaN(c.PortGbps) || math.IsInf(c.PortGbps, 0) ||
+		math.IsNaN(c.ClockMHz) || math.IsInf(c.ClockMHz, 0) {
 		return 64
 	}
 	// Minimum-size 64B frames at PortGbps, in core cycles.
 	bits := float64(64 * 8)
 	seconds := bits / (c.PortGbps * 1e9)
-	return int64(seconds * c.ClockMHz * 1e6)
+	iv := int64(seconds * c.ClockMHz * 1e6)
+	if iv < 1 {
+		iv = 1
+	}
+	return iv
 }
 
 // ChargeRxDMA bills the Rx engine's buffer write and metadata write; the
@@ -711,8 +852,8 @@ func (m *Machine) ChargeRxDMA(frameBytes, metaWords int) {
 	if !m.Cfg.ChargeDMA {
 		return
 	}
-	m.ctrl[2].access(m.now, (frameBytes+15)/16, &m.Stats)
-	m.ctrl[1].access(m.now, metaWords, &m.Stats)
+	m.ctrl[2].access(m.now, (frameBytes+15)/16, &m.stats)
+	m.ctrl[1].access(m.now, metaWords, &m.stats)
 }
 
 func (m *Machine) txTick() {
@@ -727,10 +868,10 @@ func (m *Machine) txTick() {
 		frame = m.OnTx(m, w0, w1)
 	}
 	if m.Cfg.ChargeDMA {
-		m.ctrl[2].access(m.now, (frame+15)/16, &m.Stats)
+		m.ctrl[2].access(m.now, (frame+15)/16, &m.stats)
 	}
-	m.Stats.TxPackets++
-	m.Stats.TxBits += uint64(frame * 8)
+	m.stats.TxPackets++
+	m.stats.TxBits += uint64(frame * 8)
 	// Pace the port: next transmit after the frame serializes.
 	bits := float64(frame * 8)
 	wait := int64(bits / (m.Cfg.PortGbps * 1e9) * m.Cfg.ClockMHz * 1e6)
@@ -738,6 +879,49 @@ func (m *Machine) txTick() {
 		wait = 1
 	}
 	m.schedule(m.now+wait, evTxTick, 0, 0, nil)
+}
+
+// levelName names the controller levels for metric keys.
+func levelName(level cg.MemLevel) string {
+	switch level {
+	case cg.MemScratch:
+		return "scratch"
+	case cg.MemSRAM:
+		return "sram"
+	case cg.MemDRAM:
+		return "dram"
+	default:
+		return "local"
+	}
+}
+
+// sampleTick appends one telemetry sample per instrument: per-ME
+// utilization and per-controller saturation over the elapsed interval,
+// per-controller queue backlog, and per-ring occupancy at this instant.
+func (m *Machine) sampleTick() {
+	interval := m.Cfg.SampleInterval
+	w := m.Cfg.SampleWindow
+	dt := float64(interval)
+	for i := range m.MEs {
+		d := m.stats.MEBusy[i] - m.lastME[i]
+		m.lastME[i] = m.stats.MEBusy[i]
+		m.reg.Series(fmt.Sprintf("me%d.util", i), w).Append(m.now, float64(d)/dt)
+	}
+	for _, c := range m.ctrl {
+		d := m.stats.Busy[c.level] - m.lastBusy[c.level]
+		m.lastBusy[c.level] = m.stats.Busy[c.level]
+		name := levelName(c.level)
+		m.reg.Series("ctrl."+name+".sat", w).Append(m.now, float64(d)/dt)
+		backlog := c.nextFree - m.now
+		if backlog < 0 {
+			backlog = 0
+		}
+		m.reg.Series("ctrl."+name+".queue", w).Append(m.now, float64(backlog))
+	}
+	for i, r := range m.Rings {
+		m.reg.Series(fmt.Sprintf("ring%d.occ", i), w).Append(m.now, float64(r.Len()))
+	}
+	m.schedule(m.now+interval, evSample, 0, 0, nil)
 }
 
 func (m *Machine) xscaleTick() {
@@ -827,14 +1011,48 @@ func putBEWord(b []byte, v uint32) {
 }
 
 // ResetStats clears measurement counters (after warm-up) while keeping
-// machine state (queues, caches, register files) intact.
+// machine state (queues, caches, register files) intact. Ring high-water
+// marks restart at the current occupancy and the telemetry sampler's
+// baselines reset with the counters.
 func (m *Machine) ResetStats() {
 	base := m.now
-	m.Stats = Stats{
+	m.stats = Stats{
 		MEAccesses: map[AccessKey]uint64{},
 		MEInstrs:   make([]uint64, m.Cfg.NumMEs),
+		MEBusy:     make([]int64, m.Cfg.NumMEs),
 	}
 	m.statsBase = base
+	m.lastBusy = [4]int64{}
+	m.lastME = make([]int64, m.Cfg.NumMEs)
+	for _, r := range m.Rings {
+		r.resetHWM()
+	}
+}
+
+// Snapshot returns an immutable deep copy of the run statistics. The
+// machine's internal counters cannot be mutated through it; hooks that
+// need to account packets use the Note* methods instead.
+func (m *Machine) Snapshot() Stats { return m.stats.clone() }
+
+// NoteRxPacket counts one received packet (called by RxInject hooks).
+func (m *Machine) NoteRxPacket() { m.stats.RxPackets++ }
+
+// NoteRxDropped counts one saturation drop at the Rx ring (called by
+// RxInject hooks when the ring is full).
+func (m *Machine) NoteRxDropped() { m.stats.RxDropped++ }
+
+// NoteFreedPacket counts one dropped-or-recycled packet returned to the
+// free list outside ME ring operations (XScale drops, hook recycling).
+func (m *Machine) NoteFreedPacket() { m.stats.FreedPackets++ }
+
+// RingMaxOcc returns each ring's high-water occupancy since the last
+// stats reset, indexed by ring number.
+func (m *Machine) RingMaxOcc() []int {
+	out := make([]int, len(m.Rings))
+	for i, r := range m.Rings {
+		out[i] = r.MaxOcc()
+	}
+	return out
 }
 
 // SetPC places a thread at an absolute entry point (the runtime uses this

@@ -35,6 +35,87 @@ func TestRingFIFO(t *testing.T) {
 	}
 }
 
+func TestRingBackpressureOnFull(t *testing.T) {
+	r := newRing(2)
+	if !r.Put(1, 10) || !r.Put(2, 20) {
+		t.Fatal("fill failed")
+	}
+	// Repeated puts into a full ring all fail and leave contents intact.
+	for i := 0; i < 5; i++ {
+		if r.Put(99, 99) {
+			t.Fatalf("put %d into full ring succeeded", i)
+		}
+	}
+	if r.Len() != 2 || r.Space() != 0 || r.MaxOcc() != 2 {
+		t.Errorf("len=%d space=%d hwm=%d after rejected puts", r.Len(), r.Space(), r.MaxOcc())
+	}
+	if a, b, ok := r.Get(); !ok || a != 1 || b != 10 {
+		t.Errorf("head entry corrupted by rejected puts: (%d,%d,%v)", a, b, ok)
+	}
+	// After draining one slot, a put succeeds again and the high-water
+	// mark remembers the peak.
+	if !r.Put(3, 30) {
+		t.Error("put after drain failed")
+	}
+	if r.MaxOcc() != 2 {
+		t.Errorf("hwm = %d, want 2", r.MaxOcc())
+	}
+}
+
+func TestGrowRingPreservesEntries(t *testing.T) {
+	cfg := DefaultConfig()
+	m, err := New(cfg, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 4; i++ {
+		m.Rings[0].Put(i, i*2)
+	}
+	m.GrowRing(0, 16)
+	if m.Rings[0].Cap() != 16 || m.Rings[0].Len() != 4 {
+		t.Fatalf("cap=%d len=%d after grow", m.Rings[0].Cap(), m.Rings[0].Len())
+	}
+	for i := uint32(0); i < 4; i++ {
+		a, b, ok := m.Rings[0].Get()
+		if !ok || a != i || b != i*2 {
+			t.Fatalf("entry %d = (%d,%d,%v) after grow", i, a, b, ok)
+		}
+	}
+	// Shrinking below occupancy keeps the FIFO head and drops the tail.
+	for i := uint32(0); i < 4; i++ {
+		m.Rings[0].Put(i, 0)
+	}
+	m.GrowRing(0, 2)
+	if m.Rings[0].Len() != 2 {
+		t.Fatalf("len=%d after shrink, want 2", m.Rings[0].Len())
+	}
+	if a, _, _ := m.Rings[0].Get(); a != 0 {
+		t.Errorf("shrink dropped the head, got %d", a)
+	}
+}
+
+// TestGrowRingMidRun grows the Tx ring while the machine is between Run
+// windows with traffic in flight: queued descriptors must survive and
+// forwarding must continue.
+func TestGrowRingMidRun(t *testing.T) {
+	m := runLoop(t, 1)
+	before := m.Snapshot()
+	inFlight := m.Rings[cg.RingRx].Len() + m.Rings[cg.RingTx].Len() + m.Rings[cg.RingFree].Len()
+	m.GrowRing(cg.RingTx, 256)
+	m.GrowRing(cg.RingRx, 256)
+	after := m.Rings[cg.RingRx].Len() + m.Rings[cg.RingTx].Len() + m.Rings[cg.RingFree].Len()
+	if after != inFlight {
+		t.Fatalf("grow lost descriptors: %d -> %d", inFlight, after)
+	}
+	if err := m.Run(200_000); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Snapshot()
+	if st.TxPackets <= before.TxPackets {
+		t.Errorf("no forwarding after mid-run grow: %d -> %d", before.TxPackets, st.TxPackets)
+	}
+}
+
 func TestControllerBandwidth(t *testing.T) {
 	c := &controller{level: cg.MemSRAM, latency: 90, svcBase: 8, svcWord: 1}
 	st := &Stats{}
@@ -123,7 +204,11 @@ func loopProg() *cg.Program {
 func runLoop(t *testing.T, seed int) *Machine {
 	t.Helper()
 	cfg := DefaultConfig()
-	m := New(cfg, 3, 64)
+	cfg.SampleInterval = 10_000
+	m, err := New(cfg, 3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
 	m.GrowRing(cg.RingFree, 128)
 	for i := 0; i < 100; i++ {
 		m.Rings[cg.RingFree].Put(uint32(i), 64<<16|128)
@@ -137,7 +222,7 @@ func runLoop(t *testing.T, seed int) *Machine {
 			return false
 		}
 		m.Rings[cg.RingRx].Put(id, 64<<16|128)
-		m.Stats.RxPackets++
+		m.NoteRxPacket()
 		return true
 	}
 	m.OnTx = func(m *Machine, w0, w1 uint32) int {
@@ -154,42 +239,164 @@ func runLoop(t *testing.T, seed int) *Machine {
 
 func TestMachineForwardsAndCounts(t *testing.T) {
 	m := runLoop(t, 1)
-	if m.Stats.TxPackets == 0 {
+	st := m.Snapshot()
+	if st.TxPackets == 0 {
 		t.Fatal("nothing forwarded")
 	}
 	// The scratch counter was incremented once per forwarded packet
 	// (remaining in-flight packets may have bumped it too).
 	got := beWord(m.Scratch[256:])
-	if uint64(got) < m.Stats.TxPackets {
-		t.Errorf("counter %d < tx %d", got, m.Stats.TxPackets)
+	if uint64(got) < st.TxPackets {
+		t.Errorf("counter %d < tx %d", got, st.TxPackets)
 	}
 	// ME-issued accounting: 2 app-scratch accesses per processed packet.
-	app := m.Stats.MEAccesses[AccessKey{cg.MemScratch, cg.ClassAppData}]
-	if app < 2*m.Stats.TxPackets {
-		t.Errorf("app scratch %d < 2*tx %d", app, m.Stats.TxPackets)
+	app := st.MEAccesses[AccessKey{cg.MemScratch, cg.ClassAppData}]
+	if app < 2*st.TxPackets {
+		t.Errorf("app scratch %d < 2*tx %d", app, st.TxPackets)
+	}
+}
+
+func TestSnapshotIsDetached(t *testing.T) {
+	m := runLoop(t, 1)
+	st := m.Snapshot()
+	st.MEAccesses[AccessKey{cg.MemScratch, cg.ClassAppData}] = 0
+	st.MEInstrs[0] = 0
+	st.MEBusy[0] = 0
+	again := m.Snapshot()
+	if again.MEAccesses[AccessKey{cg.MemScratch, cg.ClassAppData}] == 0 {
+		t.Error("mutating a snapshot map reached the machine's counters")
+	}
+	if again.MEInstrs[0] == 0 || again.MEBusy[0] == 0 {
+		t.Error("mutating a snapshot slice reached the machine's counters")
 	}
 }
 
 func TestMachineDeterminism(t *testing.T) {
-	a := runLoop(t, 1)
-	b := runLoop(t, 1)
-	if a.Stats.TxPackets != b.Stats.TxPackets || a.Stats.Cycles != b.Stats.Cycles {
+	a := runLoop(t, 1).Snapshot()
+	b := runLoop(t, 1).Snapshot()
+	if a.TxPackets != b.TxPackets || a.Cycles != b.Cycles {
 		t.Errorf("non-deterministic: %d/%d vs %d/%d packets/cycles",
-			a.Stats.TxPackets, a.Stats.Cycles, b.Stats.TxPackets, b.Stats.Cycles)
+			a.TxPackets, a.Cycles, b.TxPackets, b.Cycles)
 	}
 }
 
 func TestPortRateCapsThroughput(t *testing.T) {
 	m := runLoop(t, 1)
-	gbps := m.Stats.Gbps(m.Cfg.ClockMHz)
+	st := m.Snapshot()
+	gbps := st.Gbps(m.Cfg.ClockMHz)
 	if gbps > m.Cfg.PortGbps*1.05 {
 		t.Errorf("rate %.2f exceeds port capacity %.1f", gbps, m.Cfg.PortGbps)
 	}
 }
 
+func TestTelemetrySampling(t *testing.T) {
+	m := runLoop(t, 1) // SampleInterval 10k over 200k cycles
+	snap := m.Metrics().Snapshot()
+	util := snap.Series["me0.util"]
+	if len(util) < 15 {
+		t.Fatalf("me0.util has %d samples, want ~20", len(util))
+	}
+	var maxU float64
+	for _, s := range util {
+		if s.V < 0 || s.V > 1.0 {
+			t.Errorf("utilization sample %v out of [0,1]", s.V)
+		}
+		if s.V > maxU {
+			maxU = s.V
+		}
+	}
+	if maxU == 0 {
+		t.Error("ME0 ran a forwarding loop but sampled utilization stayed 0")
+	}
+	// Disabled MEs never execute.
+	for _, s := range snap.Series["me7.util"] {
+		if s.V != 0 {
+			t.Errorf("disabled ME shows utilization %v", s.V)
+		}
+	}
+	sat := snap.Series["ctrl.scratch.sat"]
+	if len(sat) == 0 {
+		t.Fatal("no scratch controller saturation samples")
+	}
+	var satSum float64
+	for _, s := range sat {
+		satSum += s.V
+	}
+	if satSum == 0 {
+		t.Error("scratch controller served ring traffic but saturation stayed 0")
+	}
+	if len(snap.Series["ring0.occ"]) == 0 {
+		t.Error("no ring occupancy samples")
+	}
+	// Aggregate stats agree in direction with the sampled series.
+	st := m.Snapshot()
+	if st.Utilization(0) <= 0 || st.Saturation(cg.MemScratch) <= 0 {
+		t.Errorf("aggregate util=%v sat=%v, want positive",
+			st.Utilization(0), st.Saturation(cg.MemScratch))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.ClockMHz = 0 },
+		func(c *Config) { c.ClockMHz = -600 },
+		func(c *Config) { c.PortGbps = 0 },
+		func(c *Config) { c.PortGbps = -1 },
+		func(c *Config) { c.NumMEs = 0 },
+		func(c *Config) { c.ThreadsPerME = -1 },
+		func(c *Config) { c.ScratchBytes = 0 },
+		func(c *Config) { c.SRAMLatency = -5 },
+		func(c *Config) { c.CAMEntries = 0 },
+		func(c *Config) { c.SampleInterval = -1 },
+	}
+	for i, mut := range bad {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if _, err := New(cfg, 3, 8); err == nil {
+			t.Errorf("case %d: New accepted an invalid config", i)
+		}
+	}
+	if _, err := New(DefaultConfig(), -1, 8); err == nil {
+		t.Error("New accepted a negative ring count")
+	}
+	if _, err := New(DefaultConfig(), 3, 0); err == nil {
+		t.Error("New accepted zero ring slots")
+	}
+}
+
+func TestRxIntervalDegenerateConfigs(t *testing.T) {
+	for _, c := range []Config{
+		{PortGbps: 0, ClockMHz: 600},
+		{PortGbps: -2, ClockMHz: 600},
+		{PortGbps: 3, ClockMHz: 0},
+		{PortGbps: 3, ClockMHz: -1},
+	} {
+		if iv := c.RxIntervalOrDefault(); iv != 64 {
+			t.Errorf("config %+v: interval %d, want fallback 64", c, iv)
+		}
+	}
+	// Absurdly fast port: interval clamps to >= 1 instead of 0.
+	c := Config{PortGbps: 1e6, ClockMHz: 600}
+	if iv := c.RxIntervalOrDefault(); iv < 1 {
+		t.Errorf("interval %d, want >= 1", iv)
+	}
+}
+
+func TestGbpsDegenerateClock(t *testing.T) {
+	s := &Stats{Cycles: 1000, TxBits: 64_000}
+	for _, clock := range []float64{0, -600} {
+		if g := s.Gbps(clock); g != 0 {
+			t.Errorf("Gbps(%v) = %v, want 0 (not NaN/Inf)", clock, g)
+		}
+	}
+}
+
 func TestCAMLRUReplacement(t *testing.T) {
 	cfg := DefaultConfig()
-	m := New(cfg, 3, 8)
+	m, err := New(cfg, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	me := m.MEs[0]
 	// Fill all 16 entries.
 	for i := 0; i < 16; i++ {
@@ -218,7 +425,10 @@ func TestCAMLRUReplacement(t *testing.T) {
 
 func TestMemOutOfRangeFaults(t *testing.T) {
 	cfg := DefaultConfig()
-	m := New(cfg, 3, 8)
+	m, err := New(cfg, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	prog := &cg.Program{Name: "bad", Code: []*cg.Instr{
 		{Op: cg.IMem, Level: cg.MemScratch, Addr: cg.NoPReg,
 			AddrOff: uint32(cfg.ScratchBytes), NWords: 1, Data: []cg.PReg{0}},
@@ -232,7 +442,10 @@ func TestMemOutOfRangeFaults(t *testing.T) {
 
 func TestAtomicTestAndSet(t *testing.T) {
 	cfg := DefaultConfig()
-	m := New(cfg, 3, 8)
+	m, err := New(cfg, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	prog := &cg.Program{Name: "tas", Code: []*cg.Instr{
 		{Op: cg.IMem, Level: cg.MemScratch, Addr: cg.NoPReg, AddrOff: 512,
 			NWords: 1, Data: []cg.PReg{2}, Atomic: true, Class: cg.ClassAppData},

@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteJSON writes the snapshot as indented JSON. Map keys marshal in
+// sorted order, so identical snapshots produce identical bytes.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteCSV writes the snapshot as rows of kind,name,cycle,value. Counters
+// and gauges use an empty cycle column; series emit one row per sample.
+// Rows are sorted by (kind, name, cycle) so identical snapshots produce
+// identical bytes.
+func (s Snapshot) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kind", "name", "cycle", "value"}); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := cw.Write([]string{"counter", n, "", strconv.FormatInt(s.Counters[n], 10)}); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := cw.Write([]string{"gauge", n, "", formatFloat(s.Gauges[n])}); err != nil {
+			return err
+		}
+	}
+	for _, n := range s.SeriesNames() {
+		for _, smp := range s.Series[n] {
+			if err := cw.Write([]string{"series", n,
+				strconv.FormatInt(smp.T, 10), formatFloat(smp.V)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// MarshalIndent returns the snapshot's canonical JSON bytes.
+func (s Snapshot) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,192 @@
+// Package metrics provides the lightweight instrumentation substrate for
+// the evaluation engine: named counters, gauges, and windowed time-series
+// sampled on simulator cycles. The IXP model records per-ME utilization,
+// per-controller saturation and per-ring occupancy through a Registry;
+// the harness exports the collected data as JSON or CSV alongside the
+// paper's tables and figures.
+//
+// Instruments are goroutine-safe: the sweep runner measures many machine
+// instances concurrently, and each machine owns a private Registry, but
+// nothing prevents a shared registry (e.g. a fleet-wide one) from being
+// updated from several goroutines.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Sample is one point of a time-series: simulator cycle and value.
+type Sample struct {
+	T int64   `json:"t"`
+	V float64 `json:"v"`
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a point-in-time float metric (latest value wins).
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Value returns the last recorded value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Series is a windowed time-series: appending beyond the window drops the
+// oldest samples. A window of 0 keeps every sample.
+type Series struct {
+	mu      sync.Mutex
+	window  int
+	samples []Sample
+}
+
+// Append records v at cycle t, evicting the oldest sample when the window
+// is full.
+func (s *Series) Append(t int64, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.window > 0 && len(s.samples) == s.window {
+		copy(s.samples, s.samples[1:])
+		s.samples = s.samples[:len(s.samples)-1]
+	}
+	s.samples = append(s.samples, Sample{T: t, V: v})
+}
+
+// Samples returns a copy of the retained samples in append order.
+func (s *Series) Samples() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Sample(nil), s.samples...)
+}
+
+// Len returns the number of retained samples.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.samples)
+}
+
+// Registry holds named instruments. Instruments are created on first use
+// and identified by name; lookups are get-or-create.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	series   map[string]*Series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		series:   map[string]*Series{},
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Series returns the named series, creating it with the given window if
+// needed. The window of an existing series is not changed.
+func (r *Registry) Series(name string, window int) *Series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[name]
+	if !ok {
+		s = &Series{window: window}
+		r.series[name] = s
+	}
+	return s
+}
+
+// Snapshot is an immutable, export-ready copy of a registry's contents.
+type Snapshot struct {
+	Counters map[string]int64    `json:"counters,omitempty"`
+	Gauges   map[string]float64  `json:"gauges,omitempty"`
+	Series   map[string][]Sample `json:"series,omitempty"`
+}
+
+// Snapshot deep-copies the registry. The result is detached: later updates
+// to the registry do not affect it.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{}
+	if len(r.counters) > 0 {
+		snap.Counters = make(map[string]int64, len(r.counters))
+		for n, c := range r.counters {
+			snap.Counters[n] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		snap.Gauges = make(map[string]float64, len(r.gauges))
+		for n, g := range r.gauges {
+			snap.Gauges[n] = g.Value()
+		}
+	}
+	if len(r.series) > 0 {
+		snap.Series = make(map[string][]Sample, len(r.series))
+		for n, s := range r.series {
+			snap.Series[n] = s.Samples()
+		}
+	}
+	return snap
+}
+
+// SeriesNames returns the snapshot's series names in sorted order
+// (deterministic iteration for exports and tests).
+func (s Snapshot) SeriesNames() []string {
+	names := make([]string, 0, len(s.Series))
+	for n := range s.Series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

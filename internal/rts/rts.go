@@ -63,7 +63,10 @@ func New(img *cg.Image, prog *ir.Program, tr []*packet.Packet, opts Options) (*R
 		cfg = ixp.DefaultConfig()
 	}
 	lay := img.Layout
-	m := ixp.New(cfg, lay.NumRings, lay.RingSlots)
+	m, err := ixp.New(cfg, lay.NumRings, lay.RingSlots)
+	if err != nil {
+		return nil, fmt.Errorf("rts: %w", err)
+	}
 	m.GrowRing(cg.RingFree, lay.NumBufs+8)
 
 	r := &Runtime{
@@ -214,7 +217,7 @@ func (r *Runtime) rxInject(m *ixp.Machine) bool {
 	}
 	rx := m.Rings[cg.RingRx]
 	if rx.Space() == 0 {
-		m.Stats.RxDropped++
+		m.NoteRxDropped()
 		return false
 	}
 	id, _, ok := m.Rings[cg.RingFree].Get()
@@ -241,7 +244,7 @@ func (r *Runtime) rxInject(m *ixp.Machine) bool {
 	}
 	m.ChargeRxDMA(len(wire), int(lay.MetaRecBytes/4))
 	rx.Put(id, head<<16|end)
-	m.Stats.RxPackets++
+	m.NoteRxPacket()
 	return true
 }
 
@@ -305,7 +308,7 @@ func (r *Runtime) xscaleStep(m *ixp.Machine, ring int, w0, w1 uint32) int64 {
 	if _, err := r.interp.Run(e.Func, []profiler.Value{{P: p, Head: 0}}); err != nil {
 		// Treat interpreter failures as a dropped packet.
 		m.Rings[cg.RingFree].Put(w0, 0)
-		m.Stats.FreedPackets++
+		m.NoteFreedPacket()
 		return 512
 	}
 	// Cost model: interpreted XScale execution, a few cycles per IR op.

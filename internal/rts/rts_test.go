@@ -187,7 +187,7 @@ func TestEndToEndAllLevels(t *testing.T) {
 			if err := rt.Run(600_000); err != nil {
 				t.Fatalf("run: %v", err)
 			}
-			st := &rt.M.Stats
+			st := rt.M.Snapshot()
 			if st.TxPackets == 0 {
 				t.Fatalf("no packets forwarded; stats %+v", st)
 			}
@@ -227,7 +227,7 @@ func TestRatesImproveWithOptimization(t *testing.T) {
 		if err := rt.Run(1_000_000); err != nil {
 			t.Fatal(err)
 		}
-		rate[lvl] = rt.M.Stats.Gbps(rt.M.Cfg.ClockMHz)
+		rate[lvl] = rt.M.Snapshot().Gbps(rt.M.Cfg.ClockMHz)
 	}
 	t.Logf("rates: BASE=%.2f PAC=%.2f SWC=%.2f", rate[driver.LevelBase], rate[driver.LevelPAC], rate[driver.LevelSWC])
 	if rate[driver.LevelPAC] <= rate[driver.LevelBase] {
@@ -246,7 +246,7 @@ func TestMemoryAccessCountsDropWithOptimization(t *testing.T) {
 		if err := rt.Run(500_000); err != nil {
 			t.Fatal(err)
 		}
-		st := &rt.M.Stats
+		st := rt.M.Snapshot()
 		dram = st.PerPacket(cg.MemDRAM, cg.ClassPacketData)
 		sram = st.PerPacket(cg.MemSRAM, cg.ClassPacketMeta) + st.PerPacket(cg.MemSRAM, cg.ClassAppData)
 		return
@@ -273,7 +273,7 @@ func TestScalingWithMEs(t *testing.T) {
 		if err := rt.Run(800_000); err != nil {
 			t.Fatal(err)
 		}
-		rates = append(rates, rt.M.Stats.Gbps(rt.M.Cfg.ClockMHz))
+		rates = append(rates, rt.M.Snapshot().Gbps(rt.M.Cfg.ClockMHz))
 	}
 	t.Logf("rates by MEs: %v", rates)
 	if rates[1] <= rates[0]*1.05 {

@@ -42,14 +42,14 @@ func TestXScalePathProcessesARP(t *testing.T) {
 	if err := rt.Run(900_000); err != nil {
 		t.Fatal(err)
 	}
-	if rt.M.Stats.TxPackets == 0 {
+	if rt.M.Snapshot().TxPackets == 0 {
 		t.Fatal("no traffic forwarded")
 	}
 	arp := readSRAMWord(rt, "l3switch.arp_seen")
 	if arp == 0 {
 		t.Errorf("arp_seen = 0: XScale path never ran")
 	}
-	t.Logf("XScale handled %d ARP frames while MEs forwarded %d packets", arp, rt.M.Stats.TxPackets)
+	t.Logf("XScale handled %d ARP frames while MEs forwarded %d packets", arp, rt.M.Snapshot().TxPackets)
 }
 
 // TestSWCDelayedUpdateStaleness demonstrates §5.2's trade on the real
@@ -100,7 +100,7 @@ func TestSWCDelayedUpdateStaleness(t *testing.T) {
 		}
 	}
 	t.Logf("frames to old next hops: %d, to updated next hop 42: %d (tx=%d)",
-		oldMAC, newMAC, rt.M.Stats.TxPackets)
+		oldMAC, newMAC, rt.M.Snapshot().TxPackets)
 	if oldMAC == 0 {
 		t.Error("no frames used the pre-update routes")
 	}
