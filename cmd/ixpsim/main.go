@@ -4,7 +4,9 @@
 //
 // Usage:
 //
-//	ixpsim [-O level] [-mes n] [-cycles n] [-seed n] l3switch|mpls|firewall
+//	ixpsim [-O level] [-mes n] [-cycles n] [-seed n]
+//	       [-dump-ir pass|all] [-dump-ir-dir dir] [-verify-ir]
+//	       l3switch|mpls|firewall
 package main
 
 import (
@@ -24,6 +26,9 @@ func main() {
 	cycles := flag.Int64("cycles", 1_000_000, "measured simulation cycles (600 MHz core)")
 	warm := flag.Int64("warmup", 150_000, "warm-up cycles before counters reset")
 	seed := flag.Uint64("seed", 1234, "traffic generator seed")
+	dumpIR := flag.String("dump-ir", "", "dump IR after the named compiler pass (or \"all\")")
+	dumpDir := flag.String("dump-ir-dir", "", "write IR dumps to this directory instead of stdout")
+	verifyIR := flag.Bool("verify-ir", false, "run the IR verifier after every compiler pass")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ixpsim [flags] l3switch|mpls|firewall")
@@ -40,14 +45,25 @@ func main() {
 		os.Exit(2)
 	}
 	lvl := driver.Level(*level)
-	r, err := harness.Run(app,
+	opts := []harness.Option{
 		harness.WithLevel(lvl),
 		harness.WithMEs(*mes),
 		harness.WithWindows(*warm, *cycles),
 		harness.WithSeed(*seed),
 		harness.WithTrace(384),
 		harness.WithTelemetry(0),
-	)
+	}
+	if *dumpIR != "" || *dumpDir != "" {
+		pass := *dumpIR
+		if pass == "" {
+			pass = "all"
+		}
+		opts = append(opts, harness.WithDumpIR(pass, *dumpDir))
+	}
+	if *verifyIR {
+		opts = append(opts, harness.WithVerifyIR(driver.VerifyOn))
+	}
+	r, err := harness.Run(app, opts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ixpsim: %v\n", err)
 		os.Exit(1)

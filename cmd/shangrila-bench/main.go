@@ -10,6 +10,7 @@
 //
 //	shangrila-bench [-exp all|fig6|table1|fig13|fig14|fig15] [-quick]
 //	                [-report bench_report.json] [-workers N]
+//	                [-dump-ir pass|all] [-dump-ir-dir dir] [-verify-ir]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"os"
 
 	"shangrila/internal/apps"
+	"shangrila/internal/driver"
 	"shangrila/internal/harness"
 )
 
@@ -27,6 +29,9 @@ func main() {
 	seed := flag.Uint64("seed", 1234, "traffic seed")
 	report := flag.String("report", "bench_report.json", "machine-readable report path (empty disables)")
 	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
+	dumpIR := flag.String("dump-ir", "", "dump IR after the named compiler pass (or \"all\")")
+	dumpDir := flag.String("dump-ir-dir", "", "write IR dumps to this directory instead of stdout")
+	verifyIR := flag.Bool("verify-ir", false, "run the IR verifier after every compiler pass")
 	flag.Parse()
 
 	cfg := harness.DefaultRunConfig()
@@ -39,6 +44,16 @@ func main() {
 	opts := []harness.Option{
 		harness.WithTelemetry(0),
 		harness.WithWorkers(*workers),
+	}
+	if *dumpIR != "" || *dumpDir != "" {
+		pass := *dumpIR
+		if pass == "" {
+			pass = "all"
+		}
+		opts = append(opts, harness.WithDumpIR(pass, *dumpDir))
+	}
+	if *verifyIR {
+		opts = append(opts, harness.WithVerifyIR(driver.VerifyOn))
 	}
 
 	run := func(name string, fn func() error) {

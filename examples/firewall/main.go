@@ -84,9 +84,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	r, err := harness.Measure(app, res, harness.RunConfig{
-		NumMEs: 6, Warmup: 100_000, Measure: 500_000, Seed: 7, TraceN: 384,
-	})
+	r, err := harness.Run(app,
+		harness.WithCompiled(res),
+		harness.WithMEs(6),
+		harness.WithWindows(100_000, 500_000),
+		harness.WithSeed(7),
+		harness.WithTrace(384))
 	if err != nil {
 		log.Fatal(err)
 	}

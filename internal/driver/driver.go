@@ -4,11 +4,19 @@
 // merging → PHR → SWC → code generation. The optimization level axis
 // matches the paper's evaluation (§6.2): BASE < -O1 < -O2 < +PAC < +SOAR
 // < +PHR < +SWC, cumulative.
+//
+// The pipeline is a composable pass manager: each stage is a registered
+// Pass with declared analysis requirements over a typed fact base (profile
+// stats, SOAR facts, aggregation plan), and CompileIR runs the declarative
+// per-Level pipeline built from the registry. After every pass the manager
+// can verify IR invariants (Config.VerifyIR — on by default under `go
+// test`), records per-pass time/size-delta/verify-time through
+// internal/metrics, and can dump any stage's IR (Config.DumpPass).
 package driver
 
 import (
 	"fmt"
-	"time"
+	"io"
 
 	"shangrila/internal/aggregate"
 	"shangrila/internal/baker/parser"
@@ -16,7 +24,7 @@ import (
 	"shangrila/internal/cg"
 	"shangrila/internal/ir"
 	"shangrila/internal/lower"
-	"shangrila/internal/opt"
+	"shangrila/internal/metrics"
 	"shangrila/internal/opt/pac"
 	"shangrila/internal/opt/phr"
 	"shangrila/internal/opt/soar"
@@ -65,15 +73,52 @@ type Config struct {
 	Agg aggregate.Config
 	// SWC settings; zero value uses swc.DefaultConfig.
 	SWC swc.Config
+	// VerifyIR controls post-pass IR verification. The zero value
+	// (VerifyAuto) verifies under `go test` and skips otherwise.
+	VerifyIR VerifyMode
+	// Metrics receives per-pass instrumentation (compile.pass.<name>.*
+	// counters and gauges). Nil uses a private registry; either way the
+	// collected data is exported in Report.Metrics.
+	Metrics *metrics.Registry
+	// DumpPass selects a pass after which the whole IR (program plus
+	// merged aggregate bodies) is printed; "all" dumps every pass.
+	DumpPass string
+	// DumpDir writes each dump to <DumpDir>/<DumpPrefix>-<NN>-<pass>.ir.
+	// Empty means dumps go to DumpWriter (default os.Stdout).
+	DumpDir string
+	// DumpWriter receives dumps when DumpDir is empty.
+	DumpWriter io.Writer
+	// DumpPrefix names dump files (typically the app name and level);
+	// empty uses "prog".
+	DumpPrefix string
 }
 
-// PassTiming records one Figure-5 pipeline stage: wall-clock time and the
-// whole-program IR size before and after (codegen reports CGIR size after).
+// aggConfig resolves the aggregation settings (zero value → defaults).
+func (c Config) aggConfig() aggregate.Config {
+	if c.Agg.NumMEs == 0 {
+		return aggregate.DefaultConfig()
+	}
+	return c.Agg
+}
+
+// swcConfig resolves the SWC settings (zero value → defaults).
+func (c Config) swcConfig() swc.Config {
+	if c.SWC.MaxLineWords == 0 {
+		return swc.DefaultConfig()
+	}
+	return c.SWC
+}
+
+// PassTiming records one Figure-5 pipeline stage: wall-clock time, the
+// whole-program IR size before and after (codegen reports CGIR size
+// after), and the time spent verifying the result when Config.VerifyIR is
+// enabled.
 type PassTiming struct {
 	Pass         string `json:"pass"`
 	Nanos        int64  `json:"nanos"`
 	InstrsBefore int    `json:"instrs_before"`
 	InstrsAfter  int    `json:"instrs_after"`
+	VerifyNanos  int64  `json:"verify_nanos,omitempty"`
 }
 
 // Report summarizes what the compiler did.
@@ -90,6 +135,10 @@ type Report struct {
 	// Passes holds one timing entry per executed pipeline stage, in
 	// execution order.
 	Passes []PassTiming
+	// Metrics is the per-pass instrumentation snapshot
+	// (compile.pass.<name>.{runs,nanos,verify_nanos} counters and
+	// compile.pass.<name>.size_delta gauges).
+	Metrics metrics.Snapshot
 }
 
 // irSize counts IR instructions across every function of a program.
@@ -104,21 +153,6 @@ func irSize(p *ir.Program) int {
 		}
 	}
 	return n
-}
-
-// timePass runs f, recording a PassTiming whose before/after sizes come
-// from size().
-func (r *Report) timePass(pass string, size func() int, f func() error) error {
-	before := size()
-	t0 := time.Now()
-	err := f()
-	r.Passes = append(r.Passes, PassTiming{
-		Pass:         pass,
-		Nanos:        time.Since(t0).Nanoseconds(),
-		InstrsBefore: before,
-		InstrsAfter:  size(),
-	})
-	return err
 }
 
 // Result bundles everything the runtime needs.
@@ -156,186 +190,16 @@ func CompileSource(file, src string, cfg Config) (*Result, error) {
 	return CompileIR(prog, cfg)
 }
 
-// CompileIR runs the pipeline from lowered IR.
+// CompileIR runs the pipeline from lowered IR: the per-Level pass sequence
+// built from the registry (PipelineFor), executed by the pass manager with
+// post-pass verification, metrics and dump hooks.
 func CompileIR(prog *ir.Program, cfg Config) (*Result, error) {
-	lvl := cfg.Level
-	rep := &Report{Level: lvl}
-
-	// Every pass timing measures the whole program: the top-level IR plus
-	// (once aggregation has run) every merged aggregate body.
-	var merged []*aggregate.Merged
-	size := func() int {
-		n := irSize(prog)
-		for _, m := range merged {
-			n += irSize(m.Prog)
-		}
-		return n
-	}
-
-	// 1. Functional profiler (on unoptimized IR, as in Figure 5).
-	var stats *profiler.Stats
-	err := rep.timePass("profile", size, func() (err error) {
-		stats, err = profiler.ProfileWithControls(prog, cfg.ProfileTrace, cfg.Controls)
-		return err
-	})
-	if err != nil {
-		return nil, fmt.Errorf("profile: %w", err)
-	}
-	rep.ProfileStats = stats
-
-	// 2. Inlining is mandatory for ME code generation (calls become
-	// branches with globally allocated registers in the paper; here the
-	// bodies merge outright). Scalar optimization is -O1.
-	_ = rep.timePass("inline+scalar", size, func() error {
-		opt.Optimize(prog, opt.Options{Scalar: lvl >= LevelO1, Inline: true})
-		return nil
-	})
-
-	// 3. SOAR analysis runs whenever PAC or later optimizations need its
-	// offset facts (PAC's cross-header aliasing requires the proven
-	// minimum offsets); whether the *code generator* exploits the facts
-	// is the separate +SOAR level of the evaluation axis.
-	analyze := lvl >= LevelPAC
-	var facts *soar.Stats
-	if analyze {
-		_ = rep.timePass("soar", size, func() error {
-			facts = soar.Analyze(prog)
-			return nil
-		})
-		if lvl >= LevelSOAR {
-			rep.SOAR = facts
-		}
-	}
-	// 4. PAC on the whole program.
-	if lvl >= LevelPAC {
-		_ = rep.timePass("pac", size, func() error {
-			rep.PAC = pac.Run(prog)
-			opt.Optimize(prog, opt.Options{Scalar: lvl >= LevelO1})
-			facts = soar.Analyze(prog) // re-annotate the combined accesses
-			return nil
-		})
-	}
-
-	// 5. Aggregation (Figure 7).
-	aggCfg := cfg.Agg
-	if aggCfg.NumMEs == 0 {
-		aggCfg = aggregate.DefaultConfig()
-	}
-	var plan *aggregate.Plan
-	var classes map[*types.Channel]aggregate.ChannelClass
-	err = rep.timePass("aggregate", size, func() (err error) {
-		plan, err = aggregate.Build(prog, stats, aggCfg)
-		if err != nil {
-			return fmt.Errorf("aggregate: %w", err)
-		}
-		rep.Plan = plan
-		classes = aggregate.ClassifyChannels(prog, plan)
-		merged, err = aggregate.BuildMerged(prog, plan, classes)
-		if err != nil {
-			return fmt.Errorf("merge: %w", err)
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	// 6. Per-aggregate optimization: scalar cleanup, SOAR annotation (the
-	// merged bodies see through former channel boundaries), PAC across
-	// former PPF boundaries, then PHR and SWC transforms.
-	annotateMerged := func(m *aggregate.Merged) {
-		entries := map[string]soar.Input{}
-		for _, e := range m.Entries {
-			if e.In != nil && facts != nil {
-				if fct, ok := facts.ChanInputs[e.In.Name]; ok {
-					entries[e.Func.Name] = fct
-				}
-			}
-		}
-		soar.AnalyzeWithEntries(m.Prog, entries)
-	}
-	_ = rep.timePass("agg-opt", size, func() error {
-		for _, m := range merged {
-			if m.Agg.Target != aggregate.TargetME {
-				continue
-			}
-			opt.Optimize(m.Prog, opt.Options{Scalar: lvl >= LevelO1})
-			if lvl >= LevelPAC {
-				annotateMerged(m)
-				pac.Run(m.Prog)
-				opt.Optimize(m.Prog, opt.Options{Scalar: lvl >= LevelO1})
-			}
-		}
-		return nil
-	})
-	if lvl >= LevelPHR {
-		_ = rep.timePass("phr", size, func() error {
-			rep.PHR = phr.Run(prog, plan, merged)
-			return nil
-		})
-	}
-	if lvl >= LevelSWC {
-		err = rep.timePass("swc", size, func() error {
-			swcCfg := cfg.SWC
-			if swcCfg.MaxLineWords == 0 {
-				swcCfg = swc.DefaultConfig()
-			}
-			cands := swc.SelectCandidates(prog, stats, swcCfg)
-			if _, err := swc.Apply(prog, merged, cands, swcCfg); err != nil {
-				return fmt.Errorf("swc: %w", err)
-			}
-			rep.SWCCands = cands
-			return nil
-		})
-		if err != nil {
+	r := newRunner(prog, cfg)
+	for _, p := range PipelineFor(cfg) {
+		if err := r.runPass(p); err != nil {
 			return nil, err
 		}
 	}
-	// PHR's pair elimination redirects accesses to shared handles, which
-	// exposes further combining: run PAC once more, then a final scalar
-	// cleanup and SOAR re-annotation of the merged bodies.
-	_ = rep.timePass("final-opt", size, func() error {
-		for _, m := range merged {
-			if m.Agg.Target != aggregate.TargetME {
-				continue
-			}
-			if lvl >= LevelPHR {
-				annotateMerged(m)
-				pac.Run(m.Prog)
-			}
-			opt.Optimize(m.Prog, opt.Options{Scalar: lvl >= LevelO1})
-			if analyze {
-				annotateMerged(m)
-			}
-		}
-		return nil
-	})
-
-	// 7. Code generation. InstrsAfter reports generated CGIR instructions
-	// rather than IR.
-	var img *cg.Image
-	irBefore := size()
-	t0 := time.Now()
-	opts := cg.Options{
-		O2:   lvl >= LevelO2,
-		SOAR: lvl >= LevelSOAR,
-		PHR:  lvl >= LevelPHR,
-		SWC:  lvl >= LevelSWC,
-	}
-	img, err = cg.Compile(prog, plan, merged, classes, facts, opts)
-	if err != nil {
-		return nil, fmt.Errorf("codegen: %w", err)
-	}
-	cgSize := 0
-	for _, c := range img.MECode {
-		rep.CodeSizes = append(rep.CodeSizes, len(c.Program.Code))
-		cgSize += len(c.Program.Code)
-	}
-	rep.Passes = append(rep.Passes, PassTiming{
-		Pass:         "codegen",
-		Nanos:        time.Since(t0).Nanoseconds(),
-		InstrsBefore: irBefore,
-		InstrsAfter:  cgSize,
-	})
-	return &Result{Image: img, Prog: prog, Report: rep}, nil
+	r.ctx.Report.Metrics = r.reg().Snapshot()
+	return &Result{Image: r.ctx.Image, Prog: prog, Report: r.ctx.Report}, nil
 }

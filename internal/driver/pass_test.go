@@ -1,0 +1,228 @@
+package driver_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"shangrila/internal/apps"
+	"shangrila/internal/driver"
+)
+
+// compileApp lowers one benchmark app and runs the pipeline with the given
+// configuration (Level/ProfileTrace/Controls are filled in).
+func compileApp(t *testing.T, a *apps.App, lvl driver.Level, cfg driver.Config) *driver.Result {
+	t.Helper()
+	prog, err := driver.LowerSource(a.Name+".baker", a.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Level = lvl
+	cfg.ProfileTrace = a.Trace(prog.Types, 7, 256)
+	cfg.Controls = a.Controls
+	res, err := driver.CompileIR(prog, cfg)
+	if err != nil {
+		t.Fatalf("%s at %v: %v", a.Name, lvl, err)
+	}
+	return res
+}
+
+// expectedPipeline mirrors the registry's Enabled predicates: the names
+// PipelineFor must schedule at each level, in registration order.
+func expectedPipeline(lvl driver.Level) []string {
+	var names []string
+	add := func(name string, on bool) {
+		if on {
+			names = append(names, name)
+		}
+	}
+	add("profile", true)
+	add("inline+scalar", true)
+	add("soar", lvl >= driver.LevelPAC)
+	add("pac", lvl >= driver.LevelPAC)
+	add("aggregate", true)
+	add("agg-opt", true)
+	add("phr", lvl >= driver.LevelPHR)
+	add("swc", lvl >= driver.LevelSWC)
+	add("final-opt", true)
+	add("codegen", true)
+	return names
+}
+
+func TestRegistryOrder(t *testing.T) {
+	want := expectedPipeline(driver.LevelSWC) // all passes enabled
+	got := driver.PassNames()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d passes %v, want %d %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("registry[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, info := range driver.Passes() {
+		if info.Stage == "" {
+			t.Errorf("pass %q has no paper-stage description", info.Name)
+		}
+		if info.New == nil {
+			t.Errorf("pass %q has no constructor", info.Name)
+		}
+	}
+}
+
+func TestPipelineForEachLevel(t *testing.T) {
+	for _, lvl := range driver.Levels() {
+		var got []string
+		for _, p := range driver.PipelineFor(driver.Config{Level: lvl}) {
+			got = append(got, p.Name())
+		}
+		want := expectedPipeline(lvl)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("%v pipeline = %v, want %v", lvl, got, want)
+		}
+	}
+}
+
+// TestVerifyAfterEveryPassAllAppsAllLevels is the golden invariant: every
+// pass of every per-level pipeline leaves the IR verifiable for every
+// benchmark application.
+func TestVerifyAfterEveryPassAllAppsAllLevels(t *testing.T) {
+	for _, a := range apps.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			for _, lvl := range driver.Levels() {
+				res := compileApp(t, a, lvl, driver.Config{VerifyIR: driver.VerifyOn})
+				want := expectedPipeline(lvl)
+				if len(res.Report.Passes) != len(want) {
+					t.Fatalf("%v: %d pass timings %v, want %d",
+						lvl, len(res.Report.Passes), res.Report.Passes, len(want))
+				}
+				for i, pt := range res.Report.Passes {
+					if pt.Pass != want[i] {
+						t.Errorf("%v: pass[%d] = %q, want %q", lvl, i, pt.Pass, want[i])
+					}
+					if pt.Nanos <= 0 {
+						t.Errorf("%v: pass %q has no timing", lvl, pt.Pass)
+					}
+					if pt.InstrsBefore <= 0 || pt.InstrsAfter <= 0 {
+						t.Errorf("%v: pass %q sizes %d -> %d", lvl, pt.Pass,
+							pt.InstrsBefore, pt.InstrsAfter)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPerPassMetricsExposed(t *testing.T) {
+	a := apps.MPLS()
+	res := compileApp(t, a, driver.LevelSWC, driver.Config{VerifyIR: driver.VerifyOn})
+	snap := res.Report.Metrics
+	for _, name := range expectedPipeline(driver.LevelSWC) {
+		if got := snap.Counters["compile.pass."+name+".runs"]; got != 1 {
+			t.Errorf("counter %s.runs = %d, want 1", name, got)
+		}
+		if snap.Counters["compile.pass."+name+".nanos"] <= 0 {
+			t.Errorf("counter %s.nanos missing", name)
+		}
+		if _, ok := snap.Counters["compile.pass."+name+".verify_nanos"]; !ok {
+			t.Errorf("counter %s.verify_nanos missing", name)
+		}
+		if _, ok := snap.Gauges["compile.pass."+name+".size_delta"]; !ok {
+			t.Errorf("gauge %s.size_delta missing", name)
+		}
+	}
+	// The size-delta gauges must agree with the report rows.
+	for _, pt := range res.Report.Passes {
+		want := float64(pt.InstrsAfter - pt.InstrsBefore)
+		if got := snap.Gauges["compile.pass."+pt.Pass+".size_delta"]; got != want {
+			t.Errorf("gauge %s.size_delta = %v, want %v", pt.Pass, got, want)
+		}
+	}
+}
+
+// TestVerifyOffSkips checks the production default: with verification off,
+// no verify time is recorded.
+func TestVerifyOffSkips(t *testing.T) {
+	a := apps.MPLS()
+	res := compileApp(t, a, driver.LevelPAC, driver.Config{VerifyIR: driver.VerifyOff})
+	for _, pt := range res.Report.Passes {
+		if pt.VerifyNanos != 0 {
+			t.Errorf("pass %q recorded verify time %d with VerifyOff", pt.Pass, pt.VerifyNanos)
+		}
+	}
+}
+
+// TestDumpIRDeterministic compiles the same app twice with -dump-ir=all
+// into buffers: the dumps must be byte-identical run to run.
+func TestDumpIRDeterministic(t *testing.T) {
+	a := apps.Firewall()
+	dump := func() []byte {
+		var buf bytes.Buffer
+		compileApp(t, a, driver.LevelSWC, driver.Config{
+			DumpPass:   "all",
+			DumpWriter: &buf,
+			DumpPrefix: a.Name,
+		})
+		return buf.Bytes()
+	}
+	first, second := dump(), dump()
+	if len(first) == 0 {
+		t.Fatal("dump produced no output")
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("IR dump differs between identical runs (%d vs %d bytes)",
+			len(first), len(second))
+	}
+	for _, name := range expectedPipeline(driver.LevelSWC) {
+		header := fmt.Sprintf(";; %s after pass %s\n", a.Name, name)
+		if !bytes.Contains(first, []byte(header)) {
+			t.Errorf("dump is missing the %q section", strings.TrimSpace(header))
+		}
+	}
+}
+
+// TestDumpSinglePass selects one pass by name and gets exactly one section.
+func TestDumpSinglePass(t *testing.T) {
+	a := apps.MPLS()
+	var buf bytes.Buffer
+	compileApp(t, a, driver.LevelPAC, driver.Config{
+		DumpPass:   "pac",
+		DumpWriter: &buf,
+		DumpPrefix: a.Name,
+	})
+	if got := strings.Count(buf.String(), ";; "+a.Name+" after pass "); got != 1 {
+		t.Fatalf("dump has %d sections, want 1:\n%s", got, buf.String())
+	}
+	if !strings.Contains(buf.String(), "after pass pac\n") {
+		t.Errorf("dump section is not for the pac pass")
+	}
+}
+
+// TestVerifierCatchesBrokenPass runs a compile whose IR is corrupted before
+// CompileIR and checks that the first pass's post-verification reports it
+// with the pass name in the error chain.
+func TestVerifierCatchesBrokenPass(t *testing.T) {
+	a := apps.MPLS()
+	prog, err := driver.LowerSource(a.Name+".baker", a.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one function with an unreachable empty block: execution never
+	// sees it (the profile pass still succeeds), but the structural check
+	// after the first pass does.
+	prog.Funcs[prog.Order[0]].NewBlock()
+	_, err = driver.CompileIR(prog, driver.Config{
+		Level:        driver.LevelBase,
+		ProfileTrace: a.Trace(prog.Types, 7, 8),
+		Controls:     a.Controls,
+		VerifyIR:     driver.VerifyOn,
+	})
+	if err == nil {
+		t.Fatal("compiling corrupted IR with VerifyOn must fail")
+	}
+	if !strings.Contains(err.Error(), "IR verification failed") {
+		t.Errorf("error %q does not mention IR verification", err)
+	}
+}

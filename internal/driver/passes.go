@@ -1,0 +1,345 @@
+// The registered pipeline passes. Registration order is pipeline order and
+// mirrors the paper's Figure 5 staging: profile → inline/scalar → SOAR →
+// PAC → aggregation → per-aggregate optimization → PHR → SWC → final
+// cleanup → code generation. Each pass declares the analysis facts it
+// consumes and the ones its rewrites invalidate; the manager recomputes
+// invalidated on-demand facts lazily when a later pass requires them.
+package driver
+
+import (
+	"fmt"
+
+	"shangrila/internal/aggregate"
+	"shangrila/internal/cg"
+	"shangrila/internal/opt"
+	"shangrila/internal/opt/pac"
+	"shangrila/internal/opt/phr"
+	"shangrila/internal/opt/soar"
+	"shangrila/internal/opt/swc"
+	"shangrila/internal/profiler"
+)
+
+func init() {
+	always := func(Level) bool { return true }
+	fromPAC := func(l Level) bool { return l >= LevelPAC }
+	RegisterPass(PassInfo{
+		Name:    "profile",
+		Stage:   "functional profiling (§4): interpret the unoptimized IR over the training trace",
+		Enabled: always,
+		New:     func(Config) Pass { return profilePass{} },
+	})
+	RegisterPass(PassInfo{
+		Name:    "inline+scalar",
+		Stage:   "inlining (mandatory for ME codegen) and -O1 scalar optimization",
+		Enabled: always,
+		New:     func(cfg Config) Pass { return inlineScalarPass{scalar: cfg.Level >= LevelO1} },
+	})
+	RegisterPass(PassInfo{
+		Name:    "soar",
+		Stage:   "static offset and alignment resolution (§5.3.2)",
+		Enabled: fromPAC,
+		New:     func(cfg Config) Pass { return soarPass{record: cfg.Level >= LevelSOAR} },
+	})
+	RegisterPass(PassInfo{
+		Name:    "pac",
+		Stage:   "packet access combining on the whole program (§5.3.1)",
+		Enabled: fromPAC,
+		New:     func(cfg Config) Pass { return pacPass{scalar: cfg.Level >= LevelO1} },
+	})
+	RegisterPass(PassInfo{
+		Name:    "aggregate",
+		Stage:   "PPF aggregation and per-aggregate merging (§5.1, Figure 7)",
+		Enabled: always,
+		New: func(cfg Config) Pass {
+			return aggregatePass{cfg: cfg.aggConfig(), analyze: cfg.Level >= LevelPAC}
+		},
+	})
+	RegisterPass(PassInfo{
+		Name:    "agg-opt",
+		Stage:   "per-aggregate scalar cleanup, SOAR annotation and cross-PPF PAC",
+		Enabled: always,
+		New: func(cfg Config) Pass {
+			return aggOptPass{scalar: cfg.Level >= LevelO1, pac: cfg.Level >= LevelPAC}
+		},
+	})
+	RegisterPass(PassInfo{
+		Name:    "phr",
+		Stage:   "packet handling removal: metadata localization, encap pair elimination (§5.3.3)",
+		Enabled: func(l Level) bool { return l >= LevelPHR },
+		New:     func(Config) Pass { return phrPass{} },
+	})
+	RegisterPass(PassInfo{
+		Name:    "swc",
+		Stage:   "delayed-update software-controlled caching (§5.2)",
+		Enabled: func(l Level) bool { return l >= LevelSWC },
+		New:     func(cfg Config) Pass { return swcPass{cfg: cfg.swcConfig()} },
+	})
+	RegisterPass(PassInfo{
+		Name:    "final-opt",
+		Stage:   "post-PHR combining and final scalar cleanup of the merged bodies",
+		Enabled: always,
+		New: func(cfg Config) Pass {
+			return finalOptPass{
+				scalar:     cfg.Level >= LevelO1,
+				phrCombine: cfg.Level >= LevelPHR,
+				annotate:   cfg.Level >= LevelPAC,
+			}
+		},
+	})
+	RegisterPass(PassInfo{
+		Name:    "codegen",
+		Stage:   "CGIR lowering, dual-bank register allocation, stack layout (§5.4)",
+		Enabled: always,
+		New: func(cfg Config) Pass {
+			return codegenPass{opts: cg.Options{
+				O2:   cfg.Level >= LevelO2,
+				SOAR: cfg.Level >= LevelSOAR,
+				PHR:  cfg.Level >= LevelPHR,
+				SWC:  cfg.Level >= LevelSWC,
+			}}
+		},
+	})
+}
+
+// profilePass runs the functional profiler on unoptimized IR (Figure 5)
+// and produces the FactProfile stats every global optimization consumes.
+type profilePass struct{}
+
+func (profilePass) Name() string            { return "profile" }
+func (profilePass) Requires() []FactKind    { return nil }
+func (profilePass) Invalidates() []FactKind { return nil }
+
+func (profilePass) Run(ctx *Context) error {
+	stats, err := profiler.ProfileWithControls(ctx.Prog, ctx.Cfg.ProfileTrace, ctx.Cfg.Controls)
+	if err != nil {
+		return err
+	}
+	ctx.SetProfile(stats)
+	ctx.Report.ProfileStats = stats
+	return nil
+}
+
+// inlineScalarPass inlines every call (calls become merged bodies, as the
+// paper turns them into branches with globally allocated registers) and
+// runs the -O1 scalar optimizer when enabled.
+type inlineScalarPass struct{ scalar bool }
+
+func (inlineScalarPass) Name() string         { return "inline+scalar" }
+func (inlineScalarPass) Requires() []FactKind { return nil }
+
+// Inlining rewrites every function body, so any earlier SOAR annotation is
+// stale (none exists in the default pipeline; declared for robustness).
+func (inlineScalarPass) Invalidates() []FactKind { return []FactKind{FactSOAR} }
+
+func (p inlineScalarPass) Run(ctx *Context) error {
+	opt.Optimize(ctx.Prog, opt.Options{Scalar: p.scalar, Inline: true})
+	return nil
+}
+
+// soarPass makes the whole-program SOAR facts available (the manager's
+// ensure step performs the analysis) and records them in the report at
+// +SOAR and above — whether the code generator exploits the facts is the
+// separate +SOAR level of the evaluation axis.
+type soarPass struct{ record bool }
+
+func (soarPass) Name() string            { return "soar" }
+func (soarPass) Requires() []FactKind    { return []FactKind{FactSOAR} }
+func (soarPass) Invalidates() []FactKind { return nil }
+
+func (p soarPass) Run(ctx *Context) error {
+	if p.record {
+		ctx.Report.SOAR = ctx.SOAR()
+	}
+	return nil
+}
+
+// pacPass combines packet accesses across the whole program, then cleans
+// up with the scalar optimizer. The rewrite moves and widens accesses, so
+// the SOAR facts are invalidated; the aggregate pass requires them again,
+// which re-annotates the combined accesses before bodies are merged.
+type pacPass struct{ scalar bool }
+
+func (pacPass) Name() string            { return "pac" }
+func (pacPass) Requires() []FactKind    { return []FactKind{FactSOAR} }
+func (pacPass) Invalidates() []FactKind { return []FactKind{FactSOAR} }
+
+func (p pacPass) Run(ctx *Context) error {
+	ctx.Report.PAC = pac.Run(ctx.Prog)
+	opt.Optimize(ctx.Prog, opt.Options{Scalar: p.scalar})
+	return nil
+}
+
+// aggregatePass runs the Figure 7 heuristic and builds the merged
+// per-aggregate programs. When the pipeline analyzes (≥ +PAC) it requires
+// fresh SOAR facts so the merged clones carry post-PAC annotations.
+type aggregatePass struct {
+	cfg     aggregate.Config
+	analyze bool
+}
+
+func (aggregatePass) Name() string { return "aggregate" }
+
+func (p aggregatePass) Requires() []FactKind {
+	if p.analyze {
+		return []FactKind{FactProfile, FactSOAR}
+	}
+	return []FactKind{FactProfile}
+}
+func (aggregatePass) Invalidates() []FactKind { return nil }
+
+func (p aggregatePass) Run(ctx *Context) error {
+	plan, err := aggregate.Build(ctx.Prog, ctx.Profile(), p.cfg)
+	if err != nil {
+		return err
+	}
+	ctx.Report.Plan = plan
+	classes := aggregate.ClassifyChannels(ctx.Prog, plan)
+	merged, err := aggregate.BuildMerged(ctx.Prog, plan, classes)
+	if err != nil {
+		return fmt.Errorf("merge: %w", err)
+	}
+	ctx.Merged = merged
+	ctx.SetPlan(plan, classes)
+	return nil
+}
+
+// annotateMerged re-runs SOAR on one merged body, seeding each entry with
+// the whole-program channel-input fact so the analysis sees through former
+// channel boundaries.
+func annotateMerged(ctx *Context, m *aggregate.Merged) {
+	facts := ctx.SOARIfValid()
+	entries := map[string]soar.Input{}
+	for _, e := range m.Entries {
+		if e.In != nil && facts != nil {
+			if fct, ok := facts.ChanInputs[e.In.Name]; ok {
+				entries[e.Func.Name] = fct
+			}
+		}
+	}
+	soar.AnalyzeWithEntries(m.Prog, entries)
+}
+
+// aggOptPass optimizes each ME aggregate's merged body: scalar cleanup,
+// then PAC across former PPF boundaries. It rewrites the merged programs
+// only, so the whole-program facts stay valid.
+type aggOptPass struct{ scalar, pac bool }
+
+func (aggOptPass) Name() string { return "agg-opt" }
+
+func (p aggOptPass) Requires() []FactKind {
+	if p.pac {
+		return []FactKind{FactPlan, FactSOAR}
+	}
+	return []FactKind{FactPlan}
+}
+func (aggOptPass) Invalidates() []FactKind { return nil }
+
+func (p aggOptPass) Run(ctx *Context) error {
+	for _, m := range ctx.Merged {
+		if m.Agg.Target != aggregate.TargetME {
+			continue
+		}
+		opt.Optimize(m.Prog, opt.Options{Scalar: p.scalar})
+		if p.pac {
+			annotateMerged(ctx, m)
+			pac.Run(m.Prog)
+			opt.Optimize(m.Prog, opt.Options{Scalar: p.scalar})
+		}
+	}
+	return nil
+}
+
+// phrPass removes packet handling overhead inside the merged bodies. The
+// whole program is read-only input (it supplies the global accessor view),
+// so no whole-program fact is invalidated.
+type phrPass struct{}
+
+func (phrPass) Name() string            { return "phr" }
+func (phrPass) Requires() []FactKind    { return []FactKind{FactPlan} }
+func (phrPass) Invalidates() []FactKind { return nil }
+
+func (phrPass) Run(ctx *Context) error {
+	plan, _ := ctx.Plan()
+	ctx.Report.PHR = phr.Run(ctx.Prog, plan, ctx.Merged)
+	return nil
+}
+
+// swcPass selects software-cache candidates from the profile and rewrites
+// the cached globals' access paths.
+type swcPass struct{ cfg swc.Config }
+
+func (swcPass) Name() string            { return "swc" }
+func (swcPass) Requires() []FactKind    { return []FactKind{FactProfile, FactPlan} }
+func (swcPass) Invalidates() []FactKind { return nil }
+
+func (p swcPass) Run(ctx *Context) error {
+	cands := swc.SelectCandidates(ctx.Prog, ctx.Profile(), p.cfg)
+	if _, err := swc.Apply(ctx.Prog, ctx.Merged, cands, p.cfg); err != nil {
+		return err
+	}
+	ctx.Report.SWCCands = cands
+	return nil
+}
+
+// finalOptPass exploits what PHR exposed: its pair elimination redirects
+// accesses to shared handles, so PAC runs once more over each merged body,
+// followed by a final scalar cleanup and SOAR re-annotation.
+type finalOptPass struct{ scalar, phrCombine, annotate bool }
+
+func (finalOptPass) Name() string { return "final-opt" }
+
+func (p finalOptPass) Requires() []FactKind {
+	if p.annotate || p.phrCombine {
+		return []FactKind{FactPlan, FactSOAR}
+	}
+	return []FactKind{FactPlan}
+}
+func (finalOptPass) Invalidates() []FactKind { return nil }
+
+func (p finalOptPass) Run(ctx *Context) error {
+	for _, m := range ctx.Merged {
+		if m.Agg.Target != aggregate.TargetME {
+			continue
+		}
+		if p.phrCombine {
+			annotateMerged(ctx, m)
+			pac.Run(m.Prog)
+		}
+		opt.Optimize(m.Prog, opt.Options{Scalar: p.scalar})
+		if p.annotate {
+			annotateMerged(ctx, m)
+		}
+	}
+	return nil
+}
+
+// codegenPass lowers the merged aggregates to CGIR and produces the
+// loadable image. Its "after" size reports generated CGIR instructions.
+type codegenPass struct{ opts cg.Options }
+
+func (codegenPass) Name() string            { return "codegen" }
+func (codegenPass) Requires() []FactKind    { return []FactKind{FactPlan} }
+func (codegenPass) Invalidates() []FactKind { return nil }
+
+func (p codegenPass) Run(ctx *Context) error {
+	plan, classes := ctx.Plan()
+	img, err := cg.Compile(ctx.Prog, plan, ctx.Merged, classes, ctx.SOARIfValid(), p.opts)
+	if err != nil {
+		return err
+	}
+	ctx.Image = img
+	for _, c := range img.MECode {
+		ctx.Report.CodeSizes = append(ctx.Report.CodeSizes, len(c.Program.Code))
+	}
+	return nil
+}
+
+func (codegenPass) AfterSize(ctx *Context) int {
+	n := 0
+	if ctx.Image != nil {
+		for _, c := range ctx.Image.MECode {
+			n += len(c.Program.Code)
+		}
+	}
+	return n
+}

@@ -37,9 +37,9 @@ func TestCompiledApproachesHandTuned(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := harness.Measure(app, res, harness.RunConfig{
+	r, err := harness.Run(app, append(harness.RunConfig{
 		NumMEs: 6, Warmup: 100_000, Measure: 400_000, Seed: 7, TraceN: 384,
-	})
+	}.Options(), harness.WithCompiled(res))...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,9 +53,9 @@ func TestCompiledApproachesHandTuned(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := harness.Measure(app, base, harness.RunConfig{
+	rb, err := harness.Run(app, append(harness.RunConfig{
 		NumMEs: 6, Warmup: 100_000, Measure: 400_000, Seed: 7, TraceN: 384,
-	})
+	}.Options(), harness.WithCompiled(base))...)
 	if err != nil {
 		t.Fatal(err)
 	}

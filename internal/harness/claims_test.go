@@ -61,7 +61,7 @@ func TestPaperClaimsMonotoneRates(t *testing.T) {
 			var prev float64
 			var base, swc float64
 			for _, lvl := range driver.Levels() {
-				r, err := harness.RunPoint(a, lvl, cfg)
+				r, err := harness.Run(a, append(cfg.Options(), harness.WithLevel(lvl))...)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -101,7 +101,7 @@ func TestPaperClaimsSaturation(t *testing.T) {
 		for n := 1; n <= 6; n++ {
 			c := cfg
 			c.NumMEs = n
-			r, err := harness.Measure(a, res, c)
+			r, err := harness.Run(a, append(c.Options(), harness.WithCompiled(res))...)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -51,6 +51,13 @@ func (c RunConfig) Options() []Option {
 // Compile compiles an app at a level, generating its profile trace from
 // its own generator.
 func Compile(a *apps.App, lvl driver.Level, seed uint64) (*driver.Result, error) {
+	s := defaultSettings()
+	return compile(a, lvl, seed, &s)
+}
+
+// compile is Compile with the resolved option set: verification mode and
+// IR dump selection thread through to the driver configuration.
+func compile(a *apps.App, lvl driver.Level, seed uint64, s *settings) (*driver.Result, error) {
 	prog, err := driver.LowerSource(a.Name+".baker", a.Source)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", a.Name, err)
@@ -60,22 +67,11 @@ func Compile(a *apps.App, lvl driver.Level, seed uint64) (*driver.Result, error)
 		Level:        lvl,
 		ProfileTrace: ptrace,
 		Controls:     a.Controls,
+		VerifyIR:     s.verify,
+		DumpPass:     s.dumpPass,
+		DumpDir:      s.dumpDir,
+		DumpPrefix:   a.Name + "-" + lvl.String(),
 	})
-}
-
-// Measure runs one compiled app on the machine model and returns the data
-// point.
-//
-// Deprecated: use Run with WithCompiled.
-func Measure(a *apps.App, res *driver.Result, cfg RunConfig) (*AppResult, error) {
-	return Run(a, append(cfg.Options(), WithCompiled(res))...)
-}
-
-// RunPoint compiles and measures in one step.
-//
-// Deprecated: use Run.
-func RunPoint(a *apps.App, lvl driver.Level, cfg RunConfig) (*AppResult, error) {
-	return Run(a, append(cfg.Options(), WithLevel(lvl))...)
 }
 
 // ---------------------------------------------------------------------------

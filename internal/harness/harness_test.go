@@ -28,7 +28,7 @@ func TestAllAppsAllLevelsCompileAndRun(t *testing.T) {
 		a := a
 		t.Run(a.Name, func(t *testing.T) {
 			for _, lvl := range driver.Levels() {
-				r, err := harness.RunPoint(a, lvl, quickCfg())
+				r, err := harness.Run(a, append(quickCfg().Options(), harness.WithLevel(lvl))...)
 				if err != nil {
 					t.Fatalf("%v: %v", lvl, err)
 				}
@@ -52,8 +52,8 @@ func TestOptimizationReducesAccessesPaperShape(t *testing.T) {
 	for _, a := range apps.All() {
 		a := a
 		t.Run(a.Name, func(t *testing.T) {
-			get := func(lvl driver.Level) *harness.AppResult {
-				r, err := harness.RunPoint(a, lvl, quickCfg())
+			get := func(lvl driver.Level) *harness.Result {
+				r, err := harness.Run(a, append(quickCfg().Options(), harness.WithLevel(lvl))...)
 				if err != nil {
 					t.Fatal(err)
 				}

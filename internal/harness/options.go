@@ -25,6 +25,9 @@ type settings struct {
 	sampleWindow   int
 	compiled       *driver.Result
 	workers        int
+	verify         driver.VerifyMode
+	dumpPass       string
+	dumpDir        string
 }
 
 func defaultSettings() settings {
@@ -105,6 +108,22 @@ func WithWorkers(n int) Option {
 	return func(s *settings) { s.workers = n }
 }
 
+// WithVerifyIR sets the compiler's post-pass IR verification mode (default
+// driver.VerifyAuto: on under `go test`, off otherwise).
+func WithVerifyIR(m driver.VerifyMode) Option {
+	return func(s *settings) { s.verify = m }
+}
+
+// WithDumpIR dumps the IR after the named compiler pass ("all" dumps every
+// pass). With dir non-empty each dump is written to
+// <dir>/<app>-<level>-<NN>-<pass>.ir; otherwise dumps go to stdout.
+func WithDumpIR(pass, dir string) Option {
+	return func(s *settings) {
+		s.dumpPass = pass
+		s.dumpDir = dir
+	}
+}
+
 func (s *settings) workerCount() int {
 	if s.workers > 0 {
 		return s.workers
@@ -148,11 +167,6 @@ type Result struct {
 	Telemetry *Telemetry
 }
 
-// AppResult is the pre-redesign name for Result.
-//
-// Deprecated: use Result.
-type AppResult = Result
-
 // Total returns the Table 1 "Total" column.
 func (r *Result) Total() float64 {
 	return r.PktScratch + r.PktSRAM + r.PktDRAM + r.AppScratch + r.AppSRAM
@@ -171,7 +185,7 @@ func Run(a *apps.App, opts ...Option) (*Result, error) {
 	res := s.compiled
 	if res == nil {
 		var err error
-		res, err = Compile(a, s.level, s.run.Seed)
+		res, err = compile(a, s.level, s.run.Seed, &s)
 		if err != nil {
 			return nil, fmt.Errorf("%s at %v: %w", a.Name, s.level, err)
 		}

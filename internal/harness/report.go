@@ -85,6 +85,7 @@ func (r *BenchReport) CanonicalJSON() ([]byte, error) {
 			copy(passes, cp.Points[i].CompilePasses)
 			for j := range passes {
 				passes[j].Nanos = 0
+				passes[j].VerifyNanos = 0
 			}
 			cp.Points[i].CompilePasses = passes
 		}

@@ -40,7 +40,7 @@ type compileEntry struct {
 	err  error
 }
 
-func (c *compileOnce) get(a *apps.App, lvl driver.Level, seed uint64) (*driver.Result, error) {
+func (c *compileOnce) get(a *apps.App, lvl driver.Level, seed uint64, s *settings) (*driver.Result, error) {
 	key := compileKey{app: a.Name, level: lvl, seed: seed}
 	c.mu.Lock()
 	e, ok := c.cache[key]
@@ -50,7 +50,7 @@ func (c *compileOnce) get(a *apps.App, lvl driver.Level, seed uint64) (*driver.R
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
-		e.res, e.err = Compile(a, lvl, seed)
+		e.res, e.err = compile(a, lvl, seed, s)
 	})
 	return e.res, e.err
 }
@@ -85,7 +85,7 @@ func Sweep(points []Point, opts ...Option) ([]*Result, error) {
 			defer wg.Done()
 			for i := range next {
 				p := points[i]
-				res, err := compiler.get(p.App, p.Level, p.Seed)
+				res, err := compiler.get(p.App, p.Level, p.Seed, &base)
 				if err != nil {
 					errs[i] = fmt.Errorf("%s at %v: %w", p.App.Name, p.Level, err)
 					failed.Store(true)

@@ -2,8 +2,47 @@ package ir
 
 import (
 	"fmt"
+	"io"
+	"sort"
 	"strings"
 )
+
+// Fprint writes every function of the program as readable text. Output is
+// deterministic and byte-stable across runs: functions print in declaration
+// order (Program.Order), and any function present only in the Funcs map —
+// which a transform could leave behind — is appended in sorted name order
+// rather than map order.
+func Fprint(w io.Writer, p *Program) error {
+	listed := make(map[string]bool, len(p.Order))
+	for _, name := range p.Order {
+		listed[name] = true
+		if fn := p.Funcs[name]; fn != nil {
+			if _, err := io.WriteString(w, fn.String()); err != nil {
+				return err
+			}
+		}
+	}
+	var rest []string
+	for name := range p.Funcs {
+		if !listed[name] {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		if _, err := io.WriteString(w, p.Funcs[name].String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the whole program (see Fprint).
+func (p *Program) String() string {
+	var b strings.Builder
+	_ = Fprint(&b, p)
+	return b.String()
+}
 
 // String renders the function as readable text for tests and tooling.
 func (f *Func) String() string {

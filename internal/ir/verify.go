@@ -1,0 +1,332 @@
+package ir
+
+import (
+	"fmt"
+
+	"shangrila/internal/baker/token"
+)
+
+// VerifyError is one IR invariant violation, located as precisely as the
+// instruction's source position allows.
+type VerifyError struct {
+	Func  string
+	Block int // block ID, -1 for function-level errors
+	Instr int // instruction index within the block, -1 when not applicable
+	Pos   token.Pos
+	Msg   string
+}
+
+func (e *VerifyError) Error() string {
+	loc := e.Func
+	if e.Block >= 0 {
+		loc = fmt.Sprintf("%s b%d", loc, e.Block)
+	}
+	if e.Instr >= 0 {
+		loc = fmt.Sprintf("%s[%d]", loc, e.Instr)
+	}
+	if e.Pos.IsValid() {
+		return fmt.Sprintf("%s: %s: %s", e.Pos, loc, e.Msg)
+	}
+	return fmt.Sprintf("%s: %s", loc, e.Msg)
+}
+
+// Verify checks the structural invariants every pass must preserve:
+//
+//   - CFG well-formedness: a non-nil entry block that belongs to the
+//     function, every block terminated by exactly one trailing terminator,
+//     and every branch edge targeting a block of the same function with the
+//     operand/target arity its opcode demands;
+//   - def-before-use for scalar registers: on every path from entry, a
+//     register is written before it is read (parameters count as entry
+//     definitions), and every operand is within the function's register
+//     space with a recorded class;
+//   - packet/metadata access typing: handles where handles are required,
+//     field accesses naming a field that fits one machine word, raw
+//     (post-PAC) accesses with positive word-multiple widths and matching
+//     destination/source register counts.
+//
+// The first violation found is returned; nil means the program verifies.
+func Verify(p *Program) error {
+	for _, name := range p.Order {
+		fn := p.Funcs[name]
+		if fn == nil {
+			return &VerifyError{Func: name, Block: -1, Instr: -1,
+				Msg: "listed in Order but missing from Funcs"}
+		}
+		if err := verifyFunc(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyFunc checks one function. Exported through Verify; split out so the
+// error paths stay readable.
+func verifyFunc(fn *Func) error {
+	errf := func(b *Block, idx int, in *Instr, format string, args ...any) error {
+		e := &VerifyError{Func: fn.Name, Block: -1, Instr: idx,
+			Msg: fmt.Sprintf(format, args...)}
+		if b != nil {
+			e.Block = b.ID
+		}
+		if in != nil {
+			e.Pos = in.Pos
+		}
+		return e
+	}
+
+	if len(fn.Blocks) == 0 {
+		return errf(nil, -1, nil, "function has no blocks")
+	}
+	if fn.Entry == nil {
+		return errf(nil, -1, nil, "function has no entry block")
+	}
+	member := make(map[*Block]bool, len(fn.Blocks))
+	for _, b := range fn.Blocks {
+		member[b] = true
+	}
+	if !member[fn.Entry] {
+		return errf(nil, -1, nil, "entry block b%d is not in the block list", fn.Entry.ID)
+	}
+	if len(fn.RegClasses) != fn.NumRegs {
+		return errf(nil, -1, nil, "RegClasses has %d entries for %d registers",
+			len(fn.RegClasses), fn.NumRegs)
+	}
+
+	// Structural checks per block: single trailing terminator, well-formed
+	// edges.
+	for _, b := range fn.Blocks {
+		if len(b.Instrs) == 0 {
+			return errf(b, -1, nil, "empty block (no terminator)")
+		}
+		for idx, in := range b.Instrs {
+			last := idx == len(b.Instrs)-1
+			if in.Op.IsTerminator() != last {
+				if last {
+					return errf(b, idx, in, "block does not end in a terminator (got %v)", in.Op)
+				}
+				return errf(b, idx, in, "terminator %v in the middle of a block", in.Op)
+			}
+			if err := verifyInstr(fn, b, idx, in, member, errf); err != nil {
+				return err
+			}
+		}
+	}
+	return verifyDefBeforeUse(fn, errf)
+}
+
+// verifyInstr checks operand arity, register ranges/classes and the
+// packet-access typing rules for one instruction.
+func verifyInstr(fn *Func, b *Block, idx int, in *Instr, member map[*Block]bool,
+	errf func(*Block, int, *Instr, string, ...any) error) error {
+	// Register ranges. Args may use NoReg only in the optional index slot
+	// of global and cache accesses.
+	optionalIndex := func(op Op) bool {
+		switch op {
+		case OpLoad, OpStore, OpCacheLookup, OpCacheFill, OpCacheFlush:
+			return true
+		}
+		return false
+	}
+	checkReg := func(r Reg, what string) error {
+		if r == NoReg {
+			if what != "arg 0" || !optionalIndex(in.Op) {
+				return errf(b, idx, in, "%v: %s is NoReg", in.Op, what)
+			}
+			return nil
+		}
+		if r < 0 || int(r) >= fn.NumRegs {
+			return errf(b, idx, in, "%v: %s register %d out of range [0,%d)",
+				in.Op, what, int(r), fn.NumRegs)
+		}
+		return nil
+	}
+	for i, r := range in.Dst {
+		if err := checkReg(r, fmt.Sprintf("dst %d", i)); err != nil {
+			return err
+		}
+	}
+	for i, r := range in.Args {
+		if err := checkReg(r, fmt.Sprintf("arg %d", i)); err != nil {
+			return err
+		}
+	}
+	class := func(r Reg) RegClass { return fn.RegClasses[r] }
+
+	// Terminator arity and edge targets.
+	switch in.Op {
+	case OpBr:
+		if len(in.Blocks) != 1 {
+			return errf(b, idx, in, "br with %d targets, want 1", len(in.Blocks))
+		}
+	case OpCondBr:
+		if len(in.Blocks) != 2 {
+			return errf(b, idx, in, "condbr with %d targets, want 2", len(in.Blocks))
+		}
+		if len(in.Args) != 1 {
+			return errf(b, idx, in, "condbr with %d operands, want 1", len(in.Args))
+		}
+	case OpRet:
+		if len(in.Blocks) != 0 {
+			return errf(b, idx, in, "ret with branch targets")
+		}
+	default:
+		if len(in.Blocks) != 0 {
+			return errf(b, idx, in, "%v carries branch targets", in.Op)
+		}
+	}
+	for _, t := range in.Blocks {
+		if t == nil {
+			return errf(b, idx, in, "%v: nil branch target", in.Op)
+		}
+		if !member[t] {
+			return errf(b, idx, in, "%v: edge to b%d, which is not a block of %s",
+				in.Op, t.ID, fn.Name)
+		}
+	}
+
+	// Packet and metadata access typing.
+	switch in.Op {
+	case OpPktLoad, OpPktStore, OpMetaLoad, OpMetaStore:
+		if len(in.Args) == 0 || in.Args[0] == NoReg {
+			return errf(b, idx, in, "%v without a handle operand", in.Op)
+		}
+		if class(in.Args[0]) != ClassHandle {
+			return errf(b, idx, in, "%v: handle operand %v has class word", in.Op, in.Args[0])
+		}
+		load := in.Op == OpPktLoad || in.Op == OpMetaLoad
+		if in.Field != nil {
+			if in.Field.Bits < 1 || in.Field.Bits > 32 {
+				return errf(b, idx, in, "%v: field %s is %d bits, outside the 1..32 word range",
+					in.Op, in.Field.Name, in.Field.Bits)
+			}
+			if load && len(in.Dst) != 1 {
+				return errf(b, idx, in, "%v .%s: %d destinations, want 1",
+					in.Op, in.Field.Name, len(in.Dst))
+			}
+			if !load && len(in.Args) != 2 {
+				return errf(b, idx, in, "%v .%s: %d operands, want 2 (handle, value)",
+					in.Op, in.Field.Name, len(in.Args))
+			}
+		} else {
+			// Raw byte-range access (post-PAC form, packet and metadata
+			// alike). The offset may be negative: PAC aliases handles
+			// through encap/decap, so a combined range can start before
+			// the base handle's header.
+			if in.Width <= 0 || in.Width%4 != 0 {
+				return errf(b, idx, in, "%v: raw width %d is not a positive word multiple",
+					in.Op, in.Width)
+			}
+			if load && len(in.Dst) != in.Width/4 {
+				return errf(b, idx, in, "%v raw[%d:%d]: %d destinations for width %d",
+					in.Op, in.Off, int(in.Off)+in.Width, len(in.Dst), in.Width)
+			}
+			if !load && len(in.Args) != 1+in.Width/4 {
+				return errf(b, idx, in, "%v raw[%d:%d]: %d operands for width %d",
+					in.Op, in.Off, int(in.Off)+in.Width, len(in.Args), in.Width)
+			}
+		}
+	case OpEncap, OpDecap:
+		if len(in.Args) != 1 || len(in.Dst) != 1 {
+			return errf(b, idx, in, "%v needs one handle in and one handle out", in.Op)
+		}
+		if class(in.Args[0]) != ClassHandle || class(in.Dst[0]) != ClassHandle {
+			return errf(b, idx, in, "%v operands must be handles", in.Op)
+		}
+		if in.Proto == nil {
+			return errf(b, idx, in, "%v without a protocol", in.Op)
+		}
+	case OpLoad, OpStore:
+		if in.Global == nil {
+			return errf(b, idx, in, "%v without a global", in.Op)
+		}
+		if in.Width < 0 || in.Width%4 != 0 {
+			return errf(b, idx, in, "%v: width %d is not a word multiple", in.Op, in.Width)
+		}
+	}
+	return nil
+}
+
+// verifyDefBeforeUse checks that every scalar register is written on every
+// path from entry before it is read. The analysis is a forward dataflow
+// over the CFG: a register is "defined at block entry" when it is defined
+// at the exit of every predecessor (parameters are defined at the function
+// entry). Blocks with no predecessors other than the entry are unreachable
+// and start from the universal set, so they never raise false alarms.
+func verifyDefBeforeUse(fn *Func,
+	errf func(*Block, int, *Instr, string, ...any) error) error {
+	words := (fn.NumRegs + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	full := make([]uint64, words)
+	for i := range full {
+		full[i] = ^uint64(0)
+	}
+	in := make(map[*Block][]uint64, len(fn.Blocks))
+	for _, b := range fn.Blocks {
+		in[b] = append([]uint64(nil), full...)
+	}
+	entry := make([]uint64, words)
+	for _, p := range fn.Params {
+		entry[int(p)/64] |= 1 << (uint(p) % 64)
+	}
+	in[fn.Entry] = entry
+
+	// Succs may be stale between passes; recompute edges from terminators.
+	succs := func(b *Block) []*Block {
+		if t := b.Terminator(); t != nil {
+			return t.Blocks
+		}
+		return nil
+	}
+	out := func(b *Block) []uint64 {
+		s := append([]uint64(nil), in[b]...)
+		for _, i := range b.Instrs {
+			for _, d := range i.Dst {
+				if d != NoReg {
+					s[int(d)/64] |= 1 << (uint(d) % 64)
+				}
+			}
+		}
+		return s
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range fn.Blocks {
+			o := out(b)
+			for _, s := range succs(b) {
+				cur := in[s]
+				if s == fn.Entry {
+					continue // entry keeps its parameter seed
+				}
+				for w := range cur {
+					if nv := cur[w] & o[w]; nv != cur[w] {
+						cur[w] = nv
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, b := range fn.Blocks {
+		defined := append([]uint64(nil), in[b]...)
+		for idx, i := range b.Instrs {
+			for _, a := range i.Args {
+				if a == NoReg {
+					continue
+				}
+				if defined[int(a)/64]&(1<<(uint(a)%64)) == 0 {
+					return errf(b, idx, i, "%v reads %v before any definition reaches it",
+						i.Op, a)
+				}
+			}
+			for _, d := range i.Dst {
+				if d != NoReg {
+					defined[int(d)/64] |= 1 << (uint(d) % 64)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"shangrila/internal/baker/types"
+)
+
+// newTestFunc builds a minimal well-formed function: one entry block ending
+// in ret, one word parameter. Tests then perturb it into each invalid shape.
+func newTestFunc() (*Program, *Func) {
+	fn := &Func{Name: "t.f", Kind: FuncPPF}
+	p0 := fn.NewReg(ClassHandle)
+	fn.Params = []Reg{p0}
+	fn.ParamClasses = []RegClass{ClassHandle}
+	b := fn.NewBlock()
+	fn.Entry = b
+	b.Instrs = append(b.Instrs, &Instr{Op: OpRet})
+	prog := &Program{
+		Funcs: map[string]*Func{fn.Name: fn},
+		Order: []string{fn.Name},
+	}
+	return prog, fn
+}
+
+func wantVerifyError(t *testing.T, prog *Program, substr string) *VerifyError {
+	t.Helper()
+	err := Verify(prog)
+	if err == nil {
+		t.Fatalf("Verify passed, want error containing %q", substr)
+	}
+	ve, ok := err.(*VerifyError)
+	if !ok {
+		t.Fatalf("Verify returned %T, want *VerifyError: %v", err, err)
+	}
+	if !strings.Contains(ve.Error(), substr) {
+		t.Fatalf("Verify error %q does not mention %q", ve.Error(), substr)
+	}
+	return ve
+}
+
+func TestVerifyMinimalOK(t *testing.T) {
+	prog, _ := newTestFunc()
+	if err := Verify(prog); err != nil {
+		t.Fatalf("minimal function should verify: %v", err)
+	}
+}
+
+func TestVerifyDanglingEdge(t *testing.T) {
+	prog, fn := newTestFunc()
+	orphan := &Block{ID: 99} // never added to fn.Blocks
+	fn.Entry.Instrs = []*Instr{{Op: OpBr, Blocks: []*Block{orphan}}}
+	ve := wantVerifyError(t, prog, "edge to b99, which is not a block of t.f")
+	if ve.Func != "t.f" || ve.Block != 0 || ve.Instr != 0 {
+		t.Errorf("error position = %s b%d[%d], want t.f b0[0]", ve.Func, ve.Block, ve.Instr)
+	}
+}
+
+func TestVerifyUseBeforeDef(t *testing.T) {
+	prog, fn := newTestFunc()
+	x := fn.NewReg(ClassWord)
+	y := fn.NewReg(ClassWord)
+	fn.Entry.Instrs = []*Instr{
+		{Op: OpMov, Dst: []Reg{y}, Args: []Reg{x}}, // x never defined
+		{Op: OpRet},
+	}
+	ve := wantVerifyError(t, prog, "mov reads %v1 before any definition reaches it")
+	if ve.Block != 0 || ve.Instr != 0 {
+		t.Errorf("error position = b%d[%d], want b0[0]", ve.Block, ve.Instr)
+	}
+}
+
+// A register defined on only one branch arm must not count as defined at the
+// join point: the meet is intersection, not union.
+func TestVerifyUseBeforeDefOnOnePath(t *testing.T) {
+	prog, fn := newTestFunc()
+	c := fn.NewReg(ClassWord)
+	x := fn.NewReg(ClassWord)
+	thn, els, join := fn.NewBlock(), fn.NewBlock(), fn.NewBlock()
+	fn.Entry.Instrs = []*Instr{
+		{Op: OpConst, Dst: []Reg{c}, Imm: 1},
+		{Op: OpCondBr, Args: []Reg{c}, Blocks: []*Block{thn, els}},
+	}
+	thn.Instrs = []*Instr{
+		{Op: OpConst, Dst: []Reg{x}, Imm: 7}, // defined here only
+		{Op: OpBr, Blocks: []*Block{join}},
+	}
+	els.Instrs = []*Instr{{Op: OpBr, Blocks: []*Block{join}}}
+	join.Instrs = []*Instr{
+		{Op: OpMov, Dst: []Reg{fn.NewReg(ClassWord)}, Args: []Reg{x}},
+		{Op: OpRet},
+	}
+	ve := wantVerifyError(t, prog, "before any definition reaches it")
+	if ve.Block != join.ID {
+		t.Errorf("error in b%d, want join block b%d", ve.Block, join.ID)
+	}
+}
+
+func TestVerifyFieldWidthOutOfRange(t *testing.T) {
+	prog, fn := newTestFunc()
+	d := fn.NewReg(ClassWord)
+	wide := &types.ProtoField{Name: "wide", Bits: 48}
+	fn.Entry.Instrs = []*Instr{
+		{Op: OpPktLoad, Dst: []Reg{d}, Args: []Reg{fn.Params[0]}, Field: wide},
+		{Op: OpRet},
+	}
+	wantVerifyError(t, prog, "field wide is 48 bits, outside the 1..32 word range")
+}
+
+func TestVerifyTerminatorInMiddle(t *testing.T) {
+	prog, fn := newTestFunc()
+	fn.Entry.Instrs = []*Instr{{Op: OpRet}, {Op: OpRet}}
+	wantVerifyError(t, prog, "terminator ret in the middle of a block")
+}
+
+func TestVerifyMissingTerminator(t *testing.T) {
+	prog, fn := newTestFunc()
+	d := fn.NewReg(ClassWord)
+	fn.Entry.Instrs = []*Instr{{Op: OpConst, Dst: []Reg{d}, Imm: 1}}
+	wantVerifyError(t, prog, "block does not end in a terminator")
+}
+
+func TestVerifyEmptyBlock(t *testing.T) {
+	prog, fn := newTestFunc()
+	fn.Entry.Instrs = nil
+	wantVerifyError(t, prog, "empty block (no terminator)")
+}
+
+func TestVerifyCondBrArity(t *testing.T) {
+	prog, fn := newTestFunc()
+	c := fn.NewReg(ClassWord)
+	b2 := fn.NewBlock()
+	b2.Instrs = []*Instr{{Op: OpRet}}
+	fn.Entry.Instrs = []*Instr{
+		{Op: OpConst, Dst: []Reg{c}, Imm: 1},
+		{Op: OpCondBr, Args: []Reg{c}, Blocks: []*Block{b2}}, // one target, want 2
+	}
+	wantVerifyError(t, prog, "condbr with 1 targets, want 2")
+}
+
+func TestVerifyRegisterOutOfRange(t *testing.T) {
+	prog, fn := newTestFunc()
+	fn.Entry.Instrs = []*Instr{
+		{Op: OpMov, Dst: []Reg{Reg(1000)}, Args: []Reg{fn.Params[0]}},
+		{Op: OpRet},
+	}
+	wantVerifyError(t, prog, "register 1000 out of range")
+}
+
+func TestVerifyHandleClass(t *testing.T) {
+	prog, fn := newTestFunc()
+	w := fn.NewReg(ClassWord)
+	d := fn.NewReg(ClassWord)
+	f := &types.ProtoField{Name: "x", Bits: 8}
+	fn.Entry.Instrs = []*Instr{
+		{Op: OpConst, Dst: []Reg{w}, Imm: 0},
+		{Op: OpPktLoad, Dst: []Reg{d}, Args: []Reg{w}, Field: f}, // word as handle
+		{Op: OpRet},
+	}
+	wantVerifyError(t, prog, "handle operand %v1 has class word")
+}
+
+func TestVerifyRawWidthMismatch(t *testing.T) {
+	prog, fn := newTestFunc()
+	d := fn.NewReg(ClassWord)
+	// Raw 8-byte load should carry two destination words, not one.
+	fn.Entry.Instrs = []*Instr{
+		{Op: OpPktLoad, Dst: []Reg{d}, Args: []Reg{fn.Params[0]}, Off: 0, Width: 8},
+		{Op: OpRet},
+	}
+	wantVerifyError(t, prog, "1 destinations for width 8")
+}
+
+func TestVerifyRawWidthNotWordMultiple(t *testing.T) {
+	prog, fn := newTestFunc()
+	d := fn.NewReg(ClassWord)
+	fn.Entry.Instrs = []*Instr{
+		{Op: OpPktLoad, Dst: []Reg{d}, Args: []Reg{fn.Params[0]}, Off: 0, Width: 3},
+		{Op: OpRet},
+	}
+	wantVerifyError(t, prog, "raw width 3 is not a positive word multiple")
+}
+
+func TestVerifyOrderMissingFunc(t *testing.T) {
+	prog, _ := newTestFunc()
+	prog.Order = append(prog.Order, "t.ghost")
+	wantVerifyError(t, prog, "listed in Order but missing from Funcs")
+}
+
+func TestVerifyErrorPositional(t *testing.T) {
+	// Errors carry the function, block and instruction index so a failing
+	// pass can be pinpointed without re-dumping the whole program.
+	prog, fn := newTestFunc()
+	orphan := &Block{ID: 42}
+	extra := fn.NewBlock()
+	extra.Instrs = []*Instr{
+		{Op: OpBr, Blocks: []*Block{orphan}},
+	}
+	fn.Entry.Instrs = []*Instr{{Op: OpBr, Blocks: []*Block{extra}}}
+	ve := wantVerifyError(t, prog, "edge to b42")
+	if got := ve.Error(); !strings.Contains(got, "t.f b1[0]") {
+		t.Errorf("error %q lacks positional prefix t.f b1[0]", got)
+	}
+}
