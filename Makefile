@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check race verify bench-smoke clean
+.PHONY: all build test vet fmt-check race verify bench-smoke bench-loadlatency clean
 
 all: verify
 
@@ -30,8 +30,14 @@ verify: build vet fmt-check test race
 # Quick end-to-end pass over the evaluation binary: short windows, report
 # written to a scratch location.
 bench-smoke: build
-	$(GO) run ./cmd/shangrila-bench -quick -exp table1 -report /tmp/bench_report.json
+	$(GO) run ./cmd/shangrila-bench -quick -experiment table1 -report /tmp/bench_report.json
 	@test -s /tmp/bench_report.json && echo "bench-smoke: report OK"
+
+# Short load-latency sweep: goodput/drop/latency curves per app at BASE
+# and the -O default (+SWC), exported into the bench report.
+bench-loadlatency: build
+	$(GO) run ./cmd/shangrila-bench -quick -experiment loadlatency -report bench_report.json
+	@test -s bench_report.json && echo "bench-loadlatency: report OK"
 
 clean:
 	rm -f bench_report.json

@@ -1,10 +1,14 @@
 // Command ixpsim compiles a benchmark application and runs it on the
 // IXP2400 model, reporting the forwarding rate and per-packet memory
-// access profile.
+// access profile. With -gbps the open-loop workload engine drives the
+// machine (arrival process, size mix, flow locality) and the output
+// gains offered load, drop causes and Rx→Tx latency quantiles.
 //
 // Usage:
 //
 //	ixpsim [-O level] [-mes n] [-cycles n] [-seed n]
+//	       [-gbps g] [-arrival fixed|poisson|onoff] [-sizes 64|imix|trimodal]
+//	       [-flows n] [-zipf s]
 //	       [-dump-ir pass|all] [-dump-ir-dir dir] [-verify-ir]
 //	       l3switch|mpls|firewall
 package main
@@ -16,19 +20,14 @@ import (
 
 	"shangrila/internal/apps"
 	"shangrila/internal/cg"
-	"shangrila/internal/driver"
 	"shangrila/internal/harness"
 )
 
 func main() {
-	level := flag.Int("O", 6, "optimization level 0..6 (BASE..+SWC)")
+	common := harness.RegisterCommonFlags(flag.CommandLine)
 	mes := flag.Int("mes", 6, "enabled packet-processing MEs (1..6)")
 	cycles := flag.Int64("cycles", 1_000_000, "measured simulation cycles (600 MHz core)")
 	warm := flag.Int64("warmup", 150_000, "warm-up cycles before counters reset")
-	seed := flag.Uint64("seed", 1234, "traffic generator seed")
-	dumpIR := flag.String("dump-ir", "", "dump IR after the named compiler pass (or \"all\")")
-	dumpDir := flag.String("dump-ir-dir", "", "write IR dumps to this directory instead of stdout")
-	verifyIR := flag.Bool("verify-ir", false, "run the IR verifier after every compiler pass")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ixpsim [flags] l3switch|mpls|firewall")
@@ -44,25 +43,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ixpsim: unknown app %q\n", flag.Arg(0))
 		os.Exit(2)
 	}
-	lvl := driver.Level(*level)
-	opts := []harness.Option{
+	lvl, err := common.DriverLevel()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ixpsim: %v\n", err)
+		os.Exit(2)
+	}
+	opts, err := common.Options()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ixpsim: %v\n", err)
+		os.Exit(2)
+	}
+	opts = append(opts,
 		harness.WithLevel(lvl),
 		harness.WithMEs(*mes),
 		harness.WithWindows(*warm, *cycles),
-		harness.WithSeed(*seed),
 		harness.WithTrace(384),
 		harness.WithTelemetry(0),
-	}
-	if *dumpIR != "" || *dumpDir != "" {
-		pass := *dumpIR
-		if pass == "" {
-			pass = "all"
-		}
-		opts = append(opts, harness.WithDumpIR(pass, *dumpDir))
-	}
-	if *verifyIR {
-		opts = append(opts, harness.WithVerifyIR(driver.VerifyOn))
-	}
+	)
 	r, err := harness.Run(app, opts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ixpsim: %v\n", err)
@@ -71,6 +68,17 @@ func main() {
 	fmt.Printf("%s at %v on %d ME(s): %.2f Gbps (%d packets in %.2f ms simulated)\n",
 		app.Name, lvl, *mes, r.Gbps, r.TxPackets, float64(*cycles)/600e3)
 	fmt.Printf("pipeline: %d stage(s), code %v instructions\n", r.Stages, r.CodeSizes)
+	if r.Workload != nil {
+		fmt.Printf("\noffered %.2f Gbps (%s arrivals, %s sizes): goodput %.2f Gbps, drop %.2f%%\n",
+			r.OfferedGbps, r.Workload.Arrival, r.Workload.Sizes,
+			r.Gbps, 100*r.DropRate())
+		fmt.Printf("  drops: rx-ring %d, app %d; channel-ring backpressure events %d\n",
+			r.RxDropped, r.AppDrops, r.ChanOverflows)
+		if lat := r.Latency; lat != nil && lat.Count > 0 {
+			fmt.Printf("  latency (Rx→Tx cycles): p50 %d  p90 %d  p99 %d  max %d (%d samples)\n",
+				lat.P50, lat.P90, lat.P99, lat.Max, lat.Count)
+		}
+	}
 	fmt.Println("\nper-packet dynamic memory accesses (Table 1 columns):")
 	fmt.Printf("  packet: scratch %.1f  sram %.1f  dram %.1f\n", r.PktScratch, r.PktSRAM, r.PktDRAM)
 	fmt.Printf("  app:    scratch %.1f  sram %.1f\n", r.AppScratch, r.AppSRAM)

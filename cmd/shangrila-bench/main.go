@@ -1,15 +1,20 @@
 // Command shangrila-bench regenerates the paper's evaluation: Figure 6
 // (memory micro-benchmark), Table 1 (per-packet dynamic memory accesses)
 // and Figures 13-15 (forwarding rate vs enabled MEs per optimization
-// level for L3-Switch, Firewall and MPLS). Sweep points fan out across
-// worker goroutines and every point's measurement — forwarding rate,
-// per-packet accesses, simulator telemetry, compile pass timings — is
-// written to a machine-readable JSON report.
+// level for L3-Switch, Firewall and MPLS), plus load–latency curves from
+// the open-loop workload engine (the Figure 9 discussion). Sweep points
+// fan out across worker goroutines and every point's measurement —
+// forwarding rate, per-packet accesses, simulator telemetry, compile pass
+// timings, latency histograms — is written to a machine-readable JSON
+// report.
 //
 // Usage:
 //
-//	shangrila-bench [-exp all|fig6|table1|fig13|fig14|fig15] [-quick]
-//	                [-report bench_report.json] [-workers N]
+//	shangrila-bench [-experiment all|fig6|table1|fig13|fig14|fig15|loadlatency]
+//	                [-quick] [-report bench_report.json] [-workers N]
+//	                [-O level] [-seed n]
+//	                [-arrival fixed|poisson|onoff] [-sizes 64|imix|trimodal]
+//	                [-flows n] [-zipf s]
 //	                [-dump-ir pass|all] [-dump-ir-dir dir] [-verify-ir]
 package main
 
@@ -24,37 +29,31 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|fig6|table1|fig13|fig14|fig15")
+	common := harness.RegisterCommonFlags(flag.CommandLine)
+	exp := flag.String("experiment", "all", "experiment: all|fig6|table1|fig13|fig14|fig15|loadlatency")
 	quick := flag.Bool("quick", false, "shorter measurement windows (noisier)")
-	seed := flag.Uint64("seed", 1234, "traffic seed")
 	report := flag.String("report", "bench_report.json", "machine-readable report path (empty disables)")
 	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
-	dumpIR := flag.String("dump-ir", "", "dump IR after the named compiler pass (or \"all\")")
-	dumpDir := flag.String("dump-ir-dir", "", "write IR dumps to this directory instead of stdout")
-	verifyIR := flag.Bool("verify-ir", false, "run the IR verifier after every compiler pass")
 	flag.Parse()
 
 	cfg := harness.DefaultRunConfig()
-	cfg.Seed = *seed
+	cfg.Seed = common.Seed
 	figWarm, figMeas := int64(60_000), int64(400_000)
+	loads := harness.DefaultLoads()
 	if *quick {
 		cfg.Warmup, cfg.Measure = 60_000, 250_000
 		figWarm, figMeas = 30_000, 150_000
+		loads = []float64{0.5, 1.5, 3}
 	}
-	opts := []harness.Option{
+	opts, err := common.Options()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shangrila-bench: %v\n", err)
+		os.Exit(2)
+	}
+	opts = append(opts,
 		harness.WithTelemetry(0),
 		harness.WithWorkers(*workers),
-	}
-	if *dumpIR != "" || *dumpDir != "" {
-		pass := *dumpIR
-		if pass == "" {
-			pass = "all"
-		}
-		opts = append(opts, harness.WithDumpIR(pass, *dumpDir))
-	}
-	if *verifyIR {
-		opts = append(opts, harness.WithVerifyIR(driver.VerifyOn))
-	}
+	)
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -67,6 +66,7 @@ func main() {
 	}
 
 	var all []*harness.Result
+	var curves []*harness.LoadCurve
 	run("fig6", func() error {
 		pts, err := harness.Figure6(figWarm, figMeas)
 		if err != nil {
@@ -106,14 +106,41 @@ func main() {
 			return nil
 		})
 	}
+	run("loadlatency", func() error {
+		lvl, err := common.DriverLevel()
+		if err != nil {
+			return err
+		}
+		shape, err := common.TrafficShape()
+		if err != nil {
+			return err
+		}
+		// BASE is the contrast curve; -O picks the optimized one.
+		levels := []driver.Level{driver.LevelBase}
+		if lvl != driver.LevelBase {
+			levels = append(levels, lvl)
+		}
+		llOpts := append(append([]harness.Option{}, opts...),
+			harness.WithWindows(cfg.Warmup, cfg.Measure),
+			harness.WithWorkload(shape))
+		curves, err = harness.LoadLatency(apps.All(), levels, loads, llOpts...)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Load–latency curves (offered load sweep, Figure 9 shape)")
+		fmt.Println(harness.FormatLoadLatency(curves))
+		return nil
+	})
 
-	if *report != "" && len(all) > 0 {
+	if *report != "" && (len(all) > 0 || len(curves) > 0) {
 		f, err := os.Create(*report)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "shangrila-bench: report: %v\n", err)
 			os.Exit(1)
 		}
-		if err := harness.BuildReport(all).WriteJSON(f); err != nil {
+		rep := harness.BuildReport(all)
+		rep.LoadLatency = curves
+		if err := rep.WriteJSON(f); err != nil {
 			f.Close()
 			fmt.Fprintf(os.Stderr, "shangrila-bench: report: %v\n", err)
 			os.Exit(1)
@@ -122,6 +149,6 @@ func main() {
 			fmt.Fprintf(os.Stderr, "shangrila-bench: report: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s (%d sweep points)\n", *report, len(all))
+		fmt.Printf("wrote %s (%d sweep points, %d load curves)\n", *report, len(all), len(curves))
 	}
 }

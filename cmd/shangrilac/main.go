@@ -23,6 +23,7 @@ import (
 	"shangrila/internal/harness"
 	"shangrila/internal/packet"
 	"shangrila/internal/trace"
+	"shangrila/internal/workload"
 )
 
 func main() {
@@ -103,7 +104,7 @@ func compileTarget(arg string, lvl driver.Level, mes int) (*driver.Result, strin
 	}
 	// Generic profiling trace: 64-byte frames with randomized bytes in
 	// the rx protocol's fields.
-	r := trace.NewRand(42)
+	r := workload.NewSource(42)
 	var profTrace []*packet.Packet
 	entryProto := prog.Types.Entry.InProto
 	for i := 0; i < 256; i++ {

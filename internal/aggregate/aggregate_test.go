@@ -10,6 +10,7 @@ import (
 	"shangrila/internal/profiler"
 	"shangrila/internal/testutil"
 	"shangrila/internal/trace"
+	"shangrila/internal/workload"
 )
 
 const appSrc = `
@@ -62,7 +63,7 @@ module app {
 `
 
 func buildTrace(tp *types.Program, n int) []*packet.Packet {
-	r := trace.NewRand(11)
+	r := workload.NewSource(11)
 	var out []*packet.Packet
 	for i := 0; i < n; i++ {
 		ethType := uint32(0x0800)

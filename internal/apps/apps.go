@@ -10,6 +10,7 @@ import (
 	"shangrila/internal/packet"
 	"shangrila/internal/profiler"
 	"shangrila/internal/trace"
+	"shangrila/internal/workload"
 )
 
 // App bundles one benchmark application.
@@ -123,7 +124,7 @@ const ETH_MPLS = 0x8847;
 `
 
 // buildIP constructs an Ethernet/IPv4(/L4) frame.
-func buildIP(tp *types.Program, r *trace.Rand, dstMACHi, dstMACLo, dstIP uint32,
+func buildIP(tp *types.Program, r *workload.Source, dstMACHi, dstMACLo, dstIP uint32,
 	proto uint32, sport, dport uint32, withL4 bool) *packet.Packet {
 	layers := []trace.Layer{
 		{Proto: tp.Protocols["ether"], Fields: map[string]uint32{

@@ -4,7 +4,7 @@ import (
 	"shangrila/internal/baker/types"
 	"shangrila/internal/packet"
 	"shangrila/internal/profiler"
-	"shangrila/internal/trace"
+	"shangrila/internal/workload"
 )
 
 // Firewall rule actions.
@@ -223,7 +223,7 @@ func Firewall() *App {
 }
 
 func fwTrace(tp *types.Program, seed uint64, n int) []*packet.Packet {
-	r := trace.NewRand(seed)
+	r := workload.NewSource(seed)
 	var out []*packet.Packet
 	for i := 0; i < n; i++ {
 		roll := r.Intn(100)

@@ -5,6 +5,7 @@ import (
 	"shangrila/internal/packet"
 	"shangrila/internal/profiler"
 	"shangrila/internal/trace"
+	"shangrila/internal/workload"
 )
 
 // l3switchSrc is the Baker L3-Switch of §6.1: it bridges and routes IP
@@ -264,7 +265,7 @@ func L3Switch() *App {
 }
 
 func l3Trace(tp *types.Program, seed uint64, n int) []*packet.Packet {
-	r := trace.NewRand(seed)
+	r := workload.NewSource(seed)
 	var out []*packet.Packet
 	for i := 0; i < n; i++ {
 		switch {
@@ -303,7 +304,7 @@ func l3Trace(tp *types.Program, seed uint64, n int) []*packet.Packet {
 			if r.Intn(10) < 7 {
 				dst = l3HotDsts[r.Intn(len(l3HotDsts))]
 			} else {
-				dst = trace.AddrInPrefix(r, l3Routes[r.Intn(len(l3Routes))])
+				dst = r.AddrInPrefix(l3Routes[r.Intn(len(l3Routes))])
 			}
 			port := uint32(r.Intn(3))
 			hi, lo := routerMAC(port)

@@ -5,6 +5,7 @@ import (
 	"shangrila/internal/packet"
 	"shangrila/internal/profiler"
 	"shangrila/internal/trace"
+	"shangrila/internal/workload"
 )
 
 // MPLS label operations stored in the incoming-label map (ILM).
@@ -253,7 +254,7 @@ func MPLS() *App {
 	}
 }
 
-func buildMPLS(tp *types.Program, r *trace.Rand, labels []uint32, innerTTL uint32) *packet.Packet {
+func buildMPLS(tp *types.Program, r *workload.Source, labels []uint32, innerTTL uint32) *packet.Packet {
 	layers := []trace.Layer{
 		{Proto: tp.Protocols["ether"], Fields: map[string]uint32{
 			"dst_hi": 0x0a00, "dst_lo": 0x5e000000,
@@ -269,7 +270,7 @@ func buildMPLS(tp *types.Program, r *trace.Rand, labels []uint32, innerTTL uint3
 	}
 	layers = append(layers, trace.Layer{Proto: tp.Protocols["ipv4"],
 		Fields: map[string]uint32{"ver": 4, "hlen": 5, "ttl": innerTTL,
-			"dst": trace.AddrInPrefix(r, trace.Prefix{Addr: 0x0a010000, Len: 16})},
+			"dst": r.AddrInPrefix(trace.Prefix{Addr: 0x0a010000, Len: 16})},
 		Size: 20})
 	p, err := trace.Build(layers, 64, tp.Metadata.Bytes)
 	if err != nil {
@@ -280,7 +281,7 @@ func buildMPLS(tp *types.Program, r *trace.Rand, labels []uint32, innerTTL uint3
 }
 
 func mplsTrace(tp *types.Program, seed uint64, n int) []*packet.Packet {
-	r := trace.NewRand(seed)
+	r := workload.NewSource(seed)
 	var out []*packet.Packet
 	for i := 0; i < n; i++ {
 		roll := r.Intn(100)

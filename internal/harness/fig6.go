@@ -94,30 +94,14 @@ func Figure6Kernel(level cg.MemLevel, words, accesses int) *cg.Program {
 // descriptor source and returns the measured forwarding rate.
 func RunKernel(prog *cg.Program, numMEs int, warmup, measure int64) (float64, error) {
 	cfg := ixp.DefaultConfig()
-	m, err := ixp.New(cfg, 3, 256)
+	cfg.RingSlots = 256
+	m, err := ixp.New(cfg, &ixp.FixedDescMedia{})
 	if err != nil {
 		return 0, err
 	}
 	m.GrowRing(cg.RingFree, 600)
 	for id := 0; id < 512; id++ {
 		m.Rings[cg.RingFree].Put(uint32(id), 64<<16|128)
-	}
-	m.RxInject = func(m *ixp.Machine) bool {
-		if m.Rings[cg.RingRx].Space() == 0 {
-			return false
-		}
-		id, _, ok := m.Rings[cg.RingFree].Get()
-		if !ok {
-			return false
-		}
-		m.ChargeRxDMA(64, 4)
-		m.Rings[cg.RingRx].Put(id, 64<<16|128)
-		m.NoteRxPacket()
-		return true
-	}
-	m.OnTx = func(m *ixp.Machine, w0, w1 uint32) int {
-		m.Rings[cg.RingFree].Put(w0, 64<<16|128)
-		return 64
 	}
 	for me := 0; me < numMEs; me++ {
 		m.LoadProgram(me, prog)

@@ -10,6 +10,7 @@ import (
 	"shangrila/internal/ixp"
 	"shangrila/internal/metrics"
 	"shangrila/internal/rts"
+	"shangrila/internal/workload"
 )
 
 // Option configures a Run or Sweep call. Options compose left to right;
@@ -24,6 +25,7 @@ type settings struct {
 	sampleInterval int64
 	sampleWindow   int
 	compiled       *driver.Result
+	workload       *workload.Spec
 	workers        int
 	verify         driver.VerifyMode
 	dumpPass       string
@@ -102,6 +104,16 @@ func WithCompiled(res *driver.Result) Option {
 	return func(s *settings) { s.compiled = res }
 }
 
+// WithWorkload drives the machine from a deterministic open-loop traffic
+// stream instead of the legacy closed-loop line-rate trace playback: the
+// spec's arrival process, size mix and Zipf flow locality shape arrivals,
+// saturation losses are counted instead of retried, and the Result gains
+// offered load, drop causes and the Rx→Tx latency histogram. A spec with
+// Seed 0 inherits the measurement seed (WithSeed + 1, like the trace).
+func WithWorkload(sp *workload.Spec) Option {
+	return func(s *settings) { s.workload = sp }
+}
+
 // WithWorkers bounds sweep parallelism (Run ignores it). 0 or negative
 // means GOMAXPROCS.
 func WithWorkers(n int) Option {
@@ -165,6 +177,29 @@ type Result struct {
 	CompilePasses []driver.PassTiming
 	// Telemetry is non-nil when the point ran with WithTelemetry.
 	Telemetry *Telemetry
+
+	// Workload-mode accounting (WithWorkload): the load the stream
+	// offered over the measured window, how many packets arrived versus
+	// were lost to Rx-ring saturation, channel-ring backpressure events,
+	// packets the application itself dropped, and the Rx→Tx latency
+	// distribution (in cycles) of the transmitted packets.
+	Workload      *workload.Spec
+	OfferedGbps   float64
+	RxPackets     uint64
+	RxDropped     uint64
+	ChanOverflows uint64
+	AppDrops      uint64
+	Latency       *metrics.HistogramSnapshot
+}
+
+// DropRate returns the fraction of offered packets lost to Rx-ring
+// saturation (workload mode; 0 otherwise).
+func (r *Result) DropRate() float64 {
+	offered := r.RxPackets + r.RxDropped
+	if offered == 0 {
+		return 0
+	}
+	return float64(r.RxDropped) / float64(offered)
 }
 
 // Total returns the Table 1 "Total" column.
@@ -203,8 +238,16 @@ func measure(a *apps.App, res *driver.Result, s *settings) (*Result, error) {
 		cfg.SampleInterval = s.sampleInterval
 		cfg.SampleWindow = s.sampleWindow
 	}
+	var wl *workload.Spec
+	if s.workload != nil {
+		sp := *s.workload
+		if sp.Seed == 0 {
+			sp.Seed = s.run.Seed + 1
+		}
+		wl = &sp
+	}
 	rt, err := rts.New(res.Image, res.Prog, trc, rts.Options{
-		NumMEs: s.run.NumMEs, Cfg: cfg,
+		NumMEs: s.run.NumMEs, Cfg: cfg, Workload: wl,
 	})
 	if err != nil {
 		return nil, err
@@ -240,6 +283,16 @@ func measure(a *apps.App, res *driver.Result, s *settings) (*Result, error) {
 	}
 	if s.telemetry {
 		out.Telemetry = collectTelemetry(rt.M, &st, s)
+	}
+	if wl != nil {
+		out.Workload = wl
+		out.OfferedGbps = st.OfferedGbps(rt.M.Cfg.ClockMHz)
+		out.RxPackets = st.RxPackets
+		out.RxDropped = st.RxDropped
+		out.ChanOverflows = st.ChanOverflows()
+		out.AppDrops = st.FreedPackets
+		lat := rt.M.LatencySnapshot()
+		out.Latency = &lat
 	}
 	return out, nil
 }

@@ -5,6 +5,8 @@ import (
 	"io"
 
 	"shangrila/internal/driver"
+	"shangrila/internal/metrics"
+	"shangrila/internal/workload"
 )
 
 // ReportPoint is one sweep point in the machine-readable bench report.
@@ -24,16 +26,29 @@ type ReportPoint struct {
 	Stages        int                 `json:"stages,omitempty"`
 	CompilePasses []driver.PassTiming `json:"compile_passes,omitempty"`
 	Telemetry     *Telemetry          `json:"telemetry,omitempty"`
+
+	// Workload-mode fields (set when the point ran with WithWorkload).
+	Workload      *workload.Spec             `json:"workload,omitempty"`
+	OfferedGbps   float64                    `json:"offered_gbps,omitempty"`
+	RxPackets     uint64                     `json:"rx_packets,omitempty"`
+	RxDropped     uint64                     `json:"rx_dropped,omitempty"`
+	ChanOverflows uint64                     `json:"chan_overflows,omitempty"`
+	AppDrops      uint64                     `json:"app_drops,omitempty"`
+	Latency       *metrics.HistogramSnapshot `json:"latency_cycles,omitempty"`
 }
 
 // BenchReport is the top-level bench_report.json document.
 type BenchReport struct {
 	Schema string        `json:"schema"`
 	Points []ReportPoint `json:"points"`
+	// LoadLatency holds load–latency curves when the loadlatency
+	// experiment ran.
+	LoadLatency []*LoadCurve `json:"load_latency,omitempty"`
 }
 
-// ReportSchema versions the bench report layout.
-const ReportSchema = "shangrila-bench/v1"
+// ReportSchema versions the bench report layout. v2 added the
+// workload-mode point fields and the load_latency section.
+const ReportSchema = "shangrila-bench/v2"
 
 // BuildReport converts sweep results into the export document, in result
 // order.
@@ -58,6 +73,13 @@ func BuildReport(results []*Result) *BenchReport {
 			Stages:        r.Stages,
 			CompilePasses: r.CompilePasses,
 			Telemetry:     r.Telemetry,
+			Workload:      r.Workload,
+			OfferedGbps:   r.OfferedGbps,
+			RxPackets:     r.RxPackets,
+			RxDropped:     r.RxDropped,
+			ChanOverflows: r.ChanOverflows,
+			AppDrops:      r.AppDrops,
+			Latency:       r.Latency,
 		})
 	}
 	return rep
@@ -77,7 +99,11 @@ func (r *BenchReport) WriteJSON(w io.Writer) error {
 // sweeps over the same points with the same seeds must produce identical
 // canonical bytes at any worker count.
 func (r *BenchReport) CanonicalJSON() ([]byte, error) {
-	cp := BenchReport{Schema: r.Schema, Points: make([]ReportPoint, len(r.Points))}
+	cp := BenchReport{
+		Schema:      r.Schema,
+		Points:      make([]ReportPoint, len(r.Points)),
+		LoadLatency: r.LoadLatency,
+	}
 	copy(cp.Points, r.Points)
 	for i := range cp.Points {
 		if n := len(cp.Points[i].CompilePasses); n > 0 {

@@ -7,14 +7,18 @@ import (
 
 	"shangrila/internal/apps"
 	"shangrila/internal/driver"
+	"shangrila/internal/workload"
 )
 
 // Point is one sweep coordinate: app × level × enabled MEs × seed.
+// A non-zero OfferedGbps overrides the workload spec's offered load for
+// this point (load–latency sweeps vary it against one compiled image).
 type Point struct {
-	App    *apps.App
-	Level  driver.Level
-	NumMEs int
-	Seed   uint64
+	App         *apps.App
+	Level       driver.Level
+	NumMEs      int
+	Seed        uint64
+	OfferedGbps float64
 }
 
 // compileKey identifies a shared compilation: the measurement grid varies
@@ -95,6 +99,14 @@ func Sweep(points []Point, opts ...Option) ([]*Result, error) {
 				s.run.NumMEs = p.NumMEs
 				s.run.Seed = p.Seed
 				s.level = p.Level
+				if p.OfferedGbps > 0 {
+					var sp workload.Spec
+					if base.workload != nil {
+						sp = *base.workload
+					}
+					sp.OfferedGbps = p.OfferedGbps
+					s.workload = &sp
+				}
 				results[i], errs[i] = measure(p.App, res, &s)
 				if errs[i] != nil {
 					failed.Store(true)

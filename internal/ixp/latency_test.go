@@ -1,0 +1,169 @@
+package ixp
+
+import (
+	"math"
+	"testing"
+
+	"shangrila/internal/cg"
+)
+
+// openMedia injects at line rate for a fixed frame size and drops (with
+// accounting) instead of retrying when the Rx path is saturated — the
+// open-loop traffic model the workload engine uses, reduced to its
+// essentials for machine-level tests.
+type openMedia struct {
+	frame int
+}
+
+func (o *openMedia) Inject(m *Machine) float64 {
+	id, _, ok := m.Rings[cg.RingFree].Get()
+	switch {
+	case !ok || m.Rings[cg.RingRx].Space() == 0:
+		if ok {
+			m.Rings[cg.RingFree].Put(id, 0)
+		}
+		m.NoteRxDropped(o.frame)
+	default:
+		m.Rings[cg.RingRx].Put(id, 64<<16|128)
+		m.NoteRxPacket(id, o.frame)
+	}
+	return m.Cfg.RxIntervalCycles(float64(o.frame * 8))
+}
+
+func (o *openMedia) Transmit(m *Machine, w0, w1 uint32) int {
+	m.Rings[cg.RingFree].Put(w0, 64<<16|128)
+	return o.frame
+}
+
+// TestOfferedLoadAccuracy pins the fractional-cycle Rx pacing: at 2.5
+// Gbps and 600 MHz a 64B frame spans 122.88 cycles, so whole-cycle
+// truncation alone would overshoot the configured rate by 0.72%. The
+// carry accumulator must keep the measured offered load within 0.5%.
+func TestOfferedLoadAccuracy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PortGbps = 2.5
+	media := &openMedia{frame: 64}
+	m, err := New(cfg, media)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.GrowRing(cg.RingFree, 256)
+	for i := 0; i < 200; i++ {
+		m.Rings[cg.RingFree].Put(uint32(i), 64<<16|128)
+	}
+	// No program drains the Rx ring: it saturates and further arrivals
+	// drop, but offered load counts accepted and dropped bits alike.
+	if err := m.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Snapshot()
+	offered := st.OfferedGbps(cfg.ClockMHz)
+	if rel := math.Abs(offered-cfg.PortGbps) / cfg.PortGbps; rel > 0.005 {
+		t.Errorf("offered load %.4f Gbps deviates %.2f%% from configured %.1f (want <= 0.5%%)",
+			offered, rel*100, cfg.PortGbps)
+	}
+	if st.RxDropped == 0 {
+		t.Error("undrained Rx ring produced no saturation drops")
+	}
+}
+
+// TestLatencyRecorded checks the Rx→Tx accounting: every transmitted
+// packet yields exactly one latency sample and the quantiles are ordered.
+func TestLatencyRecorded(t *testing.T) {
+	m := runLoop(t, 1)
+	st := m.Snapshot()
+	lat := m.LatencySnapshot()
+	if lat.Count == 0 || lat.Count != st.TxPackets {
+		t.Fatalf("latency samples %d, want one per transmitted packet (%d)",
+			lat.Count, st.TxPackets)
+	}
+	if lat.P50 <= 0 || lat.P90 < lat.P50 || lat.P99 < lat.P90 || lat.Max < lat.P99 {
+		t.Errorf("quantiles out of order: %+v", lat)
+	}
+	// Reset discards the window's samples but keeps in-flight stamps:
+	// continuing the run keeps producing samples.
+	m.ResetStats()
+	if m.LatencySnapshot().Count != 0 {
+		t.Error("latency histogram survived ResetStats")
+	}
+	if err := m.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.LatencySnapshot().Count == 0 {
+		t.Error("no latency samples after warm-up reset")
+	}
+}
+
+// TestDropCauseRxSaturation: an undrained Rx ring attributes every loss
+// to Rx saturation and none to channel-ring overflow.
+func TestDropCauseRxSaturation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RingSlots = 8
+	m, err := New(cfg, &openMedia{frame: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.GrowRing(cg.RingFree, 64)
+	for i := 0; i < 32; i++ {
+		m.Rings[cg.RingFree].Put(uint32(i), 64<<16|128)
+	}
+	if err := m.Run(500_000); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Snapshot()
+	if st.RxDropped == 0 {
+		t.Fatal("no Rx saturation drops")
+	}
+	if st.ChanOverflows() != 0 {
+		t.Errorf("idle MEs produced %d channel-ring overflows", st.ChanOverflows())
+	}
+	if st.DropRate() <= 0 || st.DropRate() >= 1 {
+		t.Errorf("drop rate %v out of (0,1)", st.DropRate())
+	}
+}
+
+// TestDropCauseChannelOverflow: a stage pushing into a full, undrained
+// app ring accumulates per-ring overflow counts (backpressure), while the
+// media-side Rx accounting stays a separate cause.
+func TestDropCauseChannelOverflow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumRings = 4 // Rx, Tx, free + one app ring nobody drains
+	cfg.RingSlots = 8
+	m, err := New(cfg, &openMedia{frame: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.GrowRing(cg.RingFree, 64)
+	for i := 0; i < 32; i++ {
+		m.Rings[cg.RingFree].Put(uint32(i), 64<<16|128)
+	}
+	// Forward Rx descriptors into the dead-end app ring, retrying on
+	// failure as compiled channel puts do.
+	prog := &cg.Program{Name: "deadend", Code: []*cg.Instr{
+		{Op: cg.IRingGet, Ring: cg.RingRx, Dst: 0, Dst2: 16, Class: cg.ClassPacketRing},
+		{Op: cg.IBccImm, Cond: cg.CNe, SrcA: 0, Imm: cg.InvalidPktID, Target: 4},
+		{Op: cg.ICtxArb},
+		{Op: cg.IBr, Target: 0},
+		{Op: cg.IRingPut, Ring: cg.RingApp0, SrcA: 0, SrcB: 16, Dst: 1, Class: cg.ClassPacketRing},
+		{Op: cg.IBccImm, Cond: cg.CNe, SrcA: 1, Imm: 0, Target: 0},
+		{Op: cg.ICtxArb},
+		{Op: cg.IBr, Target: 4},
+	}}
+	m.LoadProgram(0, prog)
+	if err := m.Run(500_000); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Snapshot()
+	if len(st.RingOverflow) != 4 {
+		t.Fatalf("RingOverflow has %d entries, want 4", len(st.RingOverflow))
+	}
+	if st.RingOverflow[cg.RingApp0] == 0 {
+		t.Error("full app ring recorded no overflow attempts")
+	}
+	if st.ChanOverflows() < st.RingOverflow[cg.RingApp0] {
+		t.Error("ChanOverflows does not cover the app ring")
+	}
+	if st.RxDropped == 0 {
+		t.Error("saturated pipeline should also drop at Rx")
+	}
+}

@@ -57,6 +57,12 @@ type Config struct {
 	// SampleWindow bounds each telemetry series to the most recent N
 	// samples (0 keeps every sample).
 	SampleWindow int
+
+	// NumRings and RingSlots describe the scratch-ring topology: NumRings
+	// rings of RingSlots descriptor pairs each. The runtime folds the
+	// compiled image's layout into these before constructing the machine.
+	NumRings  int
+	RingSlots int
 }
 
 // Validate rejects configurations that would make the timing model divide
@@ -86,6 +92,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("ixp: config: SampleInterval must be non-negative (got %d)", c.SampleInterval)
 	case c.SampleWindow < 0:
 		return fmt.Errorf("ixp: config: SampleWindow must be non-negative (got %d)", c.SampleWindow)
+	case c.NumRings < 0:
+		return fmt.Errorf("ixp: config: NumRings must be non-negative (got %d)", c.NumRings)
+	case c.NumRings > 0 && c.RingSlots <= 0:
+		return fmt.Errorf("ixp: config: RingSlots must be positive when rings are configured (got %d)", c.RingSlots)
 	}
 	return nil
 }
@@ -110,6 +120,9 @@ func DefaultConfig() Config {
 		DRAMBytes:    8 << 20, // pool sized for the packet buffers in use
 		LocalBytes:   2560,
 		CAMEntries:   16,
+
+		NumRings:  3, // Rx, Tx, free list; runtimes add app rings
+		RingSlots: 128,
 	}
 }
 
@@ -121,12 +134,18 @@ type AccessKey struct {
 
 // Stats accumulates run statistics.
 type Stats struct {
-	Cycles       int64
-	RxPackets    uint64
-	TxPackets    uint64
-	TxBits       uint64
-	FreedPackets uint64
-	RxDropped    uint64 // saturation drops at the Rx ring (expected)
+	Cycles        int64
+	RxPackets     uint64
+	RxBits        uint64 // wire bits of packets accepted at Rx
+	TxPackets     uint64
+	TxBits        uint64
+	FreedPackets  uint64
+	RxDropped     uint64 // saturation drops at the Rx ring (expected)
+	RxDroppedBits uint64 // wire bits of those drops (count toward offered load)
+	// RingOverflow counts ME ring-put attempts rejected by a full ring,
+	// indexed by ring number: backpressure between pipeline stages (the
+	// "channel ring overflow" drop cause, distinct from Rx saturation).
+	RingOverflow []uint64
 	// MEAccesses counts microengine-issued memory references by level
 	// and class (engine DMA is excluded, as in Table 1).
 	MEAccesses map[AccessKey]uint64
@@ -148,6 +167,7 @@ func (s *Stats) clone() Stats {
 	}
 	cp.MEInstrs = append([]uint64(nil), s.MEInstrs...)
 	cp.MEBusy = append([]int64(nil), s.MEBusy...)
+	cp.RingOverflow = append([]uint64(nil), s.RingOverflow...)
 	return cp
 }
 
@@ -187,6 +207,36 @@ func (s Stats) PerPacket(level cg.MemLevel, class cg.AccessClass) float64 {
 		return 0
 	}
 	return float64(s.MEAccesses[AccessKey{level, class}]) / float64(done)
+}
+
+// OfferedGbps returns the load the media offered over the measured window:
+// accepted plus saturation-dropped wire bits per simulated second.
+func (s Stats) OfferedGbps(clockMHz float64) float64 {
+	if s.Cycles == 0 || clockMHz <= 0 || math.IsNaN(clockMHz) || math.IsInf(clockMHz, 0) {
+		return 0
+	}
+	seconds := float64(s.Cycles) / (clockMHz * 1e6)
+	return float64(s.RxBits+s.RxDroppedBits) / 1e9 / seconds
+}
+
+// DropRate returns the fraction of offered packets lost to Rx-ring
+// saturation (0 when nothing was offered).
+func (s Stats) DropRate() float64 {
+	offered := s.RxPackets + s.RxDropped
+	if offered == 0 {
+		return 0
+	}
+	return float64(s.RxDropped) / float64(offered)
+}
+
+// ChanOverflows returns the total ME ring-put rejections across every
+// ring: the channel-backpressure counterpart of RxDropped.
+func (s Stats) ChanOverflows() uint64 {
+	var n uint64
+	for _, v := range s.RingOverflow {
+		n += v
+	}
+	return n
 }
 
 // Ring is a scratch-memory descriptor ring carrying (word0, word1) pairs.
@@ -345,6 +395,23 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// Media is the machine's traffic interface: one implementation supplies
+// arriving packets and consumes transmitted ones. The runtime's trace
+// player and the workload engine's arrival processes are both Media.
+type Media interface {
+	// Inject is called at each Rx opportunity. It may enqueue at most one
+	// packet (stamping it with NoteRxPacket, or counting a loss with
+	// NoteRxDropped when the Rx path is saturated) and returns the delay
+	// in core cycles until the next opportunity. Fractional delays are
+	// honored exactly: the machine carries the sub-cycle remainder across
+	// ticks, so the long-run injection rate matches the requested one.
+	Inject(m *Machine) float64
+	// Transmit is called for each descriptor popped from the Tx ring; it
+	// must return the frame length in bytes (for rate accounting) and is
+	// responsible for recycling the buffer.
+	Transmit(m *Machine, w0, w1 uint32) int
+}
+
 // Machine is the whole simulated processor plus media engines.
 type Machine struct {
 	Cfg     Config
@@ -356,6 +423,10 @@ type Machine struct {
 
 	stats     Stats
 	reg       *metrics.Registry
+	lat       *metrics.Histogram // Rx→Tx latency of transmitted packets
+	rxStamp   map[uint32]int64   // buffer id → arrival cycle
+	rxCarry   float64            // fractional-cycle Rx pacing remainder
+	media     Media
 	lastBusy  [4]int64       // controller busy at the previous telemetry sample
 	lastME    []int64        // per-ME busy at the previous telemetry sample
 	ctrl      [3]*controller // scratch, sram, dram (local is uncontended)
@@ -366,13 +437,6 @@ type Machine struct {
 	started   bool  // engine tick chains scheduled
 	err       error
 
-	// RxInject is called on each Rx tick; it should return false when no
-	// packet is available. The runtime installs it.
-	RxInject func(m *Machine) bool
-	// OnTx is called for each transmitted descriptor; it must return the
-	// frame length in bytes (for rate accounting) and is responsible for
-	// recycling the buffer.
-	OnTx func(m *Machine, w0, w1 uint32) int
 	// XScaleStep processes one descriptor from an XScale-bound ring; it
 	// returns the modelled processing cost in cycles. Installed by the
 	// runtime when the plan has XScale aggregates.
@@ -380,19 +444,14 @@ type Machine struct {
 	XScaleRings []int
 }
 
-// New builds a machine with the given ring count. The configuration is
-// validated up front: zero or negative clock, port rate or structural
-// sizes are rejected with a descriptive error instead of surfacing later
-// as NaN/Inf rates.
-func New(cfg Config, numRings, ringSlots int) (*Machine, error) {
+// New builds a machine from a validated configuration (ring topology
+// included) and the media that sources and sinks its packets. media may
+// be nil for machines that only execute code (no traffic). Zero or
+// negative clock, port rate or structural sizes are rejected with a
+// descriptive error instead of surfacing later as NaN/Inf rates.
+func New(cfg Config, media Media) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
-	}
-	if numRings < 0 {
-		return nil, fmt.Errorf("ixp: ring count must be non-negative (got %d)", numRings)
-	}
-	if numRings > 0 && ringSlots <= 0 {
-		return nil, fmt.Errorf("ixp: ring slots must be positive (got %d)", ringSlots)
 	}
 	m := &Machine{
 		Cfg:     cfg,
@@ -400,11 +459,15 @@ func New(cfg Config, numRings, ringSlots int) (*Machine, error) {
 		SRAM:    make([]byte, cfg.SRAMBytes),
 		DRAM:    make([]byte, cfg.DRAMBytes),
 		reg:     metrics.NewRegistry(),
+		lat:     metrics.NewHistogram(),
+		rxStamp: map[uint32]int64{},
+		media:   media,
 		lastME:  make([]int64, cfg.NumMEs),
 	}
 	m.stats.MEAccesses = map[AccessKey]uint64{}
 	m.stats.MEInstrs = make([]uint64, cfg.NumMEs)
 	m.stats.MEBusy = make([]int64, cfg.NumMEs)
+	m.stats.RingOverflow = make([]uint64, cfg.NumRings)
 	m.ctrl[0] = &controller{level: cg.MemScratch, latency: cfg.ScratchLatency, svcBase: cfg.ScratchSvcBase, svcWord: cfg.ScratchSvcWord}
 	m.ctrl[1] = &controller{level: cg.MemSRAM, latency: cfg.SRAMLatency, svcBase: cfg.SRAMSvcBase, svcWord: cfg.SRAMSvcWord}
 	m.ctrl[2] = &controller{level: cg.MemDRAM, latency: cfg.DRAMLatency, svcBase: cfg.DRAMSvcBase, svcWord: cfg.DRAMSvcWord}
@@ -419,8 +482,8 @@ func New(cfg Config, numRings, ringSlots int) (*Machine, error) {
 		}
 		m.MEs = append(m.MEs, me)
 	}
-	for i := 0; i < numRings; i++ {
-		m.Rings = append(m.Rings, newRing(ringSlots))
+	for i := 0; i < cfg.NumRings; i++ {
+		m.Rings = append(m.Rings, newRing(cfg.RingSlots))
 	}
 	return m, nil
 }
@@ -522,10 +585,12 @@ func (m *Machine) Run(cycles int64) error {
 	}
 	if !m.started {
 		m.started = true
-		if m.RxInject != nil {
+		if m.media != nil {
 			m.schedule(m.now, evRxTick, 0, 0, nil)
 		}
-		m.schedule(m.now, evTxTick, 0, 0, nil)
+		if len(m.Rings) > cg.RingTx {
+			m.schedule(m.now, evTxTick, 0, 0, nil)
+		}
 		if m.XScaleStep != nil && len(m.XScaleRings) > 0 {
 			m.schedule(m.now, evXScale, 0, 0, nil)
 		}
@@ -768,8 +833,15 @@ func (m *Machine) ringGet(mx *ME, th *Thread, in *cg.Instr, cyclesSoFar int64) i
 func (m *Machine) ringPut(mx *ME, th *Thread, in *cg.Instr, cyclesSoFar int64) int64 {
 	r := m.Rings[in.Ring]
 	ok := r.Put(th.regs[in.SrcA], m.srcB(th, in))
+	if !ok {
+		// Channel-ring backpressure: compiled code spins and retries, so
+		// the packet is not lost here, but the failed put is the stall
+		// cause we attribute latency growth to.
+		m.stats.RingOverflow[in.Ring]++
+	}
 	if ok && in.Ring == cg.RingFree {
 		m.stats.FreedPackets++ // an ME dropped (or recycled) a packet
+		delete(m.rxStamp, th.regs[in.SrcA])
 	}
 	if in.Dst != cg.NoPReg {
 		if ok {
@@ -811,33 +883,53 @@ func (m *Machine) camTouch(mx *ME, e int) {
 // Media engines
 
 func (m *Machine) rxTick() {
-	injected := false
-	if m.RxInject != nil {
-		injected = m.RxInject(m)
+	gap := m.media.Inject(m)
+	if gap < 0 || math.IsNaN(gap) || math.IsInf(gap, 0) {
+		gap = 0
 	}
-	interval := m.Cfg.RxIntervalOrDefault()
-	if !injected {
-		// Ring full or out of buffers: retry shortly.
-		interval = 32
+	// Carry the fractional cycle to the next tick: truncating every gap
+	// independently would bias the injection rate high (e.g. a 102.4-cycle
+	// spacing truncated to 102 overshoots 3 Gbps by 0.4%). Accumulating the
+	// remainder keeps the long-run offered load within rounding of the
+	// requested rate.
+	m.rxCarry += gap
+	step := int64(m.rxCarry)
+	if step < 1 {
+		step = 1
+		m.rxCarry = 0
+	} else {
+		m.rxCarry -= float64(step)
 	}
-	m.schedule(m.now+interval, evRxTick, 0, 0, nil)
+	m.schedule(m.now+step, evRxTick, 0, 0, nil)
 }
 
-// RxIntervalOrDefault spaces injections at the configured media rate for
-// minimum-size frames. Degenerate configurations (non-positive or
-// non-finite clock or port rate — rejected by New, but this method is
-// callable on a bare Config) fall back to a 64-cycle interval instead of
-// returning zero or negative intervals that would wedge the event loop.
-func (c *Config) RxIntervalOrDefault() int64 {
+// RxIntervalCycles returns the exact (fractional) core-cycle spacing of
+// frames of the given bit length at the configured port rate. Degenerate
+// configurations (non-positive or non-finite clock or port rate —
+// rejected by New, but this method is callable on a bare Config) fall
+// back to a 64-cycle interval instead of returning zero or negative
+// intervals that would wedge the event loop.
+func (c *Config) RxIntervalCycles(bits float64) float64 {
 	if c.PortGbps <= 0 || c.ClockMHz <= 0 ||
 		math.IsNaN(c.PortGbps) || math.IsInf(c.PortGbps, 0) ||
-		math.IsNaN(c.ClockMHz) || math.IsInf(c.ClockMHz, 0) {
+		math.IsNaN(c.ClockMHz) || math.IsInf(c.ClockMHz, 0) ||
+		bits <= 0 || math.IsNaN(bits) || math.IsInf(bits, 0) {
 		return 64
 	}
-	// Minimum-size 64B frames at PortGbps, in core cycles.
-	bits := float64(64 * 8)
 	seconds := bits / (c.PortGbps * 1e9)
-	iv := int64(seconds * c.ClockMHz * 1e6)
+	iv := seconds * c.ClockMHz * 1e6
+	if iv < 1e-9 {
+		return 1e-9
+	}
+	return iv
+}
+
+// RxIntervalOrDefault is RxIntervalCycles for minimum-size 64-byte frames,
+// truncated to whole cycles — kept for callers that want a coarse integer
+// spacing; rate-accurate media use RxIntervalCycles with the carry
+// accumulator instead.
+func (c *Config) RxIntervalOrDefault() int64 {
+	iv := int64(c.RxIntervalCycles(64 * 8))
 	if iv < 1 {
 		iv = 1
 	}
@@ -845,7 +937,7 @@ func (c *Config) RxIntervalOrDefault() int64 {
 }
 
 // ChargeRxDMA bills the Rx engine's buffer write and metadata write; the
-// runtime calls it from its RxInject hook. The media interface moves
+// media's Inject calls it per packet. The media interface moves
 // packet data in efficient interleaved 64-byte bursts, so its occupancy
 // per frame is charged at a quarter of the ME word rate.
 func (m *Machine) ChargeRxDMA(frameBytes, metaWords int) {
@@ -864,14 +956,18 @@ func (m *Machine) txTick() {
 		return
 	}
 	frame := 64
-	if m.OnTx != nil {
-		frame = m.OnTx(m, w0, w1)
+	if m.media != nil {
+		frame = m.media.Transmit(m, w0, w1)
 	}
 	if m.Cfg.ChargeDMA {
 		m.ctrl[2].access(m.now, (frame+15)/16, &m.stats)
 	}
 	m.stats.TxPackets++
 	m.stats.TxBits += uint64(frame * 8)
+	if ts, ok := m.rxStamp[w0]; ok {
+		m.lat.Record(m.now - ts)
+		delete(m.rxStamp, w0)
+	}
 	// Pace the port: next transmit after the frame serializes.
 	bits := float64(frame * 8)
 	wait := int64(bits / (m.Cfg.PortGbps * 1e9) * m.Cfg.ClockMHz * 1e6)
@@ -1017,13 +1113,17 @@ func putBEWord(b []byte, v uint32) {
 func (m *Machine) ResetStats() {
 	base := m.now
 	m.stats = Stats{
-		MEAccesses: map[AccessKey]uint64{},
-		MEInstrs:   make([]uint64, m.Cfg.NumMEs),
-		MEBusy:     make([]int64, m.Cfg.NumMEs),
+		MEAccesses:   map[AccessKey]uint64{},
+		MEInstrs:     make([]uint64, m.Cfg.NumMEs),
+		MEBusy:       make([]int64, m.Cfg.NumMEs),
+		RingOverflow: make([]uint64, m.Cfg.NumRings),
 	}
 	m.statsBase = base
 	m.lastBusy = [4]int64{}
 	m.lastME = make([]int64, m.Cfg.NumMEs)
+	m.lat.Reset()
+	// rxStamp is machine state, not a counter: packets in flight keep
+	// their true arrival cycle across the warm-up reset.
 	for _, r := range m.Rings {
 		r.resetHWM()
 	}
@@ -1034,16 +1134,38 @@ func (m *Machine) ResetStats() {
 // need to account packets use the Note* methods instead.
 func (m *Machine) Snapshot() Stats { return m.stats.clone() }
 
-// NoteRxPacket counts one received packet (called by RxInject hooks).
-func (m *Machine) NoteRxPacket() { m.stats.RxPackets++ }
+// NoteRxPacket counts one received packet of frameBytes and stamps its
+// buffer id with the current cycle, opening a latency sample that closes
+// when the id reaches the Tx ring (or is cancelled when the buffer is
+// recycled without transmission). Media implementations call it from
+// Inject for every packet they enqueue.
+func (m *Machine) NoteRxPacket(id uint32, frameBytes int) {
+	m.stats.RxPackets++
+	m.stats.RxBits += uint64(frameBytes * 8)
+	m.rxStamp[id] = m.now
+}
 
-// NoteRxDropped counts one saturation drop at the Rx ring (called by
-// RxInject hooks when the ring is full).
-func (m *Machine) NoteRxDropped() { m.stats.RxDropped++ }
+// NoteRxDropped counts one saturation loss of frameBytes at the Rx ring
+// (called by Media.Inject when the ring is full or buffers ran out). The
+// dropped bits still count toward offered load.
+func (m *Machine) NoteRxDropped(frameBytes int) {
+	m.stats.RxDropped++
+	m.stats.RxDroppedBits += uint64(frameBytes * 8)
+}
 
 // NoteFreedPacket counts one dropped-or-recycled packet returned to the
-// free list outside ME ring operations (XScale drops, hook recycling).
-func (m *Machine) NoteFreedPacket() { m.stats.FreedPackets++ }
+// free list outside ME ring operations (XScale drops, hook recycling) and
+// cancels its pending latency sample.
+func (m *Machine) NoteFreedPacket(id uint32) {
+	m.stats.FreedPackets++
+	delete(m.rxStamp, id)
+}
+
+// LatencySnapshot summarizes the Rx→Tx latency (in core cycles) of every
+// packet transmitted since the last stats reset.
+func (m *Machine) LatencySnapshot() metrics.HistogramSnapshot {
+	return m.lat.Snapshot()
+}
 
 // RingMaxOcc returns each ring's high-water occupancy since the last
 // stats reset, indexed by ring number.

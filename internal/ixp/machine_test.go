@@ -64,7 +64,8 @@ func TestRingBackpressureOnFull(t *testing.T) {
 
 func TestGrowRingPreservesEntries(t *testing.T) {
 	cfg := DefaultConfig()
-	m, err := New(cfg, 3, 4)
+	cfg.RingSlots = 4
+	m, err := New(cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,29 +206,14 @@ func runLoop(t *testing.T, seed int) *Machine {
 	t.Helper()
 	cfg := DefaultConfig()
 	cfg.SampleInterval = 10_000
-	m, err := New(cfg, 3, 64)
+	cfg.RingSlots = 64
+	m, err := New(cfg, &FixedDescMedia{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	m.GrowRing(cg.RingFree, 128)
 	for i := 0; i < 100; i++ {
 		m.Rings[cg.RingFree].Put(uint32(i), 64<<16|128)
-	}
-	m.RxInject = func(m *Machine) bool {
-		id, _, ok := m.Rings[cg.RingFree].Get()
-		if !ok || m.Rings[cg.RingRx].Space() == 0 {
-			if ok {
-				m.Rings[cg.RingFree].Put(id, 0)
-			}
-			return false
-		}
-		m.Rings[cg.RingRx].Put(id, 64<<16|128)
-		m.NoteRxPacket()
-		return true
-	}
-	m.OnTx = func(m *Machine, w0, w1 uint32) int {
-		m.Rings[cg.RingFree].Put(w0, 64<<16|128)
-		return 64
 	}
 	m.LoadProgram(0, loopProg())
 	m.LoadProgram(1, loopProg())
@@ -352,14 +338,18 @@ func TestConfigValidation(t *testing.T) {
 	for i, mut := range bad {
 		cfg := DefaultConfig()
 		mut(&cfg)
-		if _, err := New(cfg, 3, 8); err == nil {
+		if _, err := New(cfg, nil); err == nil {
 			t.Errorf("case %d: New accepted an invalid config", i)
 		}
 	}
-	if _, err := New(DefaultConfig(), -1, 8); err == nil {
+	cfg := DefaultConfig()
+	cfg.NumRings = -1
+	if _, err := New(cfg, nil); err == nil {
 		t.Error("New accepted a negative ring count")
 	}
-	if _, err := New(DefaultConfig(), 3, 0); err == nil {
+	cfg = DefaultConfig()
+	cfg.RingSlots = 0
+	if _, err := New(cfg, nil); err == nil {
 		t.Error("New accepted zero ring slots")
 	}
 }
@@ -393,7 +383,7 @@ func TestGbpsDegenerateClock(t *testing.T) {
 
 func TestCAMLRUReplacement(t *testing.T) {
 	cfg := DefaultConfig()
-	m, err := New(cfg, 3, 8)
+	m, err := New(cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -425,7 +415,7 @@ func TestCAMLRUReplacement(t *testing.T) {
 
 func TestMemOutOfRangeFaults(t *testing.T) {
 	cfg := DefaultConfig()
-	m, err := New(cfg, 3, 8)
+	m, err := New(cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -442,7 +432,7 @@ func TestMemOutOfRangeFaults(t *testing.T) {
 
 func TestAtomicTestAndSet(t *testing.T) {
 	cfg := DefaultConfig()
-	m, err := New(cfg, 3, 8)
+	m, err := New(cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -45,6 +45,29 @@ func (s Snapshot) WriteCSV(w io.Writer) error {
 			return err
 		}
 	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		for _, col := range []struct {
+			stat  string
+			value string
+		}{
+			{"count", strconv.FormatUint(h.Count, 10)},
+			{"p50", strconv.FormatInt(h.P50, 10)},
+			{"p90", strconv.FormatInt(h.P90, 10)},
+			{"p99", strconv.FormatInt(h.P99, 10)},
+			{"max", strconv.FormatInt(h.Max, 10)},
+			{"mean", formatFloat(h.Mean)},
+		} {
+			if err := cw.Write([]string{"histogram", n + "." + col.stat, "", col.value}); err != nil {
+				return err
+			}
+		}
+	}
 	for _, n := range s.SeriesNames() {
 		for _, smp := range s.Series[n] {
 			if err := cw.Write([]string{"series", n,

@@ -94,18 +94,20 @@ func (s *Series) Len() int {
 // Registry holds named instruments. Instruments are created on first use
 // and identified by name; lookups are get-or-create.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	series   map[string]*Series
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	series     map[string]*Series
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		series:   map[string]*Series{},
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		series:     map[string]*Series{},
+		histograms: map[string]*Histogram{},
 	}
 }
 
@@ -148,9 +150,10 @@ func (r *Registry) Series(name string, window int) *Series {
 
 // Snapshot is an immutable, export-ready copy of a registry's contents.
 type Snapshot struct {
-	Counters map[string]int64    `json:"counters,omitempty"`
-	Gauges   map[string]float64  `json:"gauges,omitempty"`
-	Series   map[string][]Sample `json:"series,omitempty"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Series     map[string][]Sample          `json:"series,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // Snapshot deep-copies the registry. The result is detached: later updates
@@ -175,6 +178,12 @@ func (r *Registry) Snapshot() Snapshot {
 		snap.Series = make(map[string][]Sample, len(r.series))
 		for n, s := range r.series {
 			snap.Series[n] = s.Samples()
+		}
+	}
+	if len(r.histograms) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for n, h := range r.histograms {
+			snap.Histograms[n] = h.Snapshot()
 		}
 	}
 	return snap

@@ -10,6 +10,7 @@ import (
 	"shangrila/internal/packet"
 	"shangrila/internal/testutil"
 	"shangrila/internal/trace"
+	"shangrila/internal/workload"
 )
 
 const hdrSrc = `
@@ -36,7 +37,7 @@ func countAccesses(f *ir.Func) (narrow, wide int) {
 }
 
 func ipTrace(tp *types.Program) []*packet.Packet {
-	r := trace.NewRand(5)
+	r := workload.NewSource(5)
 	var out []*packet.Packet
 	for i := 0; i < 25; i++ {
 		p, err := trace.Build([]trace.Layer{
@@ -103,7 +104,7 @@ module m {
 	wiring { rx -> f; out -> tx; }
 }`
 	gen := func(tp *types.Program) []*packet.Packet {
-		r := trace.NewRand(17)
+		r := workload.NewSource(17)
 		var out []*packet.Packet
 		for i := 0; i < 10; i++ {
 			p, err := trace.Build([]trace.Layer{

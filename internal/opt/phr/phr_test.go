@@ -11,6 +11,7 @@ import (
 	"shangrila/internal/profiler"
 	"shangrila/internal/testutil"
 	"shangrila/internal/trace"
+	"shangrila/internal/workload"
 )
 
 const appSrc = `
@@ -55,7 +56,7 @@ module app {
 `
 
 func gen(tp *types.Program) []*packet.Packet {
-	r := trace.NewRand(9)
+	r := workload.NewSource(9)
 	var out []*packet.Packet
 	for i := 0; i < 60; i++ {
 		p, err := trace.Build([]trace.Layer{

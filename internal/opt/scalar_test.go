@@ -9,6 +9,7 @@ import (
 	"shangrila/internal/packet"
 	"shangrila/internal/testutil"
 	"shangrila/internal/trace"
+	"shangrila/internal/workload"
 )
 
 const appSrc = `
@@ -69,7 +70,7 @@ module app {
 `
 
 func genTrace(tp *types.Program) []*packet.Packet {
-	r := trace.NewRand(99)
+	r := workload.NewSource(99)
 	var out []*packet.Packet
 	for i := 0; i < 40; i++ {
 		ethType := uint32(0x0800)

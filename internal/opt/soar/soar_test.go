@@ -10,6 +10,7 @@ import (
 	"shangrila/internal/packet"
 	"shangrila/internal/testutil"
 	"shangrila/internal/trace"
+	"shangrila/internal/workload"
 )
 
 const hdrSrc = `
@@ -214,7 +215,7 @@ module m {
 
 func TestSOARDoesNotChangeSemantics(t *testing.T) {
 	gen := func(tp *types.Program) []*packet.Packet {
-		r := trace.NewRand(3)
+		r := workload.NewSource(3)
 		var out []*packet.Packet
 		for i := 0; i < 20; i++ {
 			depth := 1 + i%3

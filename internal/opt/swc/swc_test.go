@@ -11,6 +11,7 @@ import (
 	"shangrila/internal/profiler"
 	"shangrila/internal/testutil"
 	"shangrila/internal/trace"
+	"shangrila/internal/workload"
 )
 
 func TestCheckRateEquation2(t *testing.T) {
@@ -68,7 +69,7 @@ module app {
 `
 
 func gen(tp *types.Program) []*packet.Packet {
-	r := trace.NewRand(21)
+	r := workload.NewSource(21)
 	var out []*packet.Packet
 	for i := 0; i < 100; i++ {
 		p, err := trace.Build([]trace.Layer{

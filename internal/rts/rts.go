@@ -16,6 +16,7 @@ import (
 	"shangrila/internal/ixp"
 	"shangrila/internal/packet"
 	"shangrila/internal/profiler"
+	"shangrila/internal/workload"
 )
 
 // TxPkt is a captured transmitted frame for functional verification.
@@ -23,7 +24,9 @@ type TxPkt struct {
 	Frame []byte // bytes on the wire: [head, end) of the buffer
 }
 
-// Runtime binds an image to a machine instance.
+// Runtime binds an image to a machine instance. It is the machine's
+// Media: Inject plays the application trace (at line rate, or shaped by
+// a workload stream) and Transmit recycles transmitted buffers.
 type Runtime struct {
 	Img *cg.Image
 	M   *ixp.Machine
@@ -31,6 +34,7 @@ type Runtime struct {
 	prog        *ir.Program // for XScale interpretation
 	trace       []*packet.Packet
 	tracePos    int
+	stream      *workload.Stream // nil = legacy line-rate trace player
 	rxPortField *types.ProtoField
 
 	// TxCapture collects up to CaptureLimit transmitted frames.
@@ -49,11 +53,17 @@ type Options struct {
 	Cfg    ixp.Config
 	// CaptureLimit bounds functional frame capture (0 disables).
 	CaptureLimit int
+	// Workload shapes arrivals with a deterministic open-loop stream
+	// (arrival process, size mix, Zipf flow locality over the trace).
+	// nil plays the trace back-to-back at line rate, the paper's
+	// saturating-load setup.
+	Workload *workload.Spec
 }
 
 // New loads img onto a fresh machine, replicating ME programs across
-// opts.NumMEs engines per the aggregation plan, and installs the Rx/Tx and
-// XScale hooks. prog supplies the IR for interpreted (XScale) execution.
+// opts.NumMEs engines per the aggregation plan, and installs the runtime
+// as the machine's media. prog supplies the IR for interpreted (XScale)
+// execution.
 func New(img *cg.Image, prog *ir.Program, tr []*packet.Packet, opts Options) (*Runtime, error) {
 	if opts.NumMEs < 1 {
 		return nil, fmt.Errorf("rts: need at least one ME")
@@ -63,17 +73,27 @@ func New(img *cg.Image, prog *ir.Program, tr []*packet.Packet, opts Options) (*R
 		cfg = ixp.DefaultConfig()
 	}
 	lay := img.Layout
-	m, err := ixp.New(cfg, lay.NumRings, lay.RingSlots)
-	if err != nil {
-		return nil, fmt.Errorf("rts: %w", err)
-	}
-	m.GrowRing(cg.RingFree, lay.NumBufs+8)
+	cfg.NumRings = lay.NumRings
+	cfg.RingSlots = lay.RingSlots
 
 	r := &Runtime{
-		Img: img, M: m, prog: prog, trace: tr,
+		Img: img, prog: prog, trace: tr,
 		CaptureLimit:  opts.CaptureLimit,
 		xscaleEntries: map[int]*aggregate.Entry{},
 	}
+	if opts.Workload != nil {
+		st, err := workload.NewStream(*opts.Workload)
+		if err != nil {
+			return nil, fmt.Errorf("rts: %w", err)
+		}
+		r.stream = st
+	}
+	m, err := ixp.New(cfg, r)
+	if err != nil {
+		return nil, fmt.Errorf("rts: %w", err)
+	}
+	r.M = m
+	m.GrowRing(cg.RingFree, lay.NumBufs+8)
 	r.rxPortField = img.Types.Metadata.Field("rx_port")
 	// SRAM stack overflow area sits after the metadata records.
 	metaEnd := lay.MetaAddr(uint32(lay.NumBufs))
@@ -123,8 +143,6 @@ func New(img *cg.Image, prog *ir.Program, tr []*packet.Packet, opts Options) (*R
 		}
 	}
 
-	m.RxInject = r.rxInject
-	m.OnTx = r.onTx
 	return r, nil
 }
 
@@ -208,29 +226,69 @@ func (r *Runtime) loadME(me int, c *cg.Compiled) {
 	}
 }
 
-// rxInject copies the next trace packet into a fresh buffer and enqueues
-// its descriptor on the Rx ring.
-func (r *Runtime) rxInject(m *ixp.Machine) bool {
-	lay := r.Img.Layout
+// Inject implements ixp.Media: it sources the next arrival and returns
+// the gap until the following one. With no workload stream the trace
+// plays back-to-back at line rate and a full Rx ring causes a retry
+// (the paper's saturating setup); with a stream, arrivals follow the
+// configured process and a saturated Rx path loses the packet
+// (open-loop), which is the drop the load–latency curves account.
+func (r *Runtime) Inject(m *ixp.Machine) float64 {
 	if len(r.trace) == 0 {
-		return false
+		return 64
 	}
+	if r.stream == nil {
+		p := r.trace[r.tracePos%len(r.trace)]
+		wire := p.Bytes()
+		gap := m.Cfg.RxIntervalCycles(float64(len(wire) * 8))
+		if !r.enqueue(m, p, len(wire)) {
+			// Closed loop: the packet is not consumed; retry shortly.
+			return 32
+		}
+		r.tracePos++
+		return gap
+	}
+	pkt := r.stream.Next()
+	// Zipf flow locality: the flow picks the trace packet, so popular
+	// flows replay identical headers (table keys, labels, routes).
+	p := r.trace[pkt.Flow%len(r.trace)]
+	frame := pkt.FrameBytes
+	lay := r.Img.Layout
+	if max := int(lay.BufSize - lay.BufHeadroom); frame > max {
+		frame = max
+	}
+	if frame < p.Len() {
+		frame = p.Len()
+	}
+	r.enqueue(m, p, frame)
+	r.tracePos++
+	return pkt.GapSeconds * m.Cfg.ClockMHz * 1e6
+}
+
+// enqueue copies one trace packet into a fresh buffer, padded to
+// frameBytes on the wire, and pushes its descriptor on the Rx ring. A
+// saturated Rx ring or exhausted free list counts a loss (the caller
+// decides whether the packet is consumed).
+func (r *Runtime) enqueue(m *ixp.Machine, p *packet.Packet, frameBytes int) bool {
+	lay := r.Img.Layout
 	rx := m.Rings[cg.RingRx]
 	if rx.Space() == 0 {
-		m.NoteRxDropped()
+		m.NoteRxDropped(frameBytes)
 		return false
 	}
 	id, _, ok := m.Rings[cg.RingFree].Get()
 	if !ok {
+		m.NoteRxDropped(frameBytes)
 		return false
 	}
-	p := r.trace[r.tracePos%len(r.trace)]
-	r.tracePos++
 	wire := p.Bytes()
 	base := lay.BufAddr(id)
 	copy(m.DRAM[base+lay.BufHeadroom:], wire)
+	// Zero the padding up to the frame length (buffers are recycled).
+	for i := len(wire); i < frameBytes; i++ {
+		m.DRAM[base+lay.BufHeadroom+uint32(i)] = 0
+	}
 	head := lay.BufHeadroom
-	end := lay.BufHeadroom + uint32(len(wire))
+	end := lay.BufHeadroom + uint32(frameBytes)
 	// Metadata record: end, head, app metadata (zeroed + rx_port).
 	maddr := lay.MetaAddr(id)
 	putBE(m.SRAM[maddr+cg.MetaLenOff:], end)
@@ -242,14 +300,15 @@ func (r *Runtime) rxInject(m *ixp.Machine) bool {
 	if r.rxPortField != nil {
 		packet.WriteBits(app, r.rxPortField.BitOff, r.rxPortField.Bits, p.Port)
 	}
-	m.ChargeRxDMA(len(wire), int(lay.MetaRecBytes/4))
+	m.ChargeRxDMA(frameBytes, int(lay.MetaRecBytes/4))
 	rx.Put(id, head<<16|end)
-	m.NoteRxPacket()
+	m.NoteRxPacket(id, frameBytes)
 	return true
 }
 
-// onTx accounts and recycles one transmitted packet.
-func (r *Runtime) onTx(m *ixp.Machine, w0, w1 uint32) int {
+// Transmit implements ixp.Media: it accounts and recycles one
+// transmitted packet.
+func (r *Runtime) Transmit(m *ixp.Machine, w0, w1 uint32) int {
 	lay := r.Img.Layout
 	head := w1 >> 16
 	end := w1 & 0xffff
@@ -308,7 +367,7 @@ func (r *Runtime) xscaleStep(m *ixp.Machine, ring int, w0, w1 uint32) int64 {
 	if _, err := r.interp.Run(e.Func, []profiler.Value{{P: p, Head: 0}}); err != nil {
 		// Treat interpreter failures as a dropped packet.
 		m.Rings[cg.RingFree].Put(w0, 0)
-		m.NoteFreedPacket()
+		m.NoteFreedPacket(w0)
 		return 512
 	}
 	// Cost model: interpreted XScale execution, a few cycles per IR op.

@@ -10,6 +10,7 @@ import (
 	"shangrila/internal/rts"
 	"shangrila/internal/testutil"
 	"shangrila/internal/trace"
+	"shangrila/internal/workload"
 )
 
 // miniRouter is a representative two-PPF app: classification, a lookup
@@ -72,7 +73,7 @@ var routerControls = []profiler.Control{
 func mkTrace(t testing.TB, res *driver.Result, n int) []*packet.Packet {
 	t.Helper()
 	tp := res.Prog.Types
-	r := trace.NewRand(77)
+	r := workload.NewSource(77)
 	var out []*packet.Packet
 	for i := 0; i < n; i++ {
 		dst := uint32(0x0a000001 + r.Intn(3)) // always hits a route
@@ -97,7 +98,7 @@ func compileAt(t testing.TB, lvl driver.Level) *driver.Result {
 	// A small pre-trace just for profiling.
 	base := testutil.BuildIR(t, miniRouter)
 	tp := base.Types
-	r := trace.NewRand(1)
+	r := workload.NewSource(1)
 	var ptr []*packet.Packet
 	for i := 0; i < 50; i++ {
 		p, err := trace.Build([]trace.Layer{

@@ -1,0 +1,112 @@
+package workload
+
+import "math"
+
+// Pkt is one generated arrival: the wire frame length, the flow the
+// packet belongs to, and the time until the next arrival.
+type Pkt struct {
+	FrameBytes int
+	Flow       int
+	GapSeconds float64
+}
+
+// Stream generates a deterministic packet sequence from a Spec. Streams
+// are not goroutine-safe; the sweep runner gives each machine its own.
+type Stream struct {
+	spec    Spec
+	src     *Source
+	zipfCDF []float64 // cumulative flow popularity
+	sizes   []sizeClass
+	sizeCDF []float64
+
+	// ON/OFF state: packets left in the current burst and the bits it
+	// has carried (the OFF gap repays them at the offered rate).
+	burstLeft int
+	burstBits float64
+}
+
+// NewStream validates the spec (filling defaults) and builds a stream.
+func NewStream(sp Spec) (*Stream, error) {
+	sp, err := sp.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	st := &Stream{spec: sp, src: NewSource(sp.Seed), sizes: sp.sizeMix()}
+	var cum float64
+	for _, c := range st.sizes {
+		cum += c.weight
+		st.sizeCDF = append(st.sizeCDF, cum)
+	}
+	st.sizeCDF[len(st.sizeCDF)-1] = 1 // absorb rounding
+	cum = 0
+	weights := make([]float64, sp.Flows)
+	var total float64
+	for r := range weights {
+		weights[r] = 1 / math.Pow(float64(r+1), sp.ZipfS)
+		total += weights[r]
+	}
+	for _, w := range weights {
+		cum += w / total
+		st.zipfCDF = append(st.zipfCDF, cum)
+	}
+	st.zipfCDF[len(st.zipfCDF)-1] = 1
+	return st, nil
+}
+
+// Spec returns the stream's effective (normalized) spec.
+func (st *Stream) Spec() Spec { return st.spec }
+
+// cdfSample maps u in [0,1) to the first index whose cumulative weight
+// covers it.
+func cdfSample(cdf []float64, u float64) int {
+	lo, hi := 0, len(cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] > u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Next generates one arrival. The long-run bit rate converges to the
+// spec's offered load for every arrival process: fixed gaps are exact,
+// Poisson gaps are exponential with the exact per-packet mean, and
+// ON/OFF idle gaps repay each burst's bits at the offered rate.
+func (st *Stream) Next() Pkt {
+	size := st.sizes[cdfSample(st.sizeCDF, st.src.Float64())].bytes
+	flow := cdfSample(st.zipfCDF, st.src.Float64())
+	bits := float64(size * 8)
+	offered := st.spec.OfferedGbps * 1e9
+
+	var gap float64
+	switch st.spec.Arrival {
+	case ArrivalPoisson:
+		// Exponential with mean bits/offered; 1-u avoids log(0).
+		gap = bits / offered * -math.Log(1-st.src.Float64())
+	case ArrivalOnOff:
+		if st.burstLeft <= 0 {
+			// Geometric-ish burst length with the configured mean.
+			l := int(math.Round(-st.spec.BurstMean * math.Log(1-st.src.Float64())))
+			if l < 1 {
+				l = 1
+			}
+			st.burstLeft = l
+			st.burstBits = 0
+		}
+		st.burstLeft--
+		st.burstBits += bits
+		peak := st.spec.PeakGbps * 1e9
+		gap = bits / peak
+		if st.burstLeft == 0 {
+			// End of burst: idle long enough that the whole burst
+			// averages out to the offered rate.
+			gap += st.burstBits/offered - st.burstBits/peak
+		}
+	default: // ArrivalFixed
+		gap = bits / offered
+	}
+	return Pkt{FrameBytes: size, Flow: flow, GapSeconds: gap}
+}
