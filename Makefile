@@ -19,10 +19,12 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
 	fi
 
-# Race-check the concurrent packages: the sweep runner's worker pool and
-# the metrics instruments it samples.
+# Race-check the concurrent packages: the sweep runner's worker pool,
+# the metrics instruments it samples, and the trace-enabled machine
+# tests (tracers run inside the event loop; the race build proves the
+# sweep never shares one across workers).
 race:
-	$(GO) test -race ./internal/harness/ ./internal/metrics/
+	$(GO) test -race ./internal/harness/ ./internal/metrics/ ./internal/ixp/
 
 # Tier-1 verification: everything CI gates on.
 verify: build vet fmt-check test race
@@ -34,10 +36,13 @@ bench-smoke: build
 	@test -s /tmp/bench_report.json && echo "bench-smoke: report OK"
 
 # Short load-latency sweep: goodput/drop/latency curves per app at BASE
-# and the -O default (+SWC), exported into the bench report.
+# and the -O default (+SWC), exported into the bench report with stall
+# breakdowns, plus one representative run as a Chrome trace_event file.
 bench-loadlatency: build
-	$(GO) run ./cmd/shangrila-bench -quick -experiment loadlatency -report bench_report.json
+	$(GO) run ./cmd/shangrila-bench -quick -experiment loadlatency -stalls \
+		-report bench_report.json -trace trace.json
 	@test -s bench_report.json && echo "bench-loadlatency: report OK"
+	@test -s trace.json && echo "bench-loadlatency: trace OK"
 
 clean:
-	rm -f bench_report.json
+	rm -f bench_report.json trace.json

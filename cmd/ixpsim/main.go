@@ -4,11 +4,17 @@
 // machine (arrival process, size mix, flow locality) and the output
 // gains offered load, drop causes and Rx→Tx latency quantiles.
 //
+// With -stalls every simulated cycle of the measured window is attributed
+// to compute, memory latency, memory-controller queueing, ring
+// backpressure or idle, per ME; with -trace the whole run is exported as
+// Chrome trace_event JSON for chrome://tracing or Perfetto.
+//
 // Usage:
 //
 //	ixpsim [-O level] [-mes n] [-cycles n] [-seed n]
 //	       [-gbps g] [-arrival fixed|poisson|onoff] [-sizes 64|imix|trimodal]
 //	       [-flows n] [-zipf s]
+//	       [-stalls] [-trace out.json]
 //	       [-dump-ir pass|all] [-dump-ir-dir dir] [-verify-ir]
 //	       l3switch|mpls|firewall
 package main
@@ -28,6 +34,8 @@ func main() {
 	mes := flag.Int("mes", 6, "enabled packet-processing MEs (1..6)")
 	cycles := flag.Int64("cycles", 1_000_000, "measured simulation cycles (600 MHz core)")
 	warm := flag.Int64("warmup", 150_000, "warm-up cycles before counters reset")
+	stalls := flag.Bool("stalls", false, "print the per-ME stall breakdown of the measured window")
+	tracePath := flag.String("trace", "", "write the run as Chrome trace_event JSON to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ixpsim [flags] l3switch|mpls|firewall")
@@ -60,10 +68,30 @@ func main() {
 		harness.WithTrace(384),
 		harness.WithTelemetry(0),
 	)
+	if *stalls {
+		opts = append(opts, harness.WithStallBreakdown())
+	}
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ixpsim: %v\n", err)
+			os.Exit(1)
+		}
+		traceFile = f
+		opts = append(opts, harness.WithChromeTrace(f))
+	}
 	r, err := harness.Run(app, opts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ixpsim: %v\n", err)
 		os.Exit(1)
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "ixpsim: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (Chrome trace_event JSON; open in chrome://tracing)\n", *tracePath)
 	}
 	fmt.Printf("%s at %v on %d ME(s): %.2f Gbps (%d packets in %.2f ms simulated)\n",
 		app.Name, lvl, *mes, r.Gbps, r.TxPackets, float64(*cycles)/600e3)
@@ -96,6 +124,10 @@ func main() {
 			tel.CtrlSaturation["scratch"]*100, tel.CtrlSaturation["sram"]*100,
 			tel.CtrlSaturation["dram"]*100)
 		fmt.Printf("  ring max occupancy: %v\n", tel.RingMaxOcc)
+	}
+	if r.Stalls != nil {
+		fmt.Println()
+		fmt.Print(r.Stalls)
 	}
 	_ = cg.CodeStoreLimit
 }

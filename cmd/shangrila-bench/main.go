@@ -8,11 +8,18 @@
 // timings, latency histograms — is written to a machine-readable JSON
 // report.
 //
+// With -stalls every sweep point carries a conservative per-ME stall
+// breakdown (stall_breakdown in the report); -trace additionally runs one
+// representative point (the first app at -O) and writes it as Chrome
+// trace_event JSON — sweep points themselves run concurrently and are
+// never traced.
+//
 // Usage:
 //
 //	shangrila-bench [-experiment all|fig6|table1|fig13|fig14|fig15|loadlatency]
 //	                [-quick] [-report bench_report.json] [-workers N]
 //	                [-O level] [-seed n]
+//	                [-stalls] [-trace trace.json]
 //	                [-arrival fixed|poisson|onoff] [-sizes 64|imix|trimodal]
 //	                [-flows n] [-zipf s]
 //	                [-dump-ir pass|all] [-dump-ir-dir dir] [-verify-ir]
@@ -34,6 +41,8 @@ func main() {
 	quick := flag.Bool("quick", false, "shorter measurement windows (noisier)")
 	report := flag.String("report", "bench_report.json", "machine-readable report path (empty disables)")
 	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
+	stalls := flag.Bool("stalls", false, "attach per-ME stall breakdowns to every sweep point")
+	tracePath := flag.String("trace", "", "write one representative traced run as Chrome trace_event JSON")
 	flag.Parse()
 
 	cfg := harness.DefaultRunConfig()
@@ -54,6 +63,9 @@ func main() {
 		harness.WithTelemetry(0),
 		harness.WithWorkers(*workers),
 	)
+	if *stalls {
+		opts = append(opts, harness.WithStallBreakdown())
+	}
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -131,6 +143,39 @@ func main() {
 		fmt.Println(harness.FormatLoadLatency(curves))
 		return nil
 	})
+
+	if *tracePath != "" {
+		// Sweep points run concurrently and never stream Chrome traces
+		// (one JSON document per writer), so trace one representative
+		// point — the first app at the requested -O level — with a
+		// dedicated Run.
+		lvl, err := common.DriverLevel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shangrila-bench: trace: %v\n", err)
+			os.Exit(2)
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shangrila-bench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		app := apps.All()[0]
+		tOpts := append(append([]harness.Option{}, opts...),
+			harness.WithLevel(lvl),
+			harness.WithWindows(cfg.Warmup, cfg.Measure),
+			harness.WithStallBreakdown(),
+			harness.WithChromeTrace(f))
+		if _, err := harness.Run(app, tOpts...); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "shangrila-bench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "shangrila-bench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (Chrome trace_event JSON, %s at %v)\n", *tracePath, app.Name, lvl)
+	}
 
 	if *report != "" && (len(all) > 0 || len(curves) > 0) {
 		f, err := os.Create(*report)

@@ -307,10 +307,10 @@ func (r *runner) runPass(p Pass) error {
 		InstrsAfter:  after,
 		VerifyNanos:  verifyNanos,
 	})
-	r.reg().Counter("compile.pass." + name + ".runs").Inc()
-	r.reg().Counter("compile.pass." + name + ".nanos").Add(nanos)
-	r.reg().Counter("compile.pass." + name + ".verify_nanos").Add(verifyNanos)
-	r.reg().Gauge("compile.pass." + name + ".size_delta").Set(float64(after - before))
+	r.reg().Counter(metrics.PassRuns(name)).Inc()
+	r.reg().Counter(metrics.PassNanos(name)).Add(nanos)
+	r.reg().Counter(metrics.PassVerifyNanos(name)).Add(verifyNanos)
+	r.reg().Gauge(metrics.PassSizeDelta(name)).Set(float64(after - before))
 
 	if err := r.dump(name); err != nil {
 		return fmt.Errorf("%s: dump: %w", name, err)

@@ -86,6 +86,109 @@ func TestPaperClaimsMonotoneRates(t *testing.T) {
 	}
 }
 
+// TestPaperClaimsStallAttribution asserts §6.2's causal story directly
+// from the stall breakdown instead of inferring it from rates: the
+// load–latency knee is memory-controller queueing. Sweeping L3-Switch
+// past saturation, the queueing share of thread-blocked time must
+// dominate and grow monotonically across the knee — and the breakdown
+// must name the right controller: unoptimized code queues on DRAM (the
+// paper's bandwidth-saturation flattening), while at O3 packet-access
+// combining has moved the traffic off DRAM, so the residual queueing
+// sits on the scratch/SRAM side and the DRAM share collapses. Every
+// report on the way is checked for exact conservation.
+func TestPaperClaimsStallAttribution(t *testing.T) {
+	loads := []float64{0.5, 1, 1.5, 2, 3}
+	sweep := func(lvl driver.Level) []harness.LoadPoint {
+		curves, err := harness.LoadLatency(
+			[]*apps.App{apps.L3Switch()},
+			[]driver.Level{lvl}, loads,
+			harness.WithWindows(60_000, 300_000),
+			harness.WithTrace(128),
+			harness.WithStallBreakdown())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts := curves[0].Points
+		for _, p := range pts {
+			if p.Stalls == nil {
+				t.Fatalf("%v point %.2fG has no stall breakdown", lvl, p.OfferedGbps)
+			}
+			// Conservation: every ME row accounts for the exact window.
+			for _, me := range p.Stalls.MEs {
+				if me.Total() != p.Stalls.Cycles {
+					t.Fatalf("%v at %.2fG: ME%d categories sum to %d cycles of %d",
+						lvl, p.OfferedGbps, me.ME, me.Total(), p.Stalls.Cycles)
+				}
+			}
+		}
+		return pts
+	}
+	queueShares := func(pts []harness.LoadPoint, cat string) []float64 {
+		var out []float64
+		for _, p := range pts {
+			tot := p.Stalls.ThreadTotals()
+			out = append(out, tot.StallShare(cat))
+		}
+		return out
+	}
+
+	base := sweep(driver.LevelBase)
+	o3 := sweep(driver.Level(3)) // O3 = +PAC
+
+	for _, c := range []struct {
+		name string
+		pts  []harness.LoadPoint
+		cat  string
+	}{
+		{"BASE dram", base, "mem_queue.dram"},
+		{"O3 total", o3, "mem_queue"},
+	} {
+		shares := queueShares(c.pts, c.cat)
+		// Monotone growth across the knee (2% tolerance for noise in the
+		// saturated tail).
+		for i := 1; i < len(shares); i++ {
+			if shares[i] < 0.98*shares[i-1] {
+				t.Errorf("%s queueing share fell %.4f -> %.4f between %.2fG and %.2fG",
+					c.name, shares[i-1], shares[i],
+					c.pts[i-1].OfferedGbps, c.pts[i].OfferedGbps)
+			}
+		}
+		// Past the knee (losses underway) queueing dominates every other
+		// blocked-time category of the thread rows.
+		for i, p := range c.pts {
+			if p.DropRate < 0.05 {
+				continue
+			}
+			tot := p.Stalls.ThreadTotals()
+			q := shares[i]
+			if q < 0.5 {
+				t.Errorf("%s at %.2fG: queueing share %.3f does not dominate", c.name, p.OfferedGbps, q)
+			}
+			for _, other := range []string{"compute", "ring", "mem_latency", "idle"} {
+				if s := tot.StallShare(other); s >= q {
+					t.Errorf("%s at %.2fG: %s share %.3f >= queueing %.3f",
+						c.name, p.OfferedGbps, other, s, q)
+				}
+			}
+		}
+		if last := c.pts[len(c.pts)-1]; last.DropRate < 0.05 {
+			t.Errorf("%s never crossed the knee (drop %.3f at %.2fG)",
+				c.name, last.DropRate, last.OfferedGbps)
+		}
+	}
+
+	// The optimization story: O3's packet-access combining removes the DRAM
+	// traffic, so past the knee its DRAM queueing share is a small fraction
+	// of BASE's — the breakdown shows *why* optimized code scales further.
+	baseDram := queueShares(base, "mem_queue.dram")
+	o3Dram := queueShares(o3, "mem_queue.dram")
+	last := len(loads) - 1
+	if o3Dram[last] > 0.2*baseDram[last] {
+		t.Errorf("O3 DRAM queueing share %.4f not clearly below BASE %.4f — PAC should have moved the bottleneck off DRAM",
+			o3Dram[last], baseDram[last])
+	}
+}
+
 // TestPaperClaimsSaturation checks the flattening signature: unoptimized
 // builds stop scaling at fewer MEs than optimized ones, because their
 // higher per-packet access counts saturate the memory controllers first.

@@ -6,6 +6,7 @@ import (
 
 	"shangrila/internal/apps"
 	"shangrila/internal/driver"
+	"shangrila/internal/ixp"
 	"shangrila/internal/metrics"
 	"shangrila/internal/workload"
 )
@@ -25,6 +26,10 @@ type LoadPoint struct {
 	AppDrops      uint64 `json:"app_drops"`
 	// Latency summarizes Rx→Tx cycles of transmitted packets.
 	Latency metrics.HistogramSnapshot `json:"latency_cycles"`
+	// Stalls is the per-ME stall breakdown at this offered load, non-nil
+	// when the sweep ran with WithStallBreakdown. Reading it across the
+	// curve shows what the latency knee is made of (§6.2: DRAM queueing).
+	Stalls *ixp.StallReport `json:"stall_breakdown,omitempty"`
 }
 
 // LoadCurve is one app × level load sweep: goodput, drop rate and latency
@@ -95,6 +100,7 @@ func LoadLatency(appList []*apps.App, levels []driver.Level, loads []float64, op
 					RxDropped:     r.RxDropped,
 					ChanOverflows: r.ChanOverflows,
 					AppDrops:      r.AppDrops,
+					Stalls:        r.Stalls,
 				}
 				if r.Latency != nil {
 					lp.Latency = *r.Latency

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 
 	"shangrila/internal/apps"
@@ -30,6 +31,9 @@ type settings struct {
 	verify         driver.VerifyMode
 	dumpPass       string
 	dumpDir        string
+	stalls         bool
+	chromeTrace    io.Writer
+	metricsReg     *metrics.Registry
 }
 
 func defaultSettings() settings {
@@ -114,6 +118,31 @@ func WithWorkload(sp *workload.Spec) Option {
 	return func(s *settings) { s.workload = sp }
 }
 
+// WithStallBreakdown attaches a cycle-level stall tracer to the measured
+// machine: every simulated cycle of the measurement window is attributed
+// to compute, per-level memory latency, per-level memory-controller
+// queueing, ring backpressure, or idle. The conservative per-ME breakdown
+// lands in Result.Stalls, in the bench report's stall_breakdown section,
+// and as stall.share.* gauges in the machine's metrics registry.
+func WithStallBreakdown() Option {
+	return func(s *settings) { s.stalls = true }
+}
+
+// WithChromeTrace streams the measured run (warm-up included) to w as a
+// Chrome trace_event JSON document viewable in chrome://tracing or
+// Perfetto. Run-only: Sweep and LoadLatency measure many points
+// concurrently and drop the writer rather than interleave documents.
+func WithChromeTrace(w io.Writer) Option {
+	return func(s *settings) { s.chromeTrace = w }
+}
+
+// WithMetricsRegistry hands the measurement a registry via ixp.Config so
+// run-time telemetry (and compile-time pass counters, when the same
+// registry is passed to the driver) share one namespace the caller owns.
+func WithMetricsRegistry(reg *metrics.Registry) Option {
+	return func(s *settings) { s.metricsReg = reg }
+}
+
 // WithWorkers bounds sweep parallelism (Run ignores it). 0 or negative
 // means GOMAXPROCS.
 func WithWorkers(n int) Option {
@@ -177,6 +206,9 @@ type Result struct {
 	CompilePasses []driver.PassTiming
 	// Telemetry is non-nil when the point ran with WithTelemetry.
 	Telemetry *Telemetry
+	// Stalls is the conservative per-ME stall breakdown over the measured
+	// window, non-nil when the point ran with WithStallBreakdown.
+	Stalls *ixp.StallReport
 
 	// Workload-mode accounting (WithWorkload): the load the stream
 	// offered over the measured window, how many packets arrived versus
@@ -238,6 +270,12 @@ func measure(a *apps.App, res *driver.Result, s *settings) (*Result, error) {
 		cfg.SampleInterval = s.sampleInterval
 		cfg.SampleWindow = s.sampleWindow
 	}
+	if s.metricsReg != nil {
+		if cfg.NumMEs == 0 {
+			cfg = ixp.DefaultConfig()
+		}
+		cfg.Metrics = s.metricsReg
+	}
 	var wl *workload.Spec
 	if s.workload != nil {
 		sp := *s.workload
@@ -256,6 +294,18 @@ func measure(a *apps.App, res *driver.Result, s *settings) (*Result, error) {
 		if err := rt.Control(c.Name, c.Args...); err != nil {
 			return nil, fmt.Errorf("%s control %s: %w", a.Name, c.Name, err)
 		}
+	}
+	var chrome *ixp.ChromeTracer
+	var tracers []ixp.Tracer
+	if s.stalls {
+		tracers = append(tracers, ixp.NewStallTracer(rt.M.Cfg.NumMEs, rt.M.Cfg.ThreadsPerME))
+	}
+	if s.chromeTrace != nil {
+		chrome = ixp.NewChromeTracer(rt.M.Cfg.ClockMHz)
+		tracers = append(tracers, chrome)
+	}
+	if len(tracers) > 0 {
+		rt.M.Observer().SetTracer(ixp.MultiTracer(tracers...))
 	}
 	if err := rt.Run(s.run.Warmup); err != nil {
 		return nil, fmt.Errorf("%s warmup: %w", a.Name, err)
@@ -284,6 +334,15 @@ func measure(a *apps.App, res *driver.Result, s *settings) (*Result, error) {
 	if s.telemetry {
 		out.Telemetry = collectTelemetry(rt.M, &st, s)
 	}
+	if s.stalls {
+		out.Stalls = rt.M.Observer().StallReport()
+		exportStallShares(rt.M.Observer().Metrics(), out.Stalls)
+	}
+	if chrome != nil {
+		if err := chrome.WriteJSON(s.chromeTrace); err != nil {
+			return nil, fmt.Errorf("%s trace: %w", a.Name, err)
+		}
+	}
 	if wl != nil {
 		out.Workload = wl
 		out.OfferedGbps = st.OfferedGbps(rt.M.Cfg.ClockMHz)
@@ -291,7 +350,7 @@ func measure(a *apps.App, res *driver.Result, s *settings) (*Result, error) {
 		out.RxDropped = st.RxDropped
 		out.ChanOverflows = st.ChanOverflows()
 		out.AppDrops = st.FreedPackets
-		lat := rt.M.LatencySnapshot()
+		lat := rt.M.Observer().Latency()
 		out.Latency = &lat
 	}
 	return out, nil
@@ -307,11 +366,26 @@ func collectTelemetry(m *ixp.Machine, st *ixp.Stats, s *settings) *Telemetry {
 			"sram":    st.Saturation(cg.MemSRAM),
 			"dram":    st.Saturation(cg.MemDRAM),
 		},
-		RingMaxOcc: m.RingMaxOcc(),
+		RingMaxOcc: m.Observer().RingMaxOcc(),
 	}
 	for i := 0; i < m.Cfg.NumMEs; i++ {
 		tel.MEUtilization = append(tel.MEUtilization, st.Utilization(i))
 	}
-	tel.Series = m.Metrics().Snapshot().Series
+	tel.Series = m.Observer().Metrics().Snapshot().Series
 	return tel
+}
+
+// exportStallShares publishes the breakdown's active-ME category shares as
+// gauges so the stall summary rides along any metrics export.
+func exportStallShares(reg *metrics.Registry, rep *ixp.StallReport) {
+	if rep == nil {
+		return
+	}
+	tot := rep.ActiveTotals()
+	for _, cat := range []string{
+		"compute", "ring", "idle", "mem_latency", "mem_queue",
+		"mem_queue.scratch", "mem_queue.sram", "mem_queue.dram",
+	} {
+		reg.Gauge(metrics.StallShareKey(cat)).Set(tot.StallShare(cat))
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"shangrila/internal/driver"
+	"shangrila/internal/ixp"
 	"shangrila/internal/metrics"
 	"shangrila/internal/workload"
 )
@@ -26,6 +27,8 @@ type ReportPoint struct {
 	Stages        int                 `json:"stages,omitempty"`
 	CompilePasses []driver.PassTiming `json:"compile_passes,omitempty"`
 	Telemetry     *Telemetry          `json:"telemetry,omitempty"`
+	// Stalls is the conservative per-ME stall breakdown (WithStallBreakdown).
+	Stalls *ixp.StallReport `json:"stall_breakdown,omitempty"`
 
 	// Workload-mode fields (set when the point ran with WithWorkload).
 	Workload      *workload.Spec             `json:"workload,omitempty"`
@@ -73,6 +76,7 @@ func BuildReport(results []*Result) *BenchReport {
 			Stages:        r.Stages,
 			CompilePasses: r.CompilePasses,
 			Telemetry:     r.Telemetry,
+			Stalls:        r.Stalls,
 			Workload:      r.Workload,
 			OfferedGbps:   r.OfferedGbps,
 			RxPackets:     r.RxPackets,

@@ -99,6 +99,10 @@ func Sweep(points []Point, opts ...Option) ([]*Result, error) {
 				s.run.NumMEs = p.NumMEs
 				s.run.Seed = p.Seed
 				s.level = p.Level
+				// One trace document per writer: concurrent points would
+				// interleave, so sweeps never stream Chrome traces. Callers
+				// trace a single representative point with Run instead.
+				s.chromeTrace = nil
 				if p.OfferedGbps > 0 {
 					var sp workload.Spec
 					if base.workload != nil {

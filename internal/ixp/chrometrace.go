@@ -1,0 +1,210 @@
+package ixp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"shangrila/internal/cg"
+)
+
+// ChromeTracer records the event stream in the Chrome trace_event JSON
+// format (the "JSON Array Format" with a traceEvents envelope), loadable
+// in chrome://tracing and Perfetto. Thread dispatch windows and memory /
+// ring accesses become complete ("X") slices on one track per hardware
+// thread, ring occupancies become counter ("C") tracks, and Rx/Tx packet
+// events become instants on the media tracks.
+//
+// Timestamps are microseconds (the format's unit), converted from cycles
+// with the machine clock; durations under a cycle are preserved as
+// fractional µs. Event capacity is bounded by Limit so a runaway trace
+// cannot exhaust memory — WriteJSON reports how many events were dropped.
+type ChromeTracer struct {
+	clockMHz float64
+	// Limit caps recorded events (DefaultTraceLimit when 0). Recording
+	// stops at the cap; Dropped counts the excess.
+	Limit   int
+	events  []chromeEvent
+	dropped int
+	seen    map[int64]struct{} // pid/tid pairs needing metadata
+}
+
+// DefaultTraceLimit bounds a trace to ~2M events (hundreds of MB of JSON)
+// unless the caller raises ChromeTracer.Limit.
+const DefaultTraceLimit = 2 << 20
+
+// Synthetic thread ids for the media engines and counter tracks.
+const (
+	rxTid      = 1000
+	txTid      = 1001
+	counterTid = 0
+)
+
+// chromeEvent is one trace_event record. Optional fields are omitted when
+// zero so instants stay compact.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewChromeTracer converts cycles to µs with clockMHz (the machine's
+// configured clock; a non-positive value falls back to 1 MHz, i.e. raw
+// cycles as µs).
+func NewChromeTracer(clockMHz float64) *ChromeTracer {
+	if clockMHz <= 0 {
+		clockMHz = 1
+	}
+	return &ChromeTracer{clockMHz: clockMHz, seen: map[int64]struct{}{}}
+}
+
+func (ct *ChromeTracer) us(cycles int64) float64 { return float64(cycles) / ct.clockMHz }
+
+func (ct *ChromeTracer) tid(me, thread int) int { return me*64 + thread + 1 }
+
+func (ct *ChromeTracer) add(ev chromeEvent) {
+	limit := ct.Limit
+	if limit <= 0 {
+		limit = DefaultTraceLimit
+	}
+	if len(ct.events) >= limit {
+		ct.dropped++
+		return
+	}
+	ct.seen[int64(ev.Pid)<<32|int64(ev.Tid)] = struct{}{}
+	ct.events = append(ct.events, ev)
+}
+
+// ThreadRun implements Tracer.
+func (ct *ChromeTracer) ThreadRun(t int64, me, thread int, cycles int64, reason YieldReason) {
+	ct.add(chromeEvent{
+		Name: "run", Cat: "thread", Ph: "X",
+		TS: ct.us(t), Dur: ct.us(cycles),
+		Pid: 0, Tid: ct.tid(me, thread),
+		Args: map[string]any{"yield": reason.String()},
+	})
+}
+
+// MemAccess implements Tracer.
+func (ct *ChromeTracer) MemAccess(issue int64, me, thread int, level cg.MemLevel, words int, start, done int64) {
+	ct.add(chromeEvent{
+		Name: fmt.Sprintf("%v[%dw]", level, words), Cat: "mem", Ph: "X",
+		TS: ct.us(issue), Dur: ct.us(done - issue),
+		Pid: 0, Tid: ct.tid(me, thread),
+		Args: map[string]any{"queue_cycles": start - issue},
+	})
+}
+
+// RingOp implements Tracer.
+func (ct *ChromeTracer) RingOp(issue int64, me, thread int, ring int, kind RingOpKind, ok bool, occ int, start, done int64) {
+	ct.add(chromeEvent{
+		Name: fmt.Sprintf("ring%d %v", ring, kind), Cat: "ring", Ph: "X",
+		TS: ct.us(issue), Dur: ct.us(done - issue),
+		Pid: 0, Tid: ct.tid(me, thread),
+		Args: map[string]any{"ok": ok, "occupancy": occ, "queue_cycles": start - issue},
+	})
+	ct.add(chromeEvent{
+		Name: fmt.Sprintf("ring%d.occ", ring), Ph: "C",
+		TS: ct.us(issue), Pid: 0, Tid: counterTid,
+		Args: map[string]any{"entries": occ},
+	})
+}
+
+// Rx implements Tracer.
+func (ct *ChromeTracer) Rx(t int64, id uint32, frameBytes int, dropped bool) {
+	name := "rx"
+	if dropped {
+		name = "rx-drop"
+	}
+	args := map[string]any{"bytes": frameBytes}
+	if !dropped {
+		args["buf"] = id
+	}
+	ct.add(chromeEvent{
+		Name: name, Cat: "media", Ph: "i", S: "t",
+		TS: ct.us(t), Pid: 0, Tid: rxTid, Args: args,
+	})
+}
+
+// Tx implements Tracer.
+func (ct *ChromeTracer) Tx(t int64, id uint32, frameBytes int, latency int64) {
+	args := map[string]any{"bytes": frameBytes, "buf": id}
+	if latency >= 0 {
+		args["latency_cycles"] = latency
+	}
+	ct.add(chromeEvent{
+		Name: "tx", Cat: "media", Ph: "i", S: "t",
+		TS: ct.us(t), Pid: 0, Tid: txTid, Args: args,
+	})
+}
+
+// Len returns the number of recorded events; Dropped the number lost to
+// the cap.
+func (ct *ChromeTracer) Len() int     { return len(ct.events) }
+func (ct *ChromeTracer) Dropped() int { return ct.dropped }
+
+// metadata builds the process/thread naming events viewers use for track
+// labels, in deterministic tid order.
+func (ct *ChromeTracer) metadata() []chromeEvent {
+	meta := []chromeEvent{{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": "ixp2400"},
+	}}
+	tids := make([]int, 0, len(ct.seen))
+	for k := range ct.seen {
+		tids = append(tids, int(k&0xffffffff))
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		var name string
+		switch {
+		case tid == counterTid:
+			continue
+		case tid == rxTid:
+			name = "Rx engine"
+		case tid == txTid:
+			name = "Tx engine"
+		default:
+			name = fmt.Sprintf("ME%d/T%d", (tid-1)/64, (tid-1)%64)
+		}
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tid,
+			Args: map[string]any{"name": name},
+		}, chromeEvent{
+			Name: "thread_sort_index", Ph: "M", Pid: 0, Tid: tid,
+			Args: map[string]any{"sort_index": tid},
+		})
+	}
+	return meta
+}
+
+// chromeTraceDoc is the trace_event envelope ("JSON Object Format").
+type chromeTraceDoc struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteJSON writes the whole trace as one trace_event document. Events
+// appear in emission (simulation) order after the naming metadata, so
+// identical runs produce identical bytes.
+func (ct *ChromeTracer) WriteJSON(w io.Writer) error {
+	doc := chromeTraceDoc{
+		TraceEvents:     append(ct.metadata(), ct.events...),
+		DisplayTimeUnit: "ns",
+		OtherData: map[string]any{
+			"clock_mhz": ct.clockMHz,
+			"events":    len(ct.events),
+			"dropped":   ct.dropped,
+		},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

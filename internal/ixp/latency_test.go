@@ -22,10 +22,10 @@ func (o *openMedia) Inject(m *Machine) float64 {
 		if ok {
 			m.Rings[cg.RingFree].Put(id, 0)
 		}
-		m.NoteRxDropped(o.frame)
+		m.Observer().RxDrop(o.frame)
 	default:
 		m.Rings[cg.RingRx].Put(id, 64<<16|128)
-		m.NoteRxPacket(id, o.frame)
+		m.Observer().RxPacket(id, o.frame)
 	}
 	return m.Cfg.RxIntervalCycles(float64(o.frame * 8))
 }
@@ -137,19 +137,7 @@ func TestDropCauseChannelOverflow(t *testing.T) {
 	for i := 0; i < 32; i++ {
 		m.Rings[cg.RingFree].Put(uint32(i), 64<<16|128)
 	}
-	// Forward Rx descriptors into the dead-end app ring, retrying on
-	// failure as compiled channel puts do.
-	prog := &cg.Program{Name: "deadend", Code: []*cg.Instr{
-		{Op: cg.IRingGet, Ring: cg.RingRx, Dst: 0, Dst2: 16, Class: cg.ClassPacketRing},
-		{Op: cg.IBccImm, Cond: cg.CNe, SrcA: 0, Imm: cg.InvalidPktID, Target: 4},
-		{Op: cg.ICtxArb},
-		{Op: cg.IBr, Target: 0},
-		{Op: cg.IRingPut, Ring: cg.RingApp0, SrcA: 0, SrcB: 16, Dst: 1, Class: cg.ClassPacketRing},
-		{Op: cg.IBccImm, Cond: cg.CNe, SrcA: 1, Imm: 0, Target: 0},
-		{Op: cg.ICtxArb},
-		{Op: cg.IBr, Target: 4},
-	}}
-	m.LoadProgram(0, prog)
+	m.LoadProgram(0, deadendProg())
 	if err := m.Run(500_000); err != nil {
 		t.Fatal(err)
 	}
@@ -165,5 +153,112 @@ func TestDropCauseChannelOverflow(t *testing.T) {
 	}
 	if st.RxDropped == 0 {
 		t.Error("saturated pipeline should also drop at Rx")
+	}
+}
+
+// deadendProg forwards Rx descriptors into an app ring nobody drains,
+// retrying failed puts as compiled channel operations do.
+func deadendProg() *cg.Program {
+	return &cg.Program{Name: "deadend", Code: []*cg.Instr{
+		{Op: cg.IRingGet, Ring: cg.RingRx, Dst: 0, Dst2: 16, Class: cg.ClassPacketRing},
+		{Op: cg.IBccImm, Cond: cg.CNe, SrcA: 0, Imm: cg.InvalidPktID, Target: 4},
+		{Op: cg.ICtxArb},
+		{Op: cg.IBr, Target: 0},
+		{Op: cg.IRingPut, Ring: cg.RingApp0, SrcA: 0, SrcB: 16, Dst: 1, Class: cg.ClassPacketRing},
+		{Op: cg.IBccImm, Cond: cg.CNe, SrcA: 1, Imm: 0, Target: 0},
+		{Op: cg.ICtxArb},
+		{Op: cg.IBr, Target: 4},
+	}}
+}
+
+// TestDropCausesSimultaneous: when the pipeline stalls behind a dead-end
+// channel, both causes fire in the same run — Rx-ring saturation losses
+// AND channel-ring overflow backpressure — and stay separately attributed:
+// only Rx losses enter the drop rate, overflow attempts are not losses.
+func TestDropCausesSimultaneous(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumRings = 4
+	cfg.RingSlots = 8
+	m, err := New(cfg, &openMedia{frame: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.GrowRing(cg.RingFree, 64)
+	for i := 0; i < 32; i++ {
+		m.Rings[cg.RingFree].Put(uint32(i), 64<<16|128)
+	}
+	m.LoadProgram(0, deadendProg())
+	if err := m.Run(500_000); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Snapshot()
+	if st.RxDropped == 0 || st.ChanOverflows() == 0 {
+		t.Fatalf("want both causes active: rx-drops %d, chan-overflows %d",
+			st.RxDropped, st.ChanOverflows())
+	}
+	// The causes are disjoint accounts: the drop rate is Rx losses over
+	// offered packets, unchanged by however many overflow retries happened.
+	want := float64(st.RxDropped) / float64(st.RxPackets+st.RxDropped)
+	if got := st.DropRate(); got != want {
+		t.Errorf("drop rate %v mixes causes, want rx-only %v", got, want)
+	}
+	if st.RingOverflow[cg.RingRx] != 0 {
+		t.Errorf("media-side Rx saturation leaked into ME ring-overflow counts: %v",
+			st.RingOverflow)
+	}
+}
+
+// TestPacketConservationRandomized sweeps randomized open-loop workloads
+// (frame size, ring capacity, port rate, duration) and checks the
+// population identity on each: every offered packet is accounted exactly
+// once as dropped at Rx, transmitted, freed, or still in flight —
+// offered = rxDropped + tx + freed + inFlight, with no start-of-run
+// population because machines begin empty.
+func TestPacketConservationRandomized(t *testing.T) {
+	rng := uint64(1)
+	next := func(n int) int { // xorshift64*, avoids seeding-by-time
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int((rng * 0x2545f4914f6cdd1d) >> 33 % uint64(n))
+	}
+	frames := []int{64, 128, 594, 1518}
+	for trial := 0; trial < 12; trial++ {
+		cfg := DefaultConfig()
+		cfg.NumRings = 4 // Rx, Tx, free + a dead-end app ring
+		cfg.RingSlots = []int{8, 16, 64}[next(3)]
+		cfg.PortGbps = []float64{0.5, 2.5, 10}[next(3)]
+		frame := frames[next(len(frames))]
+		cycles := int64(100_000 + 50_000*next(5))
+		m, err := New(cfg, &openMedia{frame: frame})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.GrowRing(cg.RingFree, 128)
+		for i := 0; i < 100; i++ {
+			m.Rings[cg.RingFree].Put(uint32(i), uint32(frame)<<16|128)
+		}
+		// Mix of fates: ME0 forwards to Tx, ME1 pushes into a dead-end ring
+		// when present (channel backpressure in the balance).
+		m.LoadProgram(0, loopProg())
+		if cfg.RingSlots < 64 {
+			m.LoadProgram(1, deadendProg())
+		}
+		if err := m.Run(cycles); err != nil {
+			t.Fatal(err)
+		}
+		st := m.Snapshot()
+		offered := st.RxPackets + st.RxDropped
+		accounted := st.RxDropped + st.TxPackets + st.FreedPackets +
+			uint64(m.Observer().InFlight())
+		if offered == 0 {
+			t.Fatalf("trial %d: no packets offered", trial)
+		}
+		if offered != accounted {
+			t.Errorf("trial %d (frame %d, slots %d, %.1fG, %d cycles): offered %d != dropped %d + tx %d + freed %d + inflight %d",
+				trial, frame, cfg.RingSlots, cfg.PortGbps, cycles,
+				offered, st.RxDropped, st.TxPackets, st.FreedPackets,
+				m.Observer().InFlight())
+		}
 	}
 }

@@ -63,6 +63,12 @@ type Config struct {
 	// compiled image's layout into these before constructing the machine.
 	NumRings  int
 	RingSlots int
+
+	// Metrics, when non-nil, is the registry the machine's telemetry lands
+	// in — the harness hands one registry down so compile-time and run-time
+	// instruments share a namespace. Nil gives the machine a private
+	// registry (reachable via Observer.Metrics).
+	Metrics *metrics.Registry
 }
 
 // Validate rejects configurations that would make the timing model divide
@@ -299,17 +305,19 @@ type controller struct {
 	nextFree int64
 }
 
-// access returns the completion time of a request issued at t, updating
+// access queues a request issued at t and returns when its service began
+// (start-t is the queueing delay behind earlier requests — the bandwidth
+// signal stall attribution keys on) and when it completes, updating
 // occupancy.
-func (c *controller) access(t int64, words int, st *Stats) int64 {
-	start := t
+func (c *controller) access(t int64, words int, st *Stats) (start, done int64) {
+	start = t
 	if c.nextFree > start {
 		start = c.nextFree
 	}
 	svc := c.svcBase + c.svcWord*int64(words)
 	c.nextFree = start + svc
 	st.Busy[c.level] += svc
-	return start + svc + c.latency
+	return start, start + svc + c.latency
 }
 
 type threadState int
@@ -400,8 +408,8 @@ func (h *eventHeap) Pop() any {
 // player and the workload engine's arrival processes are both Media.
 type Media interface {
 	// Inject is called at each Rx opportunity. It may enqueue at most one
-	// packet (stamping it with NoteRxPacket, or counting a loss with
-	// NoteRxDropped when the Rx path is saturated) and returns the delay
+	// packet (stamping it with Observer.RxPacket, or counting a loss with
+	// Observer.RxDrop when the Rx path is saturated) and returns the delay
 	// in core cycles until the next opportunity. Fractional delays are
 	// honored exactly: the machine carries the sub-cycle remainder across
 	// ticks, so the long-run injection rate matches the requested one.
@@ -424,6 +432,8 @@ type Machine struct {
 	stats     Stats
 	reg       *metrics.Registry
 	lat       *metrics.Histogram // Rx→Tx latency of transmitted packets
+	tracer    Tracer             // nil = tracing off (every emit is one nil check)
+	meLabels  []string           // per-ME program labels (Observer.SetMELabel)
 	rxStamp   map[uint32]int64   // buffer id → arrival cycle
 	rxCarry   float64            // fractional-cycle Rx pacing remainder
 	media     Media
@@ -453,12 +463,16 @@ func New(cfg Config, media Media) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	m := &Machine{
 		Cfg:     cfg,
 		Scratch: make([]byte, cfg.ScratchBytes),
 		SRAM:    make([]byte, cfg.SRAMBytes),
 		DRAM:    make([]byte, cfg.DRAMBytes),
-		reg:     metrics.NewRegistry(),
+		reg:     reg,
 		lat:     metrics.NewHistogram(),
 		rxStamp: map[uint32]int64{},
 		media:   media,
@@ -659,12 +673,17 @@ func (m *Machine) runME(meIdx int) {
 		return // re-activated when a thread completes
 	}
 	th := mx.threads[ti]
+	windowStart := m.now
 	cycles := int64(0)
 	code := mx.prog.Code
 	yielded := false
+	reason := YieldBudget // loop falls through only on budget exhaustion
 	for steps := 0; steps < maxRunInstrs; steps++ {
 		if th.pc < 0 || th.pc >= len(code) {
 			m.fail("ME%d thread %d: pc %d out of range", meIdx, ti, th.pc)
+			if m.tracer != nil {
+				m.tracer.ThreadRun(windowStart, meIdx, ti, cycles, YieldFault)
+			}
 			return
 		}
 		in := code[th.pc]
@@ -690,8 +709,11 @@ func (m *Machine) runME(meIdx int) {
 				next = in.Target
 			}
 		case cg.IMem:
-			done, block := m.execMem(mx, th, in, cycles)
+			done, block := m.execMem(mx, th, ti, in, cycles)
 			if !done {
+				if m.tracer != nil {
+					m.tracer.ThreadRun(windowStart, meIdx, ti, cycles, YieldFault)
+				}
 				return // machine error
 			}
 			if in.Level == cg.MemLocal {
@@ -702,6 +724,7 @@ func (m *Machine) runME(meIdx int) {
 				th.state = tBlocked
 				m.schedule(block, evReady, meIdx, ti, nil)
 				yielded = true
+				reason = YieldMem
 			}
 		case cg.ICAMLookup:
 			hit, entry := m.camLookup(mx, th.regs[in.SrcA])
@@ -717,31 +740,38 @@ func (m *Machine) runME(meIdx int) {
 				mx.cam[i].valid = false
 			}
 		case cg.IRingGet:
-			blockAt := m.ringGet(mx, th, in, cycles)
+			blockAt := m.ringGet(mx, th, ti, in, cycles)
 			if blockAt > 0 {
 				th.pc = next
 				th.state = tBlocked
 				m.schedule(blockAt, evReady, meIdx, ti, nil)
 				yielded = true
+				reason = YieldRing
 			}
 		case cg.IRingPut:
-			blockAt := m.ringPut(mx, th, in, cycles)
+			blockAt := m.ringPut(mx, th, ti, in, cycles)
 			if blockAt > 0 {
 				th.pc = next
 				th.state = tBlocked
 				m.schedule(blockAt, evReady, meIdx, ti, nil)
 				yielded = true
+				reason = YieldRing
 			}
 		case cg.ICtxArb:
 			th.pc = next
 			yielded = true
+			reason = YieldCtx
 			// Stays ready; just gives up the pipeline.
 		case cg.IHalt:
 			th.state = tDead
 			yielded = true
+			reason = YieldHalt
 			th.pc = next
 		default:
 			m.fail("ME%d: bad opcode %v", meIdx, in.Op)
+			if m.tracer != nil {
+				m.tracer.ThreadRun(windowStart, meIdx, ti, cycles, YieldFault)
+			}
 			return
 		}
 		if yielded {
@@ -752,6 +782,9 @@ func (m *Machine) runME(meIdx int) {
 	if !yielded && th.state == tReady {
 		// Instruction budget exhausted without a yield point (long ALU
 		// stretch): requeue the same thread.
+	}
+	if m.tracer != nil {
+		m.tracer.ThreadRun(windowStart, meIdx, ti, cycles, reason)
 	}
 	m.stats.MEBusy[meIdx] += cycles
 	mx.rrNext = (ti + 1) % len(mx.threads)
@@ -778,7 +811,7 @@ func (m *Machine) srcB(th *Thread, in *cg.Instr) uint32 {
 
 // execMem performs the data movement and returns the absolute unblock
 // time (0 for non-blocking Local Memory).
-func (m *Machine) execMem(mx *ME, th *Thread, in *cg.Instr, cyclesSoFar int64) (ok bool, unblockAt int64) {
+func (m *Machine) execMem(mx *ME, th *Thread, ti int, in *cg.Instr, cyclesSoFar int64) (ok bool, unblockAt int64) {
 	addr := in.AddrOff
 	if in.Addr != cg.NoPReg {
 		addr += th.regs[in.Addr]
@@ -810,11 +843,16 @@ func (m *Machine) execMem(mx *ME, th *Thread, in *cg.Instr, cyclesSoFar int64) (
 		return true, 0 // 3-cycle pipeline, no context swap (charged by caller)
 	}
 	c := m.controllerFor(in.Level)
-	return true, c.access(m.now+cyclesSoFar, in.NWords, &m.stats)
+	issue := m.now + cyclesSoFar
+	start, done := c.access(issue, in.NWords, &m.stats)
+	if m.tracer != nil {
+		m.tracer.MemAccess(issue, mx.idx, ti, in.Level, in.NWords, start, done)
+	}
+	return true, done
 }
 
 // ringGet pops a descriptor pair, writing InvalidPktID on empty.
-func (m *Machine) ringGet(mx *ME, th *Thread, in *cg.Instr, cyclesSoFar int64) int64 {
+func (m *Machine) ringGet(mx *ME, th *Thread, ti int, in *cg.Instr, cyclesSoFar int64) int64 {
 	r := m.Rings[in.Ring]
 	a, b, ok := r.Get()
 	if !ok {
@@ -826,11 +864,16 @@ func (m *Machine) ringGet(mx *ME, th *Thread, in *cg.Instr, cyclesSoFar int64) i
 		m.stats.MEAccesses[AccessKey{cg.MemScratch, in.Class}]++
 	}
 	c := m.ctrl[0]
-	return c.access(m.now+cyclesSoFar, 2, &m.stats)
+	issue := m.now + cyclesSoFar
+	start, done := c.access(issue, 2, &m.stats)
+	if m.tracer != nil {
+		m.tracer.RingOp(issue, mx.idx, ti, in.Ring, RingPop, ok, r.Len(), start, done)
+	}
+	return done
 }
 
 // ringPut pushes a pair; Dst receives 1 on success, 0 when full.
-func (m *Machine) ringPut(mx *ME, th *Thread, in *cg.Instr, cyclesSoFar int64) int64 {
+func (m *Machine) ringPut(mx *ME, th *Thread, ti int, in *cg.Instr, cyclesSoFar int64) int64 {
 	r := m.Rings[in.Ring]
 	ok := r.Put(th.regs[in.SrcA], m.srcB(th, in))
 	if !ok {
@@ -854,7 +897,12 @@ func (m *Machine) ringPut(mx *ME, th *Thread, in *cg.Instr, cyclesSoFar int64) i
 		m.stats.MEAccesses[AccessKey{cg.MemScratch, in.Class}]++
 	}
 	c := m.ctrl[0]
-	return c.access(m.now+cyclesSoFar, 2, &m.stats)
+	issue := m.now + cyclesSoFar
+	start, done := c.access(issue, 2, &m.stats)
+	if m.tracer != nil {
+		m.tracer.RingOp(issue, mx.idx, ti, in.Ring, RingPush, ok, r.Len(), start, done)
+	}
+	return done
 }
 
 func (m *Machine) camLookup(mx *ME, key uint32) (hit, entry uint32) {
@@ -964,9 +1012,14 @@ func (m *Machine) txTick() {
 	}
 	m.stats.TxPackets++
 	m.stats.TxBits += uint64(frame * 8)
+	latency := int64(-1)
 	if ts, ok := m.rxStamp[w0]; ok {
-		m.lat.Record(m.now - ts)
+		latency = m.now - ts
+		m.lat.Record(latency)
 		delete(m.rxStamp, w0)
+	}
+	if m.tracer != nil {
+		m.tracer.Tx(m.now, w0, frame, latency)
 	}
 	// Pace the port: next transmit after the frame serializes.
 	bits := float64(frame * 8)
@@ -1001,21 +1054,21 @@ func (m *Machine) sampleTick() {
 	for i := range m.MEs {
 		d := m.stats.MEBusy[i] - m.lastME[i]
 		m.lastME[i] = m.stats.MEBusy[i]
-		m.reg.Series(fmt.Sprintf("me%d.util", i), w).Append(m.now, float64(d)/dt)
+		m.reg.Series(metrics.MEUtil(i), w).Append(m.now, float64(d)/dt)
 	}
 	for _, c := range m.ctrl {
 		d := m.stats.Busy[c.level] - m.lastBusy[c.level]
 		m.lastBusy[c.level] = m.stats.Busy[c.level]
 		name := levelName(c.level)
-		m.reg.Series("ctrl."+name+".sat", w).Append(m.now, float64(d)/dt)
+		m.reg.Series(metrics.CtrlSat(name), w).Append(m.now, float64(d)/dt)
 		backlog := c.nextFree - m.now
 		if backlog < 0 {
 			backlog = 0
 		}
-		m.reg.Series("ctrl."+name+".queue", w).Append(m.now, float64(backlog))
+		m.reg.Series(metrics.CtrlQueue(name), w).Append(m.now, float64(backlog))
 	}
 	for i, r := range m.Rings {
-		m.reg.Series(fmt.Sprintf("ring%d.occ", i), w).Append(m.now, float64(r.Len()))
+		m.reg.Series(metrics.RingOcc(i), w).Append(m.now, float64(r.Len()))
 	}
 	m.schedule(m.now+interval, evSample, 0, 0, nil)
 }
@@ -1127,55 +1180,47 @@ func (m *Machine) ResetStats() {
 	for _, r := range m.Rings {
 		r.resetHWM()
 	}
+	// Window-scoped tracers (stall attribution) restart with the counters
+	// so warm-up cycles never appear in the breakdown.
+	if wr, ok := m.tracer.(windowResetter); ok {
+		wr.ResetWindow(base)
+	}
 }
 
 // Snapshot returns an immutable deep copy of the run statistics. The
 // machine's internal counters cannot be mutated through it; hooks that
-// need to account packets use the Note* methods instead.
+// need to account packets use the Observer's accounting methods instead.
 func (m *Machine) Snapshot() Stats { return m.stats.clone() }
 
-// NoteRxPacket counts one received packet of frameBytes and stamps its
-// buffer id with the current cycle, opening a latency sample that closes
-// when the id reaches the Tx ring (or is cancelled when the buffer is
-// recycled without transmission). Media implementations call it from
-// Inject for every packet they enqueue.
-func (m *Machine) NoteRxPacket(id uint32, frameBytes int) {
-	m.stats.RxPackets++
-	m.stats.RxBits += uint64(frameBytes * 8)
-	m.rxStamp[id] = m.now
-}
+// NoteRxPacket counts one received packet.
+//
+// Deprecated: use Observer().RxPacket — the Note* family moved onto the
+// Observer surface; this shim lasts one release.
+func (m *Machine) NoteRxPacket(id uint32, frameBytes int) { m.Observer().RxPacket(id, frameBytes) }
 
-// NoteRxDropped counts one saturation loss of frameBytes at the Rx ring
-// (called by Media.Inject when the ring is full or buffers ran out). The
-// dropped bits still count toward offered load.
-func (m *Machine) NoteRxDropped(frameBytes int) {
-	m.stats.RxDropped++
-	m.stats.RxDroppedBits += uint64(frameBytes * 8)
-}
+// NoteRxDropped counts one saturation loss at the Rx ring.
+//
+// Deprecated: use Observer().RxDrop.
+func (m *Machine) NoteRxDropped(frameBytes int) { m.Observer().RxDrop(frameBytes) }
 
-// NoteFreedPacket counts one dropped-or-recycled packet returned to the
-// free list outside ME ring operations (XScale drops, hook recycling) and
-// cancels its pending latency sample.
-func (m *Machine) NoteFreedPacket(id uint32) {
-	m.stats.FreedPackets++
-	delete(m.rxStamp, id)
-}
+// NoteFreedPacket counts one dropped-or-recycled packet.
+//
+// Deprecated: use Observer().PacketFreed.
+func (m *Machine) NoteFreedPacket(id uint32) { m.Observer().PacketFreed(id) }
 
 // LatencySnapshot summarizes the Rx→Tx latency (in core cycles) of every
 // packet transmitted since the last stats reset.
+//
+// Deprecated: use Observer().Latency.
 func (m *Machine) LatencySnapshot() metrics.HistogramSnapshot {
-	return m.lat.Snapshot()
+	return m.Observer().Latency()
 }
 
 // RingMaxOcc returns each ring's high-water occupancy since the last
 // stats reset, indexed by ring number.
-func (m *Machine) RingMaxOcc() []int {
-	out := make([]int, len(m.Rings))
-	for i, r := range m.Rings {
-		out[i] = r.MaxOcc()
-	}
-	return out
-}
+//
+// Deprecated: use Observer().RingMaxOcc.
+func (m *Machine) RingMaxOcc() []int { return m.Observer().RingMaxOcc() }
 
 // SetPC places a thread at an absolute entry point (the runtime uses this
 // to split one ME's threads across pipeline stages when fewer MEs than

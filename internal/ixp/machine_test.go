@@ -122,18 +122,18 @@ func TestControllerBandwidth(t *testing.T) {
 	st := &Stats{}
 	// Two back-to-back 1-word requests at t=0: the second queues behind
 	// the first's service slot.
-	first := c.access(0, 1, st)
-	second := c.access(0, 1, st)
-	if first != 0+9+90 {
-		t.Errorf("first completion %d, want 99", first)
+	firstStart, first := c.access(0, 1, st)
+	secondStart, second := c.access(0, 1, st)
+	if firstStart != 0 || first != 0+9+90 {
+		t.Errorf("first start/completion %d/%d, want 0/99", firstStart, first)
 	}
-	if second != 9+9+90 {
-		t.Errorf("second completion %d, want 108 (queued)", second)
+	if secondStart != 9 || second != 9+9+90 {
+		t.Errorf("second start/completion %d/%d, want 9/108 (queued)", secondStart, second)
 	}
 	// After the controller drains, a later request sees no queueing.
-	third := c.access(1000, 4, st)
-	if third != 1000+12+90 {
-		t.Errorf("third completion %d, want 1102", third)
+	thirdStart, third := c.access(1000, 4, st)
+	if thirdStart != 1000 || third != 1000+12+90 {
+		t.Errorf("third start/completion %d/%d, want 1000/1102", thirdStart, third)
 	}
 	if st.Busy[cg.MemSRAM] != 9+9+12 {
 		t.Errorf("busy = %d, want 30", st.Busy[cg.MemSRAM])

@@ -47,7 +47,7 @@ func (fd *FixedDescMedia) Inject(m *Machine) float64 {
 	}
 	m.ChargeRxDMA(frame, meta)
 	m.Rings[cg.RingRx].Put(id, fd.desc())
-	m.NoteRxPacket(id, frame)
+	m.Observer().RxPacket(id, frame)
 	return m.Cfg.RxIntervalCycles(float64(frame * 8))
 }
 

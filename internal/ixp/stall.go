@@ -1,0 +1,506 @@
+package ixp
+
+import (
+	"fmt"
+	"strings"
+
+	"shangrila/internal/cg"
+)
+
+// StallTracer folds the machine's event stream into a per-ME × per-thread
+// stall breakdown: every simulated cycle of the measurement window is
+// attributed to exactly one of compute, per-level memory latency,
+// per-level memory-controller queueing (the bandwidth-saturation signal),
+// ring backpressure, or idle. The attribution is conservative by
+// construction — Report's categories sum exactly to the window — which is
+// what lets the paper's causal claims ("flattening is bandwidth
+// saturation") be asserted directly instead of inferred from rates.
+//
+// Attribution rules (see DESIGN.md "Observability"):
+//
+//   - A thread dispatch window is compute. Overlapping windows of one ME
+//     (a model artifact of instantaneous dispatch) are counted once.
+//   - A gap in which no thread of an ME runs is a stall. It is attributed
+//     to the blocked access whose completion ends the gap: the part of
+//     the gap overlapping that access's controller-queue wait is
+//     queueing, the remainder is latency.
+//   - A stall ended by a *failed* ring push is ring backpressure; one
+//     ended by a failed (empty) ring pop is idle — the ME had nothing to
+//     do. Successful ring ops attribute like scratch memory accesses.
+//   - Gaps no pending access explains are the 1-cycle context switch
+//     (compute) or genuine idleness.
+type StallTracer struct {
+	start   int64 // window origin (cycle of the last ResetWindow)
+	threads int
+	mes     []meAcc
+}
+
+// stall categories for pending-wake attribution.
+type stallCat uint8
+
+const (
+	catMem stallCat = iota // level in pendingWake.level
+	catRing
+	catIdle
+)
+
+// pendingWake is one blocked thread's expected resume: the access that
+// blocked it, split into the controller-queue wait [issue, svcStart) and
+// the service+latency remainder [svcStart, ready).
+type pendingWake struct {
+	valid    bool
+	cat      stallCat
+	level    cg.MemLevel
+	issue    int64
+	svcStart int64
+	ready    int64
+}
+
+type threadAcc struct {
+	compute int64
+	memLat  [4]int64
+	memQ    [4]int64
+	ring    int64
+	idle    int64
+}
+
+type meAcc struct {
+	covered int64 // accounted-up-to cycle (compute coverage frontier)
+	compute int64
+	memLat  [4]int64
+	memQ    [4]int64
+	ring    int64
+	idle    int64
+	pend    []pendingWake
+	// prev holds each thread's last *completed* wake, displaced when the
+	// woken thread issues its next access before its dispatch window is
+	// emitted (the machine reports MemAccess before the enclosing
+	// ThreadRun). The gap that wake ended still needs it for attribution.
+	prev    []pendingWake
+	threads []threadAcc
+}
+
+// NewStallTracer sizes the tracer for a machine: one accumulator per ME
+// and per hardware thread. Attach it before running (warm-up included);
+// Machine.ResetStats restarts its window alongside the statistics.
+func NewStallTracer(numMEs, threadsPerME int) *StallTracer {
+	st := &StallTracer{threads: threadsPerME, mes: make([]meAcc, numMEs)}
+	for i := range st.mes {
+		st.mes[i].pend = make([]pendingWake, threadsPerME)
+		st.mes[i].prev = make([]pendingWake, threadsPerME)
+		st.mes[i].threads = make([]threadAcc, threadsPerME)
+	}
+	return st
+}
+
+// ResetWindow restarts the breakdown at cycle now, keeping in-flight
+// block records so stalls straddling the warm-up boundary attribute
+// correctly. Machine.ResetStats calls it through the windowResetter hook.
+func (st *StallTracer) ResetWindow(now int64) {
+	st.start = now
+	for i := range st.mes {
+		a := &st.mes[i]
+		a.covered = now
+		a.compute, a.ring, a.idle = 0, 0, 0
+		a.memLat, a.memQ = [4]int64{}, [4]int64{}
+		for t := range a.threads {
+			a.threads[t] = threadAcc{}
+		}
+	}
+}
+
+// ctxSwitchCycles is the dispatch overhead between thread windows; gaps of
+// at most this length with no blocked access to blame are charged to
+// compute (the ME's arbiter is working, not stalled).
+const ctxSwitchCycles = 1
+
+func overlap(a0, a1, b0, b1 int64) int64 {
+	lo, hi := a0, a1
+	if b0 > lo {
+		lo = b0
+	}
+	if b1 < hi {
+		hi = b1
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// attributeGap charges the stall [g0, g1) to the access whose completion
+// ends it: the earliest wake strictly inside (g0, g1], considering both
+// in-flight accesses and each thread's last completed one (a wake that
+// ended the gap may already be displaced by the woken thread's next
+// access). With no such wake, short gaps are the context switch and long
+// ones are idle.
+func (a *meAcc) attributeGap(g0, g1 int64) {
+	if g1 <= g0 {
+		return
+	}
+	var p pendingWake
+	for i := range a.pend {
+		for _, c := range [2]pendingWake{a.pend[i], a.prev[i]} {
+			if c.valid && c.ready > g0 && (!p.valid || c.ready < p.ready) {
+				p = c
+			}
+		}
+	}
+	gap := g1 - g0
+	if !p.valid || p.ready > g1 {
+		if gap <= ctxSwitchCycles {
+			a.compute += gap
+		} else {
+			a.idle += gap
+		}
+		return
+	}
+	switch p.cat {
+	case catRing:
+		a.ring += gap
+	case catIdle:
+		a.idle += gap
+	default:
+		q := overlap(g0, g1, p.issue, p.svcStart)
+		a.memQ[p.level] += q
+		a.memLat[p.level] += gap - q
+	}
+}
+
+// ThreadRun implements Tracer.
+func (st *StallTracer) ThreadRun(t int64, me, thread int, cycles int64, reason YieldReason) {
+	if me >= len(st.mes) {
+		return
+	}
+	a := &st.mes[me]
+	if t > a.covered {
+		a.attributeGap(a.covered, t)
+		a.covered = t
+	}
+	// Count each cycle of compute once even when dispatch windows overlap
+	// (instantaneous-dispatch artifact) or start before the window origin.
+	end := t + cycles
+	if run := end - a.covered; run > 0 {
+		a.compute += run
+		a.covered = end
+	}
+	if thread < len(a.threads) {
+		a.threads[thread].compute += cycles
+		// Clear the wake that explained this thread's last stall. An access
+		// issued *inside* this window (issue > t: the machine emits MemAccess
+		// before the enclosing ThreadRun) is the thread's next block — keep it.
+		if p := &a.pend[thread]; p.valid && p.issue <= t {
+			p.valid = false
+		}
+	}
+}
+
+// MemAccess implements Tracer.
+func (st *StallTracer) MemAccess(issue int64, me, thread int, level cg.MemLevel, words int, start, done int64) {
+	if me >= len(st.mes) || thread >= st.threads {
+		return
+	}
+	a := &st.mes[me]
+	if p := a.pend[thread]; p.valid && p.ready <= issue {
+		a.prev[thread] = p
+	}
+	a.pend[thread] = pendingWake{valid: true, cat: catMem, level: level,
+		issue: issue, svcStart: start, ready: done}
+	a.threads[thread].memQ[level] += start - issue
+	a.threads[thread].memLat[level] += done - start
+}
+
+// RingOp implements Tracer.
+func (st *StallTracer) RingOp(issue int64, me, thread int, ring int, kind RingOpKind, ok bool, occ int, start, done int64) {
+	if me >= len(st.mes) || thread >= st.threads {
+		return
+	}
+	a := &st.mes[me]
+	p := pendingWake{valid: true, cat: catMem, level: cg.MemScratch,
+		issue: issue, svcStart: start, ready: done}
+	th := &a.threads[thread]
+	switch {
+	case !ok && kind == RingPush:
+		p.cat = catRing
+		th.ring += done - issue
+	case !ok && kind == RingPop:
+		p.cat = catIdle
+		th.idle += done - issue
+	default:
+		th.memQ[cg.MemScratch] += start - issue
+		th.memLat[cg.MemScratch] += done - start
+	}
+	if old := a.pend[thread]; old.valid && old.ready <= issue {
+		a.prev[thread] = old
+	}
+	a.pend[thread] = p
+}
+
+// Rx implements Tracer (media events carry no ME stall information).
+func (st *StallTracer) Rx(t int64, id uint32, frameBytes int, dropped bool) {}
+
+// Tx implements Tracer.
+func (st *StallTracer) Tx(t int64, id uint32, frameBytes int, latency int64) {}
+
+// ---------------------------------------------------------------------------
+// Reporting
+
+// levelKeys orders the controller levels in breakdown maps.
+var levelKeys = []cg.MemLevel{cg.MemScratch, cg.MemSRAM, cg.MemDRAM}
+
+// Stall is one accounting row: cycles by category. MemLatency and
+// MemQueue are keyed by controller level name (scratch/sram/dram); fixed
+// keys make the JSON canonical.
+type Stall struct {
+	Cycles     int64            `json:"cycles"`
+	Compute    int64            `json:"compute"`
+	MemLatency map[string]int64 `json:"mem_latency"`
+	MemQueue   map[string]int64 `json:"mem_queue"`
+	Ring       int64            `json:"ring_backpressure"`
+	Idle       int64            `json:"idle"`
+}
+
+// Total returns the sum of every category (== Cycles for conservative
+// rows).
+func (s *Stall) Total() int64 {
+	t := s.Compute + s.Ring + s.Idle
+	for _, v := range s.MemLatency {
+		t += v
+	}
+	for _, v := range s.MemQueue {
+		t += v
+	}
+	return t
+}
+
+// StallShare returns category cycles as a fraction of the row's total
+// window (0 on an empty row). Categories: "compute", "ring", "idle",
+// "mem_latency", "mem_queue", or a level-qualified "mem_queue.dram" /
+// "mem_latency.sram" form.
+func (s *Stall) StallShare(category string) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	var v int64
+	switch {
+	case category == "compute":
+		v = s.Compute
+	case category == "ring":
+		v = s.Ring
+	case category == "idle":
+		v = s.Idle
+	case category == "mem_latency":
+		for _, x := range s.MemLatency {
+			v += x
+		}
+	case category == "mem_queue":
+		for _, x := range s.MemQueue {
+			v += x
+		}
+	case strings.HasPrefix(category, "mem_latency."):
+		v = s.MemLatency[strings.TrimPrefix(category, "mem_latency.")]
+	case strings.HasPrefix(category, "mem_queue."):
+		v = s.MemQueue[strings.TrimPrefix(category, "mem_queue.")]
+	}
+	return float64(v) / float64(s.Cycles)
+}
+
+// ThreadStall is one hardware thread's accounting. Thread rows attribute
+// each thread's own blocked intervals; they overlap in time (threads
+// block concurrently), so they do not sum to the ME window — conservation
+// holds at the ME level.
+type ThreadStall struct {
+	Thread int `json:"thread"`
+	Stall
+}
+
+// MEStall is one microengine's conservative breakdown plus its program
+// label (the aggregate's PPF names, set by the runtime loader).
+type MEStall struct {
+	ME      int           `json:"me"`
+	Label   string        `json:"label,omitempty"`
+	Threads []ThreadStall `json:"threads,omitempty"`
+	Stall
+}
+
+// StallReport is the full machine breakdown over one measurement window.
+type StallReport struct {
+	// Cycles is the window length; every ME row's categories sum to it.
+	Cycles int64     `json:"cycles"`
+	MEs    []MEStall `json:"mes"`
+}
+
+func stallRow(cycles, compute int64, memLat, memQ [4]int64, ring, idle int64) Stall {
+	s := Stall{
+		Cycles:     cycles,
+		Compute:    compute,
+		Ring:       ring,
+		Idle:       idle,
+		MemLatency: make(map[string]int64, len(levelKeys)),
+		MemQueue:   make(map[string]int64, len(levelKeys)),
+	}
+	for _, lvl := range levelKeys {
+		s.MemLatency[lvl.String()] = memLat[lvl]
+		s.MemQueue[lvl.String()] = memQ[lvl]
+	}
+	return s
+}
+
+// Report closes the window at cycle now and returns the breakdown.
+// labels[i] (optional) names ME i's program. The report is detached: the
+// tracer keeps accumulating and can report again later.
+func (st *StallTracer) Report(now int64, labels []string) *StallReport {
+	window := now - st.start
+	if window < 0 {
+		window = 0
+	}
+	rep := &StallReport{Cycles: window}
+	for i := range st.mes {
+		a := st.mes[i]
+		// Account the tail gap up to the window edge.
+		compute, memLat, memQ, ring, idle := a.compute, a.memLat, a.memQ, a.ring, a.idle
+		if a.covered < now {
+			tail := meAcc{covered: a.covered, pend: a.pend, prev: a.prev}
+			tail.attributeGap(a.covered, now)
+			for _, lvl := range levelKeys {
+				memLat[lvl] += tail.memLat[lvl]
+				memQ[lvl] += tail.memQ[lvl]
+			}
+			compute += tail.compute
+			ring += tail.ring
+			idle += tail.idle
+		}
+		// Conservation: a dispatch window straddling the deadline extends
+		// past it (the machine trims Stats.Cycles, not the window), so trim
+		// the overrun from compute; any unaccounted remainder is idle.
+		total := compute + ring + idle
+		for _, lvl := range levelKeys {
+			total += memLat[lvl] + memQ[lvl]
+		}
+		if over := total - window; over > 0 {
+			if over > compute {
+				over = compute
+			}
+			compute -= over
+		} else if over < 0 {
+			idle += -over
+		}
+		row := MEStall{ME: i, Stall: stallRow(window, compute, memLat, memQ, ring, idle)}
+		if i < len(labels) {
+			row.Label = labels[i]
+		}
+		for t := range a.threads {
+			th := a.threads[t]
+			row.Threads = append(row.Threads, ThreadStall{
+				Thread: t,
+				Stall:  stallRow(window, th.compute, th.memLat, th.memQ, th.ring, th.idle),
+			})
+		}
+		rep.MEs = append(rep.MEs, row)
+	}
+	return rep
+}
+
+// Totals sums the per-ME rows (Cycles becomes window × MEs).
+func (r *StallReport) Totals() Stall {
+	var memLat, memQ [4]int64
+	var compute, ring, idle, cycles int64
+	for _, me := range r.MEs {
+		cycles += me.Cycles
+		compute += me.Compute
+		ring += me.Ring
+		idle += me.Idle
+		for _, lvl := range levelKeys {
+			memLat[lvl] += me.MemLatency[lvl.String()]
+			memQ[lvl] += me.MemQueue[lvl.String()]
+		}
+	}
+	return stallRow(cycles, compute, memLat, memQ, ring, idle)
+}
+
+// ActiveTotals sums only MEs that executed at least one cycle — the
+// packet-processing engines, excluding disabled (all-idle) ones whose
+// windows would dilute stall shares.
+func (r *StallReport) ActiveTotals() Stall {
+	var memLat, memQ [4]int64
+	var compute, ring, idle, cycles int64
+	for _, me := range r.MEs {
+		if me.Compute == 0 {
+			continue
+		}
+		cycles += me.Cycles
+		compute += me.Compute
+		ring += me.Ring
+		idle += me.Idle
+		for _, lvl := range levelKeys {
+			memLat[lvl] += me.MemLatency[lvl.String()]
+			memQ[lvl] += me.MemQueue[lvl.String()]
+		}
+	}
+	return stallRow(cycles, compute, memLat, memQ, ring, idle)
+}
+
+// ThreadTotals sums the thread rows of active MEs. Where the ME-level
+// rows answer "what was the engine doing" (conservatively: a starved
+// engine is idle even while some threads sit in controller queues), the
+// thread-level sum answers "what blocks the work that exists": each
+// thread's queueing time is counted whether or not a sibling thread hid
+// it. Cycles becomes window × active threads, so StallShare on the result
+// is a fraction of thread-cycles. This is the row the bandwidth-saturation
+// claims read — controller queueing a concurrency-hiding ME view would
+// mask.
+func (r *StallReport) ThreadTotals() Stall {
+	var memLat, memQ [4]int64
+	var compute, ring, idle, cycles int64
+	for _, me := range r.MEs {
+		if me.Compute == 0 {
+			continue
+		}
+		for _, th := range me.Threads {
+			cycles += me.Cycles
+			compute += th.Compute
+			ring += th.Ring
+			idle += th.Idle
+			for _, lvl := range levelKeys {
+				memLat[lvl] += th.MemLatency[lvl.String()]
+				memQ[lvl] += th.MemQueue[lvl.String()]
+			}
+		}
+	}
+	return stallRow(cycles, compute, memLat, memQ, ring, idle)
+}
+
+// String renders the breakdown as an aligned table of percentages.
+func (r *StallReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stall breakdown (%d cycles/ME)\n", r.Cycles)
+	fmt.Fprintf(&b, "%-4s %8s %8s %8s %8s %8s %8s %8s  %s\n",
+		"ME", "compute", "scr q", "sram q", "dram q", "memlat", "ring", "idle", "label")
+	for _, me := range r.MEs {
+		var lat int64
+		for _, v := range me.MemLatency {
+			lat += v
+		}
+		pct := func(v int64) float64 {
+			if me.Cycles == 0 {
+				return 0
+			}
+			return 100 * float64(v) / float64(me.Cycles)
+		}
+		fmt.Fprintf(&b, "ME%-2d %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%  %s\n",
+			me.ME, pct(me.Compute),
+			pct(me.MemQueue["scratch"]), pct(me.MemQueue["sram"]), pct(me.MemQueue["dram"]),
+			pct(lat), pct(me.Ring), pct(me.Idle), me.Label)
+	}
+	// Thread rows count each thread's own blocked time even when sibling
+	// threads hid it from the engine — the controller-queueing signal a
+	// concurrency-hiding ME view masks.
+	if tt := r.ThreadTotals(); tt.Cycles > 0 {
+		fmt.Fprintf(&b, "thr  %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%  (share of thread-cycles)\n",
+			100*tt.StallShare("compute"),
+			100*tt.StallShare("mem_queue.scratch"), 100*tt.StallShare("mem_queue.sram"),
+			100*tt.StallShare("mem_queue.dram"), 100*tt.StallShare("mem_latency"),
+			100*tt.StallShare("ring"), 100*tt.StallShare("idle"))
+	}
+	return b.String()
+}

@@ -1,0 +1,157 @@
+// Cycle-level event tracing. The machine emits typed events — thread
+// dispatch windows, memory issues with their controller queueing delay,
+// ring operations, Rx/Tx packet events — through the Tracer interface.
+// Tracing is strictly opt-in: with no tracer attached every emit site is
+// a single nil check, so the timing model pays nothing when observability
+// is off (BenchmarkTracerOverhead pins the cost).
+//
+// Two built-in sinks consume the stream: StallTracer folds events into a
+// per-ME × per-thread stall breakdown that accounts for 100% of simulated
+// cycles (stall.go), and ChromeTracer exports the run in the Chrome
+// trace_event JSON format for chrome://tracing or Perfetto
+// (chrometrace.go).
+package ixp
+
+import "shangrila/internal/cg"
+
+// YieldReason says why a thread dispatch window ended.
+type YieldReason uint8
+
+const (
+	// YieldMem: the thread blocked on a scratch/SRAM/DRAM access.
+	YieldMem YieldReason = iota
+	// YieldRing: the thread blocked on a ring operation's scratch access.
+	YieldRing
+	// YieldCtx: voluntary ctx_arb — the thread stays ready and the ME
+	// pays the context-switch cycle.
+	YieldCtx
+	// YieldHalt: the thread executed IHalt and is dead.
+	YieldHalt
+	// YieldBudget: the activation's instruction budget ran out mid-stretch
+	// (long ALU runs); the thread stays ready.
+	YieldBudget
+	// YieldFault: a machine check stopped the thread.
+	YieldFault
+)
+
+var yieldNames = [...]string{"mem", "ring", "ctx", "halt", "budget", "fault"}
+
+func (y YieldReason) String() string {
+	if int(y) < len(yieldNames) {
+		return yieldNames[y]
+	}
+	return "?"
+}
+
+// RingOpKind distinguishes ring pushes from pops.
+type RingOpKind uint8
+
+const (
+	RingPush RingOpKind = iota
+	RingPop
+)
+
+func (k RingOpKind) String() string {
+	if k == RingPush {
+		return "put"
+	}
+	return "get"
+}
+
+// Tracer receives the machine's execution events. Times are absolute
+// simulation cycles. Implementations must not mutate the machine; they
+// run synchronously inside the event loop, so cheap handlers keep traced
+// runs fast. A nil Tracer on the machine disables every emit site.
+type Tracer interface {
+	// ThreadRun records one dispatch window: thread (me, thread) executed
+	// [t, t+cycles) and stopped for reason. Windows of one ME never
+	// interleave with its stall gaps; the 1-cycle context-switch overhead
+	// between windows is not included.
+	ThreadRun(t int64, me, thread int, cycles int64, reason YieldReason)
+	// MemAccess records one ME-issued memory reference: issued at issue,
+	// controller service began at start (start-issue is the queueing delay
+	// behind other requests — the bandwidth signal), and the thread's
+	// resume event fires at done (service + pipeline latency).
+	MemAccess(issue int64, me, thread int, level cg.MemLevel, words int, start, done int64)
+	// RingOp records a descriptor-ring push or pop. ok=false means the
+	// push hit a full ring (backpressure) or the pop found it empty
+	// (poll miss). occ is the ring occupancy after the operation; the
+	// scratch-controller access that carries the op spans
+	// [issue, done) with service starting at start, like MemAccess.
+	RingOp(issue int64, me, thread int, ring int, kind RingOpKind, ok bool, occ int, start, done int64)
+	// Rx records a media arrival: accepted (dropped=false, id valid) or
+	// lost to Rx-path saturation (dropped=true, id unused).
+	Rx(t int64, id uint32, frameBytes int, dropped bool)
+	// Tx records a transmitted frame and its Rx→Tx latency in cycles
+	// (latency < 0 when the buffer had no Rx stamp).
+	Tx(t int64, id uint32, frameBytes int, latency int64)
+}
+
+// multiTracer fans events out to several sinks in order.
+type multiTracer []Tracer
+
+// MultiTracer composes tracers: every event goes to each non-nil sink in
+// argument order. With zero or one effective sink it collapses to nil or
+// the sink itself, keeping the disabled path free.
+func MultiTracer(ts ...Tracer) Tracer {
+	var live multiTracer
+	for _, t := range ts {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+func (m multiTracer) ThreadRun(t int64, me, thread int, cycles int64, reason YieldReason) {
+	for _, tr := range m {
+		tr.ThreadRun(t, me, thread, cycles, reason)
+	}
+}
+
+func (m multiTracer) MemAccess(issue int64, me, thread int, level cg.MemLevel, words int, start, done int64) {
+	for _, tr := range m {
+		tr.MemAccess(issue, me, thread, level, words, start, done)
+	}
+}
+
+func (m multiTracer) RingOp(issue int64, me, thread int, ring int, kind RingOpKind, ok bool, occ int, start, done int64) {
+	for _, tr := range m {
+		tr.RingOp(issue, me, thread, ring, kind, ok, occ, start, done)
+	}
+}
+
+func (m multiTracer) Rx(t int64, id uint32, frameBytes int, dropped bool) {
+	for _, tr := range m {
+		tr.Rx(t, id, frameBytes, dropped)
+	}
+}
+
+func (m multiTracer) Tx(t int64, id uint32, frameBytes int, latency int64) {
+	for _, tr := range m {
+		tr.Tx(t, id, frameBytes, latency)
+	}
+}
+
+// windowResetter is implemented by tracers whose accounting is scoped to
+// the measurement window (StallTracer): Machine.ResetStats forwards the
+// reset so warm-up cycles never leak into the breakdown.
+type windowResetter interface {
+	ResetWindow(now int64)
+}
+
+// ResetWindow forwards a stats reset to every composed sink that scopes
+// its accounting to the measurement window.
+func (m multiTracer) ResetWindow(now int64) {
+	for _, tr := range m {
+		if wr, ok := tr.(windowResetter); ok {
+			wr.ResetWindow(now)
+		}
+	}
+}

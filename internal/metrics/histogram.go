@@ -175,13 +175,13 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 }
 
 // Histogram returns the named histogram, creating it if needed.
-func (r *Registry) Histogram(name string) *Histogram {
+func (r *Registry) Histogram(name Key) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	h, ok := r.histograms[name]
+	h, ok := r.histograms[string(name)]
 	if !ok {
 		h = NewHistogram()
-		r.histograms[name] = h
+		r.histograms[string(name)] = h
 	}
 	return h
 }

@@ -92,7 +92,7 @@ func (s *Series) Len() int {
 }
 
 // Registry holds named instruments. Instruments are created on first use
-// and identified by name; lookups are get-or-create.
+// and identified by a typed Key (see keys.go); lookups are get-or-create.
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
@@ -112,38 +112,38 @@ func NewRegistry() *Registry {
 }
 
 // Counter returns the named counter, creating it if needed.
-func (r *Registry) Counter(name string) *Counter {
+func (r *Registry) Counter(name Key) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c, ok := r.counters[name]
+	c, ok := r.counters[string(name)]
 	if !ok {
 		c = &Counter{}
-		r.counters[name] = c
+		r.counters[string(name)] = c
 	}
 	return c
 }
 
 // Gauge returns the named gauge, creating it if needed.
-func (r *Registry) Gauge(name string) *Gauge {
+func (r *Registry) Gauge(name Key) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
+	g, ok := r.gauges[string(name)]
 	if !ok {
 		g = &Gauge{}
-		r.gauges[name] = g
+		r.gauges[string(name)] = g
 	}
 	return g
 }
 
 // Series returns the named series, creating it with the given window if
 // needed. The window of an existing series is not changed.
-func (r *Registry) Series(name string, window int) *Series {
+func (r *Registry) Series(name Key, window int) *Series {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	s, ok := r.series[name]
+	s, ok := r.series[string(name)]
 	if !ok {
 		s = &Series{window: window}
-		r.series[name] = s
+		r.series[string(name)] = s
 	}
 	return s
 }

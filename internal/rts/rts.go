@@ -8,6 +8,7 @@ package rts
 
 import (
 	"fmt"
+	"strings"
 
 	"shangrila/internal/aggregate"
 	"shangrila/internal/baker/types"
@@ -216,6 +217,11 @@ func (r *Runtime) loadME(me int, c *cg.Compiled) {
 	m := r.M
 	lay := r.Img.Layout
 	m.LoadProgram(me, c.Program)
+	label := c.Program.Name
+	if len(c.Agg.PPFs) > 0 && label != "combined" {
+		label = strings.Join(c.Agg.PPFs, "+")
+	}
+	m.Observer().SetMELabel(me, label)
 	for t := 0; t < m.Cfg.ThreadsPerME; t++ {
 		th := m.MEs[me].Thread(t)
 		th.SetReg(cg.RegSP, lay.StackBase+uint32(t)*lay.StackSize)
@@ -272,12 +278,12 @@ func (r *Runtime) enqueue(m *ixp.Machine, p *packet.Packet, frameBytes int) bool
 	lay := r.Img.Layout
 	rx := m.Rings[cg.RingRx]
 	if rx.Space() == 0 {
-		m.NoteRxDropped(frameBytes)
+		m.Observer().RxDrop(frameBytes)
 		return false
 	}
 	id, _, ok := m.Rings[cg.RingFree].Get()
 	if !ok {
-		m.NoteRxDropped(frameBytes)
+		m.Observer().RxDrop(frameBytes)
 		return false
 	}
 	wire := p.Bytes()
@@ -302,7 +308,7 @@ func (r *Runtime) enqueue(m *ixp.Machine, p *packet.Packet, frameBytes int) bool
 	}
 	m.ChargeRxDMA(frameBytes, int(lay.MetaRecBytes/4))
 	rx.Put(id, head<<16|end)
-	m.NoteRxPacket(id, frameBytes)
+	m.Observer().RxPacket(id, frameBytes)
 	return true
 }
 
@@ -367,7 +373,7 @@ func (r *Runtime) xscaleStep(m *ixp.Machine, ring int, w0, w1 uint32) int64 {
 	if _, err := r.interp.Run(e.Func, []profiler.Value{{P: p, Head: 0}}); err != nil {
 		// Treat interpreter failures as a dropped packet.
 		m.Rings[cg.RingFree].Put(w0, 0)
-		m.NoteFreedPacket(w0)
+		m.Observer().PacketFreed(w0)
 		return 512
 	}
 	// Cost model: interpreted XScale execution, a few cycles per IR op.

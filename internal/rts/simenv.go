@@ -106,7 +106,7 @@ func (e *simEnv) ChannelPut(ch *types.Channel, p *packet.Packet, head int) error
 	if !m.Rings[ring].Put(ctx.id, newHead<<16|newEnd) {
 		// Downstream full: drop (the XScale does not spin).
 		m.Rings[cg.RingFree].Put(ctx.id, 0)
-		m.NoteFreedPacket(ctx.id)
+		m.Observer().PacketFreed(ctx.id)
 	}
 	delete(e.pkts, p)
 	return nil
@@ -115,7 +115,7 @@ func (e *simEnv) ChannelPut(ch *types.Channel, p *packet.Packet, head int) error
 func (e *simEnv) Drop(p *packet.Packet) {
 	if ctx := e.pkts[p]; ctx != nil {
 		e.rt.M.Rings[cg.RingFree].Put(ctx.id, 0)
-		e.rt.M.NoteFreedPacket(ctx.id)
+		e.rt.M.Observer().PacketFreed(ctx.id)
 		delete(e.pkts, p)
 	}
 }
