@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check race verify bench-smoke bench-loadlatency clean
+.PHONY: all build test vet fmt-check race verify bench bench-smoke bench-loadlatency clean
 
 all: verify
 
@@ -29,6 +29,18 @@ race:
 # Tier-1 verification: everything CI gates on.
 verify: build vet fmt-check test race
 
+# Host-performance benchmark suite → BENCH_sim.json (ns/op, B/op,
+# allocs/op and custom metrics per benchmark). CI uploads the file as an
+# artifact so simulator throughput is comparable per commit.
+bench: build
+	$(GO) test -run xxx -bench 'BenchmarkSimulator$$|BenchmarkFigure6$$|BenchmarkCompiler$$' \
+		-benchmem . > /tmp/bench_raw.txt
+	$(GO) test -run xxx -bench 'BenchmarkEventCore$$|BenchmarkTracerOverhead' \
+		-benchmem ./internal/ixp/ >> /tmp/bench_raw.txt
+	@cat /tmp/bench_raw.txt
+	$(GO) run ./cmd/benchjson < /tmp/bench_raw.txt > BENCH_sim.json
+	@echo "wrote BENCH_sim.json"
+
 # Quick end-to-end pass over the evaluation binary: short windows, report
 # written to a scratch location.
 bench-smoke: build
@@ -45,4 +57,4 @@ bench-loadlatency: build
 	@test -s trace.json && echo "bench-loadlatency: trace OK"
 
 clean:
-	rm -f bench_report.json trace.json
+	rm -f bench_report.json trace.json BENCH_sim.json

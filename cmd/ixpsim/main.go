@@ -15,8 +15,13 @@
 //	       [-gbps g] [-arrival fixed|poisson|onoff] [-sizes 64|imix|trimodal]
 //	       [-flows n] [-zipf s]
 //	       [-stalls] [-trace out.json]
+//	       [-cpuprofile cpu.pb] [-memprofile mem.pb]
 //	       [-dump-ir pass|all] [-dump-ir-dir dir] [-verify-ir]
 //	       l3switch|mpls|firewall
+//
+// -cpuprofile/-memprofile profile the simulator process itself (for
+// `go tool pprof`), as opposed to -stalls/-trace which attribute
+// simulated cycles.
 package main
 
 import (
@@ -36,7 +41,12 @@ func main() {
 	warm := flag.Int64("warmup", 150_000, "warm-up cycles before counters reset")
 	stalls := flag.Bool("stalls", false, "print the per-ME stall breakdown of the measured window")
 	tracePath := flag.String("trace", "", "write the run as Chrome trace_event JSON to this file")
+	prof := harness.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "ixpsim: %v\n", err)
+		os.Exit(1)
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ixpsim [flags] l3switch|mpls|firewall")
 		os.Exit(2)
@@ -128,6 +138,10 @@ func main() {
 	if r.Stalls != nil {
 		fmt.Println()
 		fmt.Print(r.Stalls)
+	}
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "ixpsim: %v\n", err)
+		os.Exit(1)
 	}
 	_ = cg.CodeStoreLimit
 }

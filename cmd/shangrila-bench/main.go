@@ -20,9 +20,15 @@
 //	                [-quick] [-report bench_report.json] [-workers N]
 //	                [-O level] [-seed n]
 //	                [-stalls] [-trace trace.json]
+//	                [-cpuprofile cpu.pb] [-memprofile mem.pb]
 //	                [-arrival fixed|poisson|onoff] [-sizes 64|imix|trimodal]
 //	                [-flows n] [-zipf s]
 //	                [-dump-ir pass|all] [-dump-ir-dir dir] [-verify-ir]
+//
+// -cpuprofile/-memprofile profile the benchmark process itself (for
+// `go tool pprof`), covering compilation and every sweep worker — the
+// host-side cost, as opposed to the simulated-cycle attribution of
+// -stalls/-trace.
 package main
 
 import (
@@ -43,7 +49,12 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
 	stalls := flag.Bool("stalls", false, "attach per-ME stall breakdowns to every sweep point")
 	tracePath := flag.String("trace", "", "write one representative traced run as Chrome trace_event JSON")
+	prof := harness.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "shangrila-bench: %v\n", err)
+		os.Exit(1)
+	}
 
 	cfg := harness.DefaultRunConfig()
 	cfg.Seed = common.Seed
@@ -195,5 +206,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (%d sweep points, %d load curves)\n", *report, len(all), len(curves))
+	}
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "shangrila-bench: %v\n", err)
+		os.Exit(1)
 	}
 }

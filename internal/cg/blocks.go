@@ -1,0 +1,45 @@
+package cg
+
+// Basic-block metadata over CGIR. The simulator's predecoder splits each
+// program into straight-line runs and fuses adjacent instruction pairs
+// into superinstructions; both transformations need to know where control
+// flow can enter other than by falling through, so the block structure is
+// computed here, next to the IR it describes.
+
+// Leaders returns, per instruction index, whether the instruction starts a
+// basic block: the entry point, every branch target, and every fall-through
+// successor of a branch. Runtime thread entry points (Thread.SetPC) are
+// always positioned at aggregate entry labels, which are branch targets,
+// so the leader set is conservative for them too.
+func (p *Program) Leaders() []bool {
+	leaders := make([]bool, len(p.Code))
+	if len(leaders) == 0 {
+		return leaders
+	}
+	leaders[0] = true
+	for i, in := range p.Code {
+		switch in.Op {
+		case IBr, IBcc, IBccImm:
+			if in.Target >= 0 && in.Target < len(leaders) {
+				leaders[in.Target] = true
+			}
+			if i+1 < len(leaders) {
+				leaders[i+1] = true
+			}
+		}
+	}
+	return leaders
+}
+
+// BlockBoundaries returns the sorted leader indices — the first
+// instruction of every basic block. Diagnostic form of Leaders for dumps
+// and tests.
+func (p *Program) BlockBoundaries() []int {
+	var out []int
+	for i, l := range p.Leaders() {
+		if l {
+			out = append(out, i)
+		}
+	}
+	return out
+}

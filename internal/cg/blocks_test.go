@@ -1,0 +1,43 @@
+package cg
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLeaders(t *testing.T) {
+	p := &Program{Name: "leaders", Code: []*Instr{
+		/* 0 */ {Op: IImmed, Dst: 0, Imm: 1},
+		/* 1 */ {Op: IBccImm, Cond: CEq, SrcA: 0, Imm: 0, Target: 4},
+		/* 2 */ {Op: IALUImm, ALU: AAdd, Dst: 0, SrcA: 0, Imm: 1},
+		/* 3 */ {Op: IBr, Target: 1},
+		/* 4 */ {Op: IHalt},
+	}}
+	want := []bool{
+		true,  // entry
+		true,  // target of the br at 3
+		true,  // fall-through successor of the bcc at 1
+		false, // middle of a block
+		true,  // target of 1 and fall-through of 3
+	}
+	if got := p.Leaders(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Leaders() = %v, want %v", got, want)
+	}
+	if got, want := p.BlockBoundaries(), []int{0, 1, 2, 4}; !reflect.DeepEqual(got, want) {
+		t.Errorf("BlockBoundaries() = %v, want %v", got, want)
+	}
+}
+
+func TestLeadersEmptyAndOutOfRangeTarget(t *testing.T) {
+	empty := &Program{Name: "empty"}
+	if got := empty.Leaders(); len(got) != 0 {
+		t.Errorf("Leaders(empty) = %v, want empty", got)
+	}
+	p := &Program{Name: "oob", Code: []*Instr{
+		{Op: IBr, Target: 99}, // out-of-range target: faults at run time,
+		{Op: IHalt},           // must not panic block analysis
+	}}
+	if got, want := p.BlockBoundaries(), []int{0, 1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("BlockBoundaries(oob) = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,170 @@
+package harness
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"shangrila/internal/apps"
+	"shangrila/internal/driver"
+	"shangrila/internal/ixp"
+	"shangrila/internal/rts"
+)
+
+// The execution-engine differential suite: golden snapshots of
+// Machine.Snapshot() and the stall breakdown, captured from the
+// pre-predecode per-instruction interpreter, locked byte-identical against
+// the current engine. Any change to instruction semantics, cycle
+// accounting, event ordering, or stall attribution shows up as a golden
+// mismatch. Regenerate with:
+//
+//	go test ./internal/harness -run TestEngineDifferential -update-golden
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite the execution-engine golden snapshots from the current engine")
+
+// engineSnapshot is the canonical observable state of one measured run.
+// Everything in it must be bit-identical across engine rewrites.
+type engineSnapshot struct {
+	Cycles        int64            `json:"cycles"`
+	RxPackets     uint64           `json:"rx_packets"`
+	RxBits        uint64           `json:"rx_bits"`
+	TxPackets     uint64           `json:"tx_packets"`
+	TxBits        uint64           `json:"tx_bits"`
+	FreedPackets  uint64           `json:"freed_packets"`
+	RxDropped     uint64           `json:"rx_dropped"`
+	RxDroppedBits uint64           `json:"rx_dropped_bits"`
+	RingOverflow  []uint64         `json:"ring_overflow"`
+	MEAccesses    []string         `json:"me_accesses"`
+	MEInstrs      []uint64         `json:"me_instrs"`
+	MEBusy        []int64          `json:"me_busy"`
+	CtrlBusy      [4]int64         `json:"ctrl_busy"`
+	InFlight      int              `json:"in_flight"`
+	RingMaxOcc    []int            `json:"ring_max_occ"`
+	Stalls        *ixp.StallReport `json:"stalls"`
+	LatencyCount  uint64           `json:"latency_count"`
+	LatencyMax    int64            `json:"latency_max"`
+	Percentiles   map[string]int64 `json:"latency_percentiles"`
+}
+
+// canonSnapshot flattens a Stats snapshot into deterministic form: the
+// MEAccesses map becomes a sorted "level/class=count" list so the JSON is
+// byte-stable.
+func canonSnapshot(m *ixp.Machine) *engineSnapshot {
+	st := m.Snapshot()
+	var acc []string
+	for k, v := range st.MEAccesses {
+		acc = append(acc, fmt.Sprintf("%v/%v=%d", k.Level, k.Class, v))
+	}
+	sort.Strings(acc)
+	lat := m.Observer().Latency()
+	snap := &engineSnapshot{
+		Cycles:        st.Cycles,
+		RxPackets:     st.RxPackets,
+		RxBits:        st.RxBits,
+		TxPackets:     st.TxPackets,
+		TxBits:        st.TxBits,
+		FreedPackets:  st.FreedPackets,
+		RxDropped:     st.RxDropped,
+		RxDroppedBits: st.RxDroppedBits,
+		RingOverflow:  st.RingOverflow,
+		MEAccesses:    acc,
+		MEInstrs:      st.MEInstrs,
+		MEBusy:        st.MEBusy,
+		CtrlBusy:      st.Busy,
+		InFlight:      m.Observer().InFlight(),
+		RingMaxOcc:    m.Observer().RingMaxOcc(),
+		Stalls:        m.Observer().StallReport(),
+		LatencyCount:  lat.Count,
+		LatencyMax:    lat.Max,
+		Percentiles: map[string]int64{
+			"p50": lat.P50,
+			"p90": lat.P90,
+			"p99": lat.P99,
+		},
+	}
+	return snap
+}
+
+// runDifferentialPoint measures one app × level × ME-count point exactly
+// the way measure() does — warm-up, stats reset, measured window, stall
+// tracer attached — but keeps the machine so the full snapshot can be
+// captured.
+func runDifferentialPoint(t *testing.T, a *apps.App, res *driver.Result, numMEs int) *engineSnapshot {
+	t.Helper()
+	trc := a.Trace(res.Prog.Types, 1235, 128)
+	rt, err := rts.New(res.Image, res.Prog, trc, rts.Options{NumMEs: numMEs})
+	if err != nil {
+		t.Fatalf("%s %dME: %v", a.Name, numMEs, err)
+	}
+	for _, c := range a.Controls {
+		if err := rt.Control(c.Name, c.Args...); err != nil {
+			t.Fatalf("%s control %s: %v", a.Name, c.Name, err)
+		}
+	}
+	st := ixp.NewStallTracer(rt.M.Cfg.NumMEs, rt.M.Cfg.ThreadsPerME)
+	rt.M.Observer().SetTracer(st)
+	if err := rt.Run(25_000); err != nil {
+		t.Fatalf("%s warmup: %v", a.Name, err)
+	}
+	rt.M.ResetStats()
+	if err := rt.Run(120_000); err != nil {
+		t.Fatalf("%s measure: %v", a.Name, err)
+	}
+	return canonSnapshot(rt.M)
+}
+
+// TestEngineDifferential runs every example application at every
+// optimization level (and two ME placements: the combined single-engine
+// program and a replicated pipeline) and asserts the canonical JSON of the
+// run's observable state — stats, access accounting, stall attribution,
+// latency distribution — is byte-identical to the golden captured from the
+// reference per-instruction interpreter.
+func TestEngineDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential suite is slow; run without -short")
+	}
+	dir := filepath.Join("testdata", "engine")
+	if *updateGolden {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, a := range apps.All() {
+		for _, lvl := range driver.Levels() {
+			res, err := Compile(a, lvl, 1234)
+			if err != nil {
+				t.Fatalf("%s at %v: %v", a.Name, lvl, err)
+			}
+			for _, mes := range []int{1, 5} {
+				name := fmt.Sprintf("%s-%s-%dme", a.Name, lvl, mes)
+				t.Run(name, func(t *testing.T) {
+					snap := runDifferentialPoint(t, a, res, mes)
+					got, err := json.MarshalIndent(snap, "", "  ")
+					if err != nil {
+						t.Fatal(err)
+					}
+					got = append(got, '\n')
+					path := filepath.Join(dir, name+".json")
+					if *updateGolden {
+						if err := os.WriteFile(path, got, 0o644); err != nil {
+							t.Fatal(err)
+						}
+						return
+					}
+					want, err := os.ReadFile(path)
+					if err != nil {
+						t.Fatalf("missing golden (run with -update-golden): %v", err)
+					}
+					if string(got) != string(want) {
+						t.Errorf("engine output diverged from reference-interpreter golden %s\ngot:\n%s\nwant:\n%s",
+							path, got, want)
+					}
+				})
+			}
+		}
+	}
+}

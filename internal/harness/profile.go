@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// ProfileFlags is the host-side profiling surface shared by cmd/ixpsim
+// and cmd/shangrila-bench: a CPU profile over the whole command and a
+// heap profile written at exit. Both files feed `go tool pprof` directly;
+// they profile the simulator itself (the Go process), not the simulated
+// machine — for simulated-cycle attribution use -stalls/-trace.
+type ProfileFlags struct {
+	CPUProfile string
+	MemProfile string
+
+	cpuFile *os.File
+}
+
+// RegisterProfileFlags registers -cpuprofile and -memprofile on fs and
+// returns the struct the parsed values land in.
+func RegisterProfileFlags(fs *flag.FlagSet) *ProfileFlags {
+	f := &ProfileFlags{}
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a host CPU profile for `go tool pprof` to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a host heap profile for `go tool pprof` to this file at exit")
+	return f
+}
+
+// Start begins CPU profiling when -cpuprofile was given. It must be
+// paired with Stop; the usual shape is
+//
+//	if err := prof.Start(); err != nil { ... }
+//	defer prof.Stop()
+//
+// taking care that Stop also runs on the error exits (os.Exit skips
+// deferred calls).
+func (f *ProfileFlags) Start() error {
+	if f.CPUProfile == "" {
+		return nil
+	}
+	file, err := os.Create(f.CPUProfile)
+	if err != nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(file); err != nil {
+		file.Close()
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	f.cpuFile = file
+	return nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile, as
+// requested. It is idempotent so error paths and the normal exit can
+// both call it.
+func (f *ProfileFlags) Stop() error {
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		err := f.cpuFile.Close()
+		f.cpuFile = nil
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if f.MemProfile != "" {
+		file, err := os.Create(f.MemProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer file.Close()
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(file); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		f.MemProfile = "" // idempotence: write once
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package ixp
+
+import (
+	"sort"
+	"testing"
+
+	"shangrila/internal/cg"
+)
+
+// lcg is a tiny deterministic generator so queue tests don't depend on
+// math/rand ordering across Go versions.
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r >> 17)
+}
+
+// TestEventQueueOrdering drives the wheel with a mix of near, far (beyond
+// the wheel window) and clustered timestamps, interleaving pushes and
+// pops, and checks the pop sequence is exactly the (time, seq) sort of
+// everything pushed — the ordering contract every determinism property
+// rests on.
+func TestEventQueueOrdering(t *testing.T) {
+	var q eventQueue
+	var rng lcg = 42
+	var pushed []event
+	var popped []event
+	seq := int64(0)
+	now := int64(0)
+	push := func(dt int64) {
+		seq++
+		e := event{time: now + dt, seq: seq, kind: evCallback, cb: int32(seq)}
+		pushed = append(pushed, e)
+		q.push(e)
+	}
+	for round := 0; round < 5000; round++ {
+		switch rng.next() % 4 {
+		case 0:
+			push(int64(rng.next() % 16)) // dense near events
+		case 1:
+			push(int64(rng.next() % wheelSize)) // anywhere in the window
+		case 2:
+			push(wheelSize + int64(rng.next()%(3*wheelSize))) // far overflow
+		default:
+			if q.len() > 0 {
+				e := q.pop()
+				if e.time < now {
+					t.Fatalf("pop went backward: %d after now=%d", e.time, now)
+				}
+				now = e.time
+				popped = append(popped, e)
+			}
+		}
+	}
+	for q.len() > 0 {
+		popped = append(popped, q.pop())
+	}
+	if len(popped) != len(pushed) {
+		t.Fatalf("popped %d of %d events", len(popped), len(pushed))
+	}
+	sort.Slice(pushed, func(i, j int) bool { return pushed[i].before(&pushed[j]) })
+	for i := range pushed {
+		if popped[i] != pushed[i] {
+			t.Fatalf("pop %d = %+v, want %+v", i, popped[i], pushed[i])
+		}
+	}
+}
+
+// TestEventQueueSeqBreaksTies checks same-cycle events pop in schedule
+// order. Pushes honor the producer contract (the machine's schedule
+// counter is monotone, so same-timestamp events arrive in ascending seq)
+// while later-seq events at earlier times interleave freely.
+func TestEventQueueSeqBreaksTies(t *testing.T) {
+	var q eventQueue
+	q.push(event{time: 100, seq: 1})
+	q.push(event{time: 50, seq: 2})
+	q.push(event{time: 100, seq: 3})
+	q.push(event{time: 100, seq: 4})
+	q.push(event{time: 50, seq: 5})
+	want := []event{{time: 50, seq: 2}, {time: 50, seq: 5},
+		{time: 100, seq: 1}, {time: 100, seq: 3}, {time: 100, seq: 4}}
+	for i, w := range want {
+		if got := q.pop(); got.time != w.time || got.seq != w.seq {
+			t.Fatalf("pop %d = (%d,%d), want (%d,%d)", i, got.time, got.seq, w.time, w.seq)
+		}
+	}
+}
+
+// TestEventQueuePopUntil checks the deadline path: events at or before
+// the deadline pop, the first later one stays queued and pops intact on
+// the next call.
+func TestEventQueuePopUntil(t *testing.T) {
+	var q eventQueue
+	q.push(event{time: 10, seq: 1})
+	q.push(event{time: 20, seq: 2})
+	q.push(event{time: 30, seq: 3})
+	if e, ok := q.popUntil(20); !ok || e.time != 10 {
+		t.Fatalf("popUntil(20) #1 = %+v, %v", e, ok)
+	}
+	if e, ok := q.popUntil(20); !ok || e.time != 20 {
+		t.Fatalf("popUntil(20) #2 = %+v, %v", e, ok)
+	}
+	if _, ok := q.popUntil(20); ok {
+		t.Fatal("popUntil(20) returned an event past the deadline")
+	}
+	if q.len() != 1 {
+		t.Fatalf("queue len after deadline = %d, want 1", q.len())
+	}
+	if e, ok := q.popUntil(30); !ok || e.time != 30 {
+		t.Fatalf("popUntil(30) = %+v, %v", e, ok)
+	}
+}
+
+// TestEventQueuePast checks events scheduled before the wheel's base (a
+// control-plane At aimed backward) still pop first.
+func TestEventQueuePast(t *testing.T) {
+	var q eventQueue
+	q.push(event{time: 1000, seq: 1})
+	if e := q.pop(); e.time != 1000 {
+		t.Fatalf("setup pop = %+v", e)
+	}
+	q.push(event{time: 2000, seq: 2})
+	q.push(event{time: 5, seq: 3}) // before base
+	if e := q.pop(); e.time != 5 {
+		t.Fatalf("past event did not pop first: %+v", e)
+	}
+	if e := q.pop(); e.time != 2000 {
+		t.Fatalf("remaining pop = %+v", e)
+	}
+}
+
+// TestEventQueueFarMigration drives timestamps far past the window so far
+// events migrate into the wheel across several base jumps.
+func TestEventQueueFarMigration(t *testing.T) {
+	var q eventQueue
+	times := []int64{0, 1, wheelSize + 3, 2*wheelSize + 1, 10 * wheelSize, 10*wheelSize + 1}
+	for i, ti := range times {
+		q.push(event{time: ti, seq: int64(i)})
+	}
+	var got []int64
+	for q.len() > 0 {
+		got = append(got, q.pop().time)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+	if len(got) != len(times) {
+		t.Fatalf("popped %d of %d", len(got), len(times))
+	}
+}
+
+// computeProg is a self-contained kernel touching the event core's hot
+// paths — ALU runs, a scratch load (block + evReady wakeup), a context
+// yield — with no media, rings or packet state, so its steady-state event
+// traffic should allocate nothing at all.
+func computeProg() *cg.Program {
+	return &cg.Program{Name: "compute", Code: []*cg.Instr{
+		{Op: cg.IImmed, Dst: 0, Imm: 1},
+		{Op: cg.IALUImm, ALU: cg.AAdd, Dst: 1, SrcA: 1, Imm: 3},
+		{Op: cg.IALU, ALU: cg.AXor, Dst: 2, SrcA: 1, SrcB: 0},
+		{Op: cg.IMem, Level: cg.MemScratch, Addr: cg.NoPReg, AddrOff: 64,
+			NWords: 1, Data: []cg.PReg{3}, Class: cg.ClassAppData},
+		{Op: cg.ICtxArb},
+		{Op: cg.IBr, Target: 1},
+	}}
+}
+
+// TestRunSteadyStateAllocFree is the regression test for the zero-alloc
+// event core: after warm-up, repeated short Run calls — including the
+// deadline path that used to pop and re-push the head event every call —
+// must not allocate.
+func TestRunSteadyStateAllocFree(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SampleInterval = 0
+	m, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.NumMEs; i++ {
+		m.LoadProgram(i, computeProg())
+	}
+	if err := m.Run(50_000); err != nil { // warm-up: grow buckets, registries
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := m.Run(500); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state Run allocates %v objects per call, want 0", avg)
+	}
+}
+
+// BenchmarkEventCore pins the schedule→pop round-trip cost of the event
+// core on a machine executing pure compute (allocs/op is the headline:
+// it must be 0).
+func BenchmarkEventCore(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.SampleInterval = 0
+	m, err := New(cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < cfg.NumMEs; i++ {
+		m.LoadProgram(i, computeProg())
+	}
+	if err := m.Run(50_000); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Run(1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -17,9 +17,9 @@
 package ixp
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"shangrila/internal/cg"
 	"shangrila/internal/metrics"
@@ -328,9 +328,11 @@ const (
 	tDead
 )
 
-// Thread is one hardware thread context.
+// Thread is one hardware thread context. The register file carries one
+// extra slot past the architectural registers: the predecoder's wired
+// zero (zeroReg), which absent operands read and nothing writes.
 type Thread struct {
-	regs  [cg.NumRegs]uint32
+	regs  [cg.NumRegs + 1]uint32
 	pc    int
 	state threadState
 }
@@ -348,60 +350,37 @@ type camEntry struct {
 
 // ME is one microengine.
 type ME struct {
-	idx       int
-	prog      *cg.Program
-	threads   []*Thread
-	local     []byte
-	cam       []camEntry
-	camLRU    []int // entry indices, most recent first
-	rrNext    int
+	idx     int
+	prog    *cg.Program
+	dec     *dProg // predecoded block form of prog (see predecode.go)
+	threads []*Thread
+	local   []byte
+	cam     []camEntry
+	camLRU  []int // entry indices, most recent first
+	rrNext  int
+	// readyMask mirrors thread states (bit t set ⇔ threads[t] is tReady)
+	// for the first 64 threads, so the scheduler picks round-robin with
+	// two bit operations instead of scanning the thread array twice per
+	// activation. Machines with more than 64 threads per ME fall back to
+	// the scan.
+	readyMask uint64
 	scheduled bool
 	enabled   bool
 }
 
+// setReady maintains readyMask alongside a thread state change.
+func (m *ME) setReady(t int, ready bool) {
+	if t < 64 {
+		if ready {
+			m.readyMask |= 1 << uint(t)
+		} else {
+			m.readyMask &^= 1 << uint(t)
+		}
+	}
+}
+
 // Thread returns thread t (runtime loader hook).
 func (m *ME) Thread(t int) *Thread { return m.threads[t] }
-
-// event kinds
-type evKind int
-
-const (
-	evActivate evKind = iota
-	evReady
-	evRxTick
-	evTxTick
-	evXScale
-	evCallback
-	evSample
-)
-
-type event struct {
-	time   int64
-	seq    int64
-	kind   evKind
-	me     int
-	thread int
-	fn     func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
 
 // Media is the machine's traffic interface: one implementation supplies
 // arriving packets and consumes transmitted ones. The runtime's trace
@@ -440,12 +419,29 @@ type Machine struct {
 	lastBusy  [4]int64       // controller busy at the previous telemetry sample
 	lastME    []int64        // per-ME busy at the previous telemetry sample
 	ctrl      [3]*controller // scratch, sram, dram (local is uncontended)
-	events    eventHeap
+	events    eventQueue
 	now       int64
 	seq       int64
 	statsBase int64 // time origin of the current Stats window
 	started   bool  // engine tick chains scheduled
 	err       error
+
+	// acc is the hot-path form of Stats.MEAccesses: a flat counter array
+	// indexed by the predecoder's accIdx (level*numAccessClasses+class).
+	// Snapshot folds it into the map; the map itself is never touched
+	// while executing instructions.
+	acc [numMemLevels * numAccessClasses]uint64
+
+	// decCache memoizes predecoded programs so reloading the same
+	// cg.Program on several MEs (replicated pipeline stages) decodes once.
+	decCache map[*cg.Program]*dProg
+
+	// cbs is the callback registry: events are pointer-free, so a
+	// scheduled closure parks here and the event carries its index. The
+	// free list recycles slots (rings of control-plane callbacks never
+	// grow the table).
+	cbs    []func()
+	cbFree []int32
 
 	// XScaleStep processes one descriptor from an XScale-bound ring; it
 	// returns the modelled processing cost in cycles. Installed by the
@@ -522,14 +518,26 @@ func (m *Machine) GrowRing(i, slots int) {
 // always available for callers that want to attach their own instruments.
 func (m *Machine) Metrics() *metrics.Registry { return m.reg }
 
-// LoadProgram installs code on an ME and starts its threads.
+// LoadProgram installs code on an ME and starts its threads. The program
+// is predecoded into block-structured form here, once; execution never
+// consults the cg.Program again.
 func (m *Machine) LoadProgram(me int, prog *cg.Program) {
 	mx := m.MEs[me]
 	mx.prog = prog
+	d, ok := m.decCache[prog]
+	if !ok {
+		d = predecode(prog)
+		if m.decCache == nil {
+			m.decCache = map[*cg.Program]*dProg{}
+		}
+		m.decCache[prog] = d
+	}
+	mx.dec = d
 	mx.enabled = true
-	for _, t := range mx.threads {
+	for i, t := range mx.threads {
 		t.pc = 0
 		t.state = tReady
+		mx.setReady(i, true)
 	}
 }
 
@@ -558,8 +566,27 @@ func (m *Machine) memory(level cg.MemLevel, me int) []byte {
 }
 
 func (m *Machine) schedule(t int64, kind evKind, me, thread int, fn func()) {
+	cb := int32(-1)
+	if fn != nil {
+		if n := len(m.cbFree); n > 0 {
+			cb = m.cbFree[n-1]
+			m.cbFree = m.cbFree[:n-1]
+			m.cbs[cb] = fn
+		} else {
+			cb = int32(len(m.cbs))
+			m.cbs = append(m.cbs, fn)
+		}
+	}
 	m.seq++
-	heap.Push(&m.events, &event{time: t, seq: m.seq, kind: kind, me: me, thread: thread, fn: fn})
+	m.events.push(event{time: t, seq: m.seq, kind: kind, me: int32(me), thread: int32(thread), cb: cb})
+}
+
+// takeCB claims a scheduled callback out of the registry, freeing its slot.
+func (m *Machine) takeCB(i int32) func() {
+	fn := m.cbs[i]
+	m.cbs[i] = nil
+	m.cbFree = append(m.cbFree, i)
+	return fn
 }
 
 // At schedules fn at absolute cycle t (control-plane injections).
@@ -612,14 +639,18 @@ func (m *Machine) Run(cycles int64) error {
 			m.schedule(m.now+m.Cfg.SampleInterval, evSample, 0, 0, nil)
 		}
 	}
-	for m.err == nil && len(m.events) > 0 {
-		ev := heap.Pop(&m.events).(*event)
-		if ev.time > deadline {
-			m.now = deadline
-			m.stats.Cycles = m.now - m.statsBase
-			// Push it back for a future Run call.
-			heap.Push(&m.events, ev)
-			return m.err
+	for m.err == nil {
+		ev, ok := m.events.popUntil(deadline)
+		if !ok {
+			if m.events.len() > 0 {
+				// The next event is past the budget: leave it queued for a
+				// future Run call (the old engine popped and re-pushed here,
+				// churning the heap on every deadline).
+				m.now = deadline
+				m.stats.Cycles = m.now - m.statsBase
+				return m.err
+			}
+			break
 		}
 		if ev.time > m.now {
 			m.now = ev.time
@@ -627,13 +658,21 @@ func (m *Machine) Run(cycles int64) error {
 		switch ev.kind {
 		case evActivate:
 			m.MEs[ev.me].scheduled = false
-			m.runME(ev.me)
+			m.runME(int(ev.me))
 		case evReady:
-			th := m.MEs[ev.me].threads[ev.thread]
-			if th.state == tBlocked {
-				th.state = tReady
+			m.readyThread(int(ev.me), int(ev.thread))
+			// Drain further wakeups sharing this timestamp: they are the
+			// next pops regardless (any activation they schedule carries a
+			// later seq), so handling them here preserves event order while
+			// skipping the dispatch loop.
+			for {
+				h := m.events.peek()
+				if h == nil || h.kind != evReady || h.time != m.now {
+					break
+				}
+				e := m.events.pop()
+				m.readyThread(int(e.me), int(e.thread))
 			}
-			m.activateSoon(ev.me, m.now)
 		case evRxTick:
 			m.rxTick()
 		case evTxTick:
@@ -641,7 +680,7 @@ func (m *Machine) Run(cycles int64) error {
 		case evXScale:
 			m.xscaleTick()
 		case evCallback:
-			ev.fn()
+			m.takeCB(ev.cb)()
 		case evSample:
 			m.sampleTick()
 		}
@@ -650,150 +689,279 @@ func (m *Machine) Run(cycles int64) error {
 	return m.err
 }
 
+// readyThread unblocks a thread whose memory or ring operation completed
+// and makes sure its ME has an activation queued.
+func (m *Machine) readyThread(me, thread int) {
+	mx := m.MEs[me]
+	th := mx.threads[thread]
+	if th.state == tBlocked {
+		th.state = tReady
+		mx.setReady(thread, true)
+	}
+	m.activateSoon(me, m.now)
+}
+
 // maxRunInstrs bounds one thread activation so event processing stays
 // responsive even through long ALU stretches.
 const maxRunInstrs = 4096
 
 // runME executes the next ready thread until it blocks or yields.
+//
+// This is the block engine: straight-line stretches of register
+// instructions execute in the tight loop below with no per-instruction
+// bookkeeping — instruction and cycle counts are known from the
+// predecoded run length and batched into the activation's accumulators,
+// which flush to Stats exactly once per activation. Only run terminators
+// (branches, memory, rings, CAM, yields) reach the general dispatch.
 func (m *Machine) runME(meIdx int) {
 	mx := m.MEs[meIdx]
-	if !mx.enabled || mx.prog == nil {
+	if !mx.enabled || mx.dec == nil {
 		return
 	}
-	// Round-robin pick.
+	// Round-robin pick: rotate the ready mask so rrNext becomes bit 0 and
+	// take the lowest set bit.
 	ti := -1
-	for k := 0; k < len(mx.threads); k++ {
-		cand := (mx.rrNext + k) % len(mx.threads)
-		if mx.threads[cand].state == tReady {
-			ti = cand
-			break
+	n := len(mx.threads)
+	if n <= 64 {
+		if mx.readyMask == 0 {
+			return // re-activated when a thread completes
 		}
-	}
-	if ti < 0 {
-		return // re-activated when a thread completes
+		rot := mx.readyMask>>uint(mx.rrNext) | mx.readyMask<<uint(n-mx.rrNext)
+		ti = mx.rrNext + bits.TrailingZeros64(rot)
+		if ti >= n {
+			ti -= n
+		}
+	} else {
+		for k := 0; k < n; k++ {
+			cand := (mx.rrNext + k) % n
+			if mx.threads[cand].state == tReady {
+				ti = cand
+				break
+			}
+		}
+		if ti < 0 {
+			return // re-activated when a thread completes
+		}
 	}
 	th := mx.threads[ti]
 	windowStart := m.now
 	cycles := int64(0)
-	code := mx.prog.Code
-	yielded := false
+	instrs := uint64(0) // flushed to stats.MEInstrs once, at every exit
+	code := mx.dec.code
+	regs := &th.regs
+	pc := th.pc
+	budget := int64(maxRunInstrs)
 	reason := YieldBudget // loop falls through only on budget exhaustion
-	for steps := 0; steps < maxRunInstrs; steps++ {
-		if th.pc < 0 || th.pc >= len(code) {
-			m.fail("ME%d thread %d: pc %d out of range", meIdx, ti, th.pc)
+loop:
+	for budget > 0 {
+		if pc < 0 || pc >= len(code) {
+			th.pc = pc
+			m.stats.MEInstrs[meIdx] += instrs
+			m.fail("ME%d thread %d: pc %d out of range", meIdx, ti, pc)
 			if m.tracer != nil {
 				m.tracer.ThreadRun(windowStart, meIdx, ti, cycles, YieldFault)
 			}
 			return
 		}
-		in := code[th.pc]
-		m.stats.MEInstrs[meIdx]++
+		in := &code[pc]
+		if in.run > 0 {
+			// Straight-line run: execute up to the remaining budget in a
+			// tight loop. Every instruction here costs exactly one cycle,
+			// so the whole stretch accounts in one batched step.
+			n := int64(in.run)
+			if n > budget {
+				n = budget
+			}
+			rem := n
+			for rem > 0 {
+				d := &code[pc]
+				switch d.kind {
+				case dNop:
+					pc++
+					rem--
+				case dALU:
+					regs[d.dst] = aluEval(d.alu, regs[d.srcA], regs[d.srcB])
+					pc++
+					rem--
+				case dALUImm:
+					regs[d.dst] = aluEval(d.alu, regs[d.srcA], d.imm)
+					pc++
+					rem--
+				case dImmed:
+					regs[d.dst] = d.imm
+					pc++
+					rem--
+				case dFusedALUImmALUImm:
+					regs[d.dst] = aluEval(d.alu, regs[d.srcA], d.imm)
+					if rem == 1 { // budget split the pair; resume at the tail
+						pc++
+						rem = 0
+						break
+					}
+					t := &code[pc+1]
+					regs[t.dst] = aluEval(t.alu, regs[t.srcA], t.imm)
+					pc += 2
+					rem -= 2
+				case dFusedImmedALU:
+					regs[d.dst] = d.imm
+					if rem == 1 {
+						pc++
+						rem = 0
+						break
+					}
+					t := &code[pc+1]
+					regs[t.dst] = aluEval(t.alu, regs[t.srcA], regs[t.srcB])
+					pc += 2
+					rem -= 2
+				case dFusedImmedALUImm:
+					regs[d.dst] = d.imm
+					if rem == 1 {
+						pc++
+						rem = 0
+						break
+					}
+					t := &code[pc+1]
+					regs[t.dst] = aluEval(t.alu, regs[t.srcA], t.imm)
+					pc += 2
+					rem -= 2
+				}
+			}
+			instrs += uint64(n)
+			cycles += n
+			budget -= n
+			continue
+		}
+		// General dispatch: run terminators.
+		instrs++
 		cycles++
-		next := th.pc + 1
-		switch in.Op {
-		case cg.INop:
-		case cg.IALU:
-			th.regs[in.Dst] = aluEval(in.ALU, th.regs[in.SrcA], m.srcB(th, in))
-		case cg.IALUImm:
-			th.regs[in.Dst] = aluEval(in.ALU, th.regs[in.SrcA], in.Imm)
-		case cg.IImmed:
-			th.regs[in.Dst] = in.Imm
-		case cg.IBr:
-			next = in.Target
-		case cg.IBcc:
-			if condEval(in.Cond, th.regs[in.SrcA], th.regs[in.SrcB]) {
-				next = in.Target
+		budget--
+		next := pc + 1
+		switch in.kind {
+		case dBr:
+			next = int(in.target)
+		case dBcc:
+			if condEval(in.cond, regs[in.srcA], regs[in.srcB]) {
+				next = int(in.target)
 			}
-		case cg.IBccImm:
-			if condEval(in.Cond, th.regs[in.SrcA], in.Imm) {
-				next = in.Target
+		case dBccImm:
+			if condEval(in.cond, regs[in.srcA], in.imm) {
+				next = int(in.target)
 			}
-		case cg.IMem:
+		case dFusedImmedBcc:
+			regs[in.dst] = in.imm
+			if budget > 0 { // tail branch fits the budget
+				t := &code[next]
+				instrs++
+				cycles++
+				budget--
+				next++
+				if condEval(t.cond, regs[t.srcA], regs[t.srcB]) {
+					next = int(t.target)
+				}
+			}
+		case dFusedImmedBccImm:
+			regs[in.dst] = in.imm
+			if budget > 0 {
+				t := &code[next]
+				instrs++
+				cycles++
+				budget--
+				next++
+				if condEval(t.cond, regs[t.srcA], t.imm) {
+					next = int(t.target)
+				}
+			}
+		case dMem:
 			done, block := m.execMem(mx, th, ti, in, cycles)
 			if !done {
+				th.pc = pc
+				m.stats.MEInstrs[meIdx] += instrs
 				if m.tracer != nil {
 					m.tracer.ThreadRun(windowStart, meIdx, ti, cycles, YieldFault)
 				}
 				return // machine error
 			}
-			if in.Level == cg.MemLocal {
+			if in.level == cg.MemLocal {
 				cycles += m.Cfg.LocalLatency - 1
 			}
 			if block > 0 {
-				th.pc = next
+				pc = next
 				th.state = tBlocked
+				mx.setReady(ti, false)
 				m.schedule(block, evReady, meIdx, ti, nil)
-				yielded = true
 				reason = YieldMem
+				break loop
 			}
-		case cg.ICAMLookup:
-			hit, entry := m.camLookup(mx, th.regs[in.SrcA])
-			th.regs[in.Dst] = hit
-			th.regs[in.Dst2] = entry
+		case dCAMLookup:
+			hit, entry := m.camLookup(mx, regs[in.srcA])
+			regs[in.dst] = hit
+			regs[in.dst2] = entry
 			cycles += 2
-		case cg.ICAMWrite:
-			e := th.regs[in.SrcA] % uint32(len(mx.cam))
-			mx.cam[e] = camEntry{tag: th.regs[in.SrcB], valid: true}
+		case dCAMWrite:
+			e := regs[in.srcA] % uint32(len(mx.cam))
+			mx.cam[e] = camEntry{tag: regs[in.srcB], valid: true}
 			m.camTouch(mx, int(e))
-		case cg.ICAMClear:
+		case dCAMClear:
 			for i := range mx.cam {
 				mx.cam[i].valid = false
 			}
-		case cg.IRingGet:
+		case dRingGet:
 			blockAt := m.ringGet(mx, th, ti, in, cycles)
 			if blockAt > 0 {
-				th.pc = next
+				pc = next
 				th.state = tBlocked
+				mx.setReady(ti, false)
 				m.schedule(blockAt, evReady, meIdx, ti, nil)
-				yielded = true
 				reason = YieldRing
+				break loop
 			}
-		case cg.IRingPut:
+		case dRingPut:
 			blockAt := m.ringPut(mx, th, ti, in, cycles)
 			if blockAt > 0 {
-				th.pc = next
+				pc = next
 				th.state = tBlocked
+				mx.setReady(ti, false)
 				m.schedule(blockAt, evReady, meIdx, ti, nil)
-				yielded = true
 				reason = YieldRing
+				break loop
 			}
-		case cg.ICtxArb:
-			th.pc = next
-			yielded = true
+		case dCtxArb:
+			pc = next
 			reason = YieldCtx
-			// Stays ready; just gives up the pipeline.
-		case cg.IHalt:
+			break loop // stays ready; just gives up the pipeline
+		case dHalt:
 			th.state = tDead
-			yielded = true
+			mx.setReady(ti, false)
+			pc = next
 			reason = YieldHalt
-			th.pc = next
-		default:
-			m.fail("ME%d: bad opcode %v", meIdx, in.Op)
+			break loop
+		default: // dBad
+			th.pc = pc
+			m.stats.MEInstrs[meIdx] += instrs
+			m.fail("ME%d: bad opcode %v", meIdx, in.op)
 			if m.tracer != nil {
 				m.tracer.ThreadRun(windowStart, meIdx, ti, cycles, YieldFault)
 			}
 			return
 		}
-		if yielded {
-			break
-		}
-		th.pc = next
+		pc = next
 	}
-	if !yielded && th.state == tReady {
-		// Instruction budget exhausted without a yield point (long ALU
-		// stretch): requeue the same thread.
-	}
+	th.pc = pc
 	if m.tracer != nil {
 		m.tracer.ThreadRun(windowStart, meIdx, ti, cycles, reason)
 	}
+	m.stats.MEInstrs[meIdx] += instrs
 	m.stats.MEBusy[meIdx] += cycles
 	mx.rrNext = (ti + 1) % len(mx.threads)
 	// Context switch overhead of 1 cycle, then run the next ready thread.
-	hasReady := false
-	for _, t2 := range mx.threads {
-		if t2.state == tReady {
-			hasReady = true
-			break
+	hasReady := mx.readyMask != 0
+	if n > 64 {
+		hasReady = false
+		for _, t2 := range mx.threads {
+			if t2.state == tReady {
+				hasReady = true
+				break
+			}
 		}
 	}
 	if hasReady {
@@ -802,105 +970,95 @@ func (m *Machine) runME(meIdx int) {
 	}
 }
 
-func (m *Machine) srcB(th *Thread, in *cg.Instr) uint32 {
-	if in.SrcB == cg.NoPReg {
-		return 0
-	}
-	return th.regs[in.SrcB]
-}
-
 // execMem performs the data movement and returns the absolute unblock
 // time (0 for non-blocking Local Memory).
-func (m *Machine) execMem(mx *ME, th *Thread, ti int, in *cg.Instr, cyclesSoFar int64) (ok bool, unblockAt int64) {
-	addr := in.AddrOff
-	if in.Addr != cg.NoPReg {
-		addr += th.regs[in.Addr]
-	}
-	mem := m.memory(in.Level, mx.idx)
-	n := in.NWords * 4
+func (m *Machine) execMem(mx *ME, th *Thread, ti int, in *dInstr, cyclesSoFar int64) (ok bool, unblockAt int64) {
+	addr := in.addrOff + th.regs[in.addr] // absent base predecodes to the wired zero
+	mem := m.memory(in.level, mx.idx)
+	n := int(in.nwords) * 4
 	if int(addr)+n > len(mem) {
-		m.fail("ME%d: %v access at %d+%d out of range (level %v)", mx.idx, in.Op, addr, n, in.Level)
+		m.fail("ME%d: %v access at %d+%d out of range (level %v)", mx.idx, in.op, addr, n, in.level)
 		return false, 0
 	}
-	if in.Atomic && in.Level == cg.MemScratch && !in.Store {
+	if in.atomic && in.level == cg.MemScratch && !in.store {
 		// Test-and-set: return previous value, write 1.
 		old := beWord(mem[addr:])
 		putBEWord(mem[addr:], 1)
-		th.regs[in.Data[0]] = old
-	} else if in.Store {
-		for i, r := range in.Data {
+		th.regs[in.data[0]] = old
+	} else if in.store {
+		for i, r := range in.data {
 			putBEWord(mem[int(addr)+i*4:], th.regs[r])
 		}
 	} else {
-		for i, r := range in.Data {
+		for i, r := range in.data {
 			th.regs[r] = beWord(mem[int(addr)+i*4:])
 		}
 	}
-	if in.Class != cg.ClassNone {
-		m.stats.MEAccesses[AccessKey{in.Level, in.Class}]++
+	if in.accIdx >= 0 {
+		m.acc[in.accIdx]++
 	}
-	if in.Level == cg.MemLocal {
+	if in.level == cg.MemLocal {
 		return true, 0 // 3-cycle pipeline, no context swap (charged by caller)
 	}
-	c := m.controllerFor(in.Level)
+	c := m.controllerFor(in.level)
 	issue := m.now + cyclesSoFar
-	start, done := c.access(issue, in.NWords, &m.stats)
+	start, done := c.access(issue, int(in.nwords), &m.stats)
 	if m.tracer != nil {
-		m.tracer.MemAccess(issue, mx.idx, ti, in.Level, in.NWords, start, done)
+		m.tracer.MemAccess(issue, mx.idx, ti, in.level, int(in.nwords), start, done)
 	}
 	return true, done
 }
 
 // ringGet pops a descriptor pair, writing InvalidPktID on empty.
-func (m *Machine) ringGet(mx *ME, th *Thread, ti int, in *cg.Instr, cyclesSoFar int64) int64 {
-	r := m.Rings[in.Ring]
+func (m *Machine) ringGet(mx *ME, th *Thread, ti int, in *dInstr, cyclesSoFar int64) int64 {
+	r := m.Rings[in.ring]
 	a, b, ok := r.Get()
 	if !ok {
 		a, b = cg.InvalidPktID, 0
 	}
-	th.regs[in.Dst] = a
-	th.regs[in.Dst2] = b
-	if in.Class != cg.ClassNone {
-		m.stats.MEAccesses[AccessKey{cg.MemScratch, in.Class}]++
+	th.regs[in.dst] = a
+	th.regs[in.dst2] = b
+	if in.accIdx >= 0 {
+		m.acc[in.accIdx]++
 	}
 	c := m.ctrl[0]
 	issue := m.now + cyclesSoFar
 	start, done := c.access(issue, 2, &m.stats)
 	if m.tracer != nil {
-		m.tracer.RingOp(issue, mx.idx, ti, in.Ring, RingPop, ok, r.Len(), start, done)
+		m.tracer.RingOp(issue, mx.idx, ti, int(in.ring), RingPop, ok, r.Len(), start, done)
 	}
 	return done
 }
 
 // ringPut pushes a pair; Dst receives 1 on success, 0 when full.
-func (m *Machine) ringPut(mx *ME, th *Thread, ti int, in *cg.Instr, cyclesSoFar int64) int64 {
-	r := m.Rings[in.Ring]
-	ok := r.Put(th.regs[in.SrcA], m.srcB(th, in))
+func (m *Machine) ringPut(mx *ME, th *Thread, ti int, in *dInstr, cyclesSoFar int64) int64 {
+	r := m.Rings[in.ring]
+	ok := r.Put(th.regs[in.srcA], th.regs[in.srcB])
 	if !ok {
 		// Channel-ring backpressure: compiled code spins and retries, so
 		// the packet is not lost here, but the failed put is the stall
 		// cause we attribute latency growth to.
-		m.stats.RingOverflow[in.Ring]++
+		m.stats.RingOverflow[in.ring]++
 	}
-	if ok && in.Ring == cg.RingFree {
+	if ok && in.ring == cg.RingFree {
 		m.stats.FreedPackets++ // an ME dropped (or recycled) a packet
-		delete(m.rxStamp, th.regs[in.SrcA])
+		delete(m.rxStamp, th.regs[in.srcA])
 	}
-	if in.Dst != cg.NoPReg {
+	if in.dst >= 0 { // success flag is optional
 		if ok {
-			th.regs[in.Dst] = 1
+			th.regs[in.dst] = 1
 		} else {
-			th.regs[in.Dst] = 0
+			th.regs[in.dst] = 0
 		}
 	}
-	if in.Class != cg.ClassNone {
-		m.stats.MEAccesses[AccessKey{cg.MemScratch, in.Class}]++
+	if in.accIdx >= 0 {
+		m.acc[in.accIdx]++
 	}
 	c := m.ctrl[0]
 	issue := m.now + cyclesSoFar
 	start, done := c.access(issue, 2, &m.stats)
 	if m.tracer != nil {
-		m.tracer.RingOp(issue, mx.idx, ti, in.Ring, RingPush, ok, r.Len(), start, done)
+		m.tracer.RingOp(issue, mx.idx, ti, int(in.ring), RingPush, ok, r.Len(), start, done)
 	}
 	return done
 }
@@ -1172,6 +1330,7 @@ func (m *Machine) ResetStats() {
 		RingOverflow: make([]uint64, m.Cfg.NumRings),
 	}
 	m.statsBase = base
+	m.acc = [numMemLevels * numAccessClasses]uint64{}
 	m.lastBusy = [4]int64{}
 	m.lastME = make([]int64, m.Cfg.NumMEs)
 	m.lat.Reset()
@@ -1190,7 +1349,17 @@ func (m *Machine) ResetStats() {
 // Snapshot returns an immutable deep copy of the run statistics. The
 // machine's internal counters cannot be mutated through it; hooks that
 // need to account packets use the Observer's accounting methods instead.
-func (m *Machine) Snapshot() Stats { return m.stats.clone() }
+// The execution engine accumulates classified accesses in a flat counter
+// array; they fold into the MEAccesses map here, at snapshot time.
+func (m *Machine) Snapshot() Stats {
+	s := m.stats.clone()
+	for i, v := range m.acc {
+		if v != 0 {
+			s.MEAccesses[AccessKey{cg.MemLevel(i / numAccessClasses), cg.AccessClass(i % numAccessClasses)}] += v
+		}
+	}
+	return s
+}
 
 // NoteRxPacket counts one received packet.
 //

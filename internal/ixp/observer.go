@@ -70,7 +70,7 @@ func (o Observer) SetMELabel(i int, label string) {
 // Snapshot accessors (machine → harness)
 
 // Snapshot returns an immutable deep copy of the run statistics.
-func (o Observer) Snapshot() Stats { return o.m.stats.clone() }
+func (o Observer) Snapshot() Stats { return o.m.Snapshot() }
 
 // Latency summarizes the Rx→Tx latency (in core cycles) of every packet
 // transmitted since the last stats reset.
