@@ -20,18 +20,24 @@ fmt-check:
 	fi
 
 # Race-check the concurrent packages: the sweep runner's worker pool,
-# the metrics instruments it samples, and the trace-enabled machine
-# tests (tracers run inside the event loop; the race build proves the
-# sweep never shares one across workers).
+# the metrics instruments it samples, the trace-enabled machine tests,
+# and the parallel sharded engine (including the full differential suite
+# replayed on it inside ./internal/harness/). The second leg re-runs the
+# engine determinism tests at several GOMAXPROCS settings so shard
+# scheduling is exercised under contention and on a single P.
 race:
 	$(GO) test -race ./internal/harness/ ./internal/metrics/ ./internal/ixp/
+	$(GO) test -race -cpu 1,2,8 -run 'TestParallel|TestEngine' ./internal/ixp/
 
 # Tier-1 verification: everything CI gates on.
 verify: build vet fmt-check test race
 
 # Host-performance benchmark suite → BENCH_sim.json (ns/op, B/op,
-# allocs/op and custom metrics per benchmark). CI uploads the file as an
-# artifact so simulator throughput is comparable per commit.
+# allocs/op and custom metrics per benchmark). BenchmarkSimulator fans
+# out into serial and parallel-shards=N sub-benchmarks, recorded as
+# separate entries (with engine/shards fields) so the engines' numbers
+# are never merged. CI uploads the file as an artifact so simulator
+# throughput is comparable per commit.
 bench: build
 	$(GO) test -run xxx -bench 'BenchmarkSimulator$$|BenchmarkFigure6$$|BenchmarkCompiler$$' \
 		-benchmem . > /tmp/bench_raw.txt

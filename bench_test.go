@@ -19,12 +19,14 @@ package shangrila
 //	go test -bench=BenchmarkFigure15 -v   (MPLS)
 
 import (
+	"fmt"
 	"os"
 	"testing"
 
 	"shangrila/internal/apps"
 	"shangrila/internal/driver"
 	"shangrila/internal/harness"
+	"shangrila/internal/ixp"
 )
 
 func benchCfg() harness.RunConfig {
@@ -133,7 +135,11 @@ func BenchmarkCompiler(b *testing.B) {
 }
 
 // BenchmarkSimulator measures raw simulation speed (cycles simulated per
-// wall second) on the optimized L3-Switch.
+// wall second) on the optimized L3-Switch, on the serial engine and on
+// the parallel sharded engine at several shard counts. The engines are
+// bit-identical, so the sub-benchmarks measure the same simulation; the
+// shard count is encoded in the sub-benchmark name (not the GOMAXPROCS
+// suffix) so benchjson keys serial and parallel entries apart.
 func BenchmarkSimulator(b *testing.B) {
 	a := apps.L3Switch()
 	res, err := harness.Compile(a, driver.LevelSWC, 7)
@@ -141,16 +147,27 @@ func BenchmarkSimulator(b *testing.B) {
 		b.Fatal(err)
 	}
 	cfg := benchCfg()
-	opts := append(cfg.Options(), harness.WithCompiled(res))
-	b.ResetTimer()
-	var cycles int64
-	for i := 0; i < b.N; i++ {
-		r, err := harness.Run(a, opts...)
-		if err != nil {
-			b.Fatal(err)
+	run := func(b *testing.B, engine ixp.EngineSpec) {
+		opts := append(cfg.Options(), harness.WithCompiled(res))
+		if engine != nil {
+			opts = append(opts, harness.WithEngine(engine))
 		}
-		_ = r
-		cycles += cfg.Warmup + cfg.Measure
+		b.ResetTimer()
+		var cycles int64
+		for i := 0; i < b.N; i++ {
+			r, err := harness.Run(a, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = r
+			cycles += cfg.Warmup + cfg.Measure
+		}
+		b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
 	}
-	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+	b.Run("serial", func(b *testing.B) { run(b, nil) })
+	for _, shards := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel-shards=%d", shards), func(b *testing.B) {
+			run(b, ixp.EngineParallel{Shards: shards})
+		})
+	}
 }

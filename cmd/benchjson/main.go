@@ -27,6 +27,11 @@ type Benchmark struct {
 	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	// Engine and Shards are parsed from engine-variant sub-benchmark
+	// names ("…/serial", "…/parallel-shards=4") so simulator numbers
+	// from different engines are never compared as one series.
+	Engine string `json:"engine,omitempty"`
+	Shards int    `json:"shards,omitempty"`
 }
 
 // Report is the whole document.
@@ -93,6 +98,17 @@ func parseLine(line, pkg string) (Benchmark, bool) {
 		}
 	}
 	b := Benchmark{Name: name, Package: pkg, Iterations: iters}
+	for _, elem := range strings.Split(name, "/")[1:] {
+		switch {
+		case elem == "serial":
+			b.Engine = "serial"
+		case strings.HasPrefix(elem, "parallel-shards="):
+			if n, err := strconv.Atoi(strings.TrimPrefix(elem, "parallel-shards=")); err == nil {
+				b.Engine = "parallel"
+				b.Shards = n
+			}
+		}
+	}
 	for i := 2; i+1 < len(f); i += 2 {
 		v, err := strconv.ParseFloat(f[i], 64)
 		if err != nil {

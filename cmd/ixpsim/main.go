@@ -9,9 +9,16 @@
 // backpressure or idle, per ME; with -trace the whole run is exported as
 // Chrome trace_event JSON for chrome://tracing or Perfetto.
 //
+// With -engine parallel the simulation runs on the sharded engine: MEs
+// are partitioned across -shards worker goroutines (0 = one per core, at
+// most one per ME) under conservative time windows. Results are
+// bit-identical to the serial engine — the flag only trades host cores
+// for wall-clock time.
+//
 // Usage:
 //
 //	ixpsim [-O level] [-mes n] [-cycles n] [-seed n]
+//	       [-engine serial|parallel] [-shards n]
 //	       [-gbps g] [-arrival fixed|poisson|onoff] [-sizes 64|imix|trimodal]
 //	       [-flows n] [-zipf s]
 //	       [-stalls] [-trace out.json]

@@ -14,11 +14,17 @@
 // trace_event JSON — sweep points themselves run concurrently and are
 // never traced.
 //
+// With -engine parallel every measured machine runs on the sharded
+// simulation engine (-shards worker goroutines per point; results are
+// bit-identical to the serial default, and the report records the engine
+// and shard count per point).
+//
 // Usage:
 //
 //	shangrila-bench [-experiment all|fig6|table1|fig13|fig14|fig15|loadlatency]
 //	                [-quick] [-report bench_report.json] [-workers N]
 //	                [-O level] [-seed n]
+//	                [-engine serial|parallel] [-shards n]
 //	                [-stalls] [-trace trace.json]
 //	                [-cpuprofile cpu.pb] [-memprofile mem.pb]
 //	                [-arrival fixed|poisson|onoff] [-sizes 64|imix|trimodal]

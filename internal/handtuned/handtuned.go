@@ -114,7 +114,7 @@ func L3Forwarder(sramTableBase uint32) *cg.Program {
 func Run(prog *cg.Program, numMEs int, warmup, measure int64) (float64, error) {
 	cfg := ixp.DefaultConfig()
 	cfg.RingSlots = 256
-	m, err := ixp.New(cfg, &ixp.FixedDescMedia{})
+	m, err := ixp.New(cfg, ixp.WithMedia(&ixp.FixedDescMedia{}))
 	if err != nil {
 		return 0, err
 	}

@@ -93,10 +93,10 @@ func canonSnapshot(m *ixp.Machine) *engineSnapshot {
 // the way measure() does — warm-up, stats reset, measured window, stall
 // tracer attached — but keeps the machine so the full snapshot can be
 // captured.
-func runDifferentialPoint(t *testing.T, a *apps.App, res *driver.Result, numMEs int) *engineSnapshot {
+func runDifferentialPoint(t *testing.T, a *apps.App, res *driver.Result, numMEs int, engine ixp.EngineSpec) *engineSnapshot {
 	t.Helper()
 	trc := a.Trace(res.Prog.Types, 1235, 128)
-	rt, err := rts.New(res.Image, res.Prog, trc, rts.Options{NumMEs: numMEs})
+	rt, err := rts.New(res.Image, res.Prog, trc, rts.Options{NumMEs: numMEs, Engine: engine})
 	if err != nil {
 		t.Fatalf("%s %dME: %v", a.Name, numMEs, err)
 	}
@@ -142,7 +142,7 @@ func TestEngineDifferential(t *testing.T) {
 			for _, mes := range []int{1, 5} {
 				name := fmt.Sprintf("%s-%s-%dme", a.Name, lvl, mes)
 				t.Run(name, func(t *testing.T) {
-					snap := runDifferentialPoint(t, a, res, mes)
+					snap := runDifferentialPoint(t, a, res, mes, nil)
 					got, err := json.MarshalIndent(snap, "", "  ")
 					if err != nil {
 						t.Fatal(err)
@@ -161,6 +161,47 @@ func TestEngineDifferential(t *testing.T) {
 					}
 					if string(got) != string(want) {
 						t.Errorf("engine output diverged from reference-interpreter golden %s\ngot:\n%s\nwant:\n%s",
+							path, got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestEngineDifferentialParallel replays the full differential suite on
+// the parallel sharded engine and asserts its canonical output is
+// byte-identical to the same goldens the serial engine is locked to —
+// the parallel engine's correctness contract. The shard count is a
+// deliberately uneven divisor of the 8 MEs so partitions split mid-ring
+// pipelines.
+func TestEngineDifferentialParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential suite is slow; run without -short")
+	}
+	dir := filepath.Join("testdata", "engine")
+	for _, a := range apps.All() {
+		for _, lvl := range driver.Levels() {
+			res, err := Compile(a, lvl, 1234)
+			if err != nil {
+				t.Fatalf("%s at %v: %v", a.Name, lvl, err)
+			}
+			for _, mes := range []int{1, 5} {
+				name := fmt.Sprintf("%s-%s-%dme", a.Name, lvl, mes)
+				t.Run(name, func(t *testing.T) {
+					snap := runDifferentialPoint(t, a, res, mes, ixp.EngineParallel{Shards: 3})
+					got, err := json.MarshalIndent(snap, "", "  ")
+					if err != nil {
+						t.Fatal(err)
+					}
+					got = append(got, '\n')
+					path := filepath.Join(dir, name+".json")
+					want, err := os.ReadFile(path)
+					if err != nil {
+						t.Fatalf("missing golden (run TestEngineDifferential with -update-golden): %v", err)
+					}
+					if string(got) != string(want) {
+						t.Errorf("parallel engine diverged from serial golden %s\ngot:\n%s\nwant:\n%s",
 							path, got, want)
 					}
 				})

@@ -95,7 +95,7 @@ func Figure6Kernel(level cg.MemLevel, words, accesses int) *cg.Program {
 func RunKernel(prog *cg.Program, numMEs int, warmup, measure int64) (float64, error) {
 	cfg := ixp.DefaultConfig()
 	cfg.RingSlots = 256
-	m, err := ixp.New(cfg, &ixp.FixedDescMedia{})
+	m, err := ixp.New(cfg, ixp.WithMedia(&ixp.FixedDescMedia{}))
 	if err != nil {
 		return 0, err
 	}

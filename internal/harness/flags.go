@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"shangrila/internal/driver"
+	"shangrila/internal/ixp"
 	"shangrila/internal/workload"
 )
 
@@ -27,6 +28,13 @@ type CommonFlags struct {
 	Gbps    float64
 	Flows   int
 	Zipf    float64
+
+	// Simulation engine selection. Engine "serial" (the default) runs
+	// the single-goroutine event loop; "parallel" shards MEs across
+	// worker goroutines with bit-identical results. Shards 0 means
+	// min(NumMEs, GOMAXPROCS).
+	Engine string
+	Shards int
 }
 
 // RegisterCommonFlags registers the shared flags on fs and returns the
@@ -43,7 +51,26 @@ func RegisterCommonFlags(fs *flag.FlagSet) *CommonFlags {
 	fs.Float64Var(&f.Gbps, "gbps", 0, "offered load in Gbps (0 = legacy line-rate trace playback)")
 	fs.IntVar(&f.Flows, "flows", 256, "workload flow population size")
 	fs.Float64Var(&f.Zipf, "zipf", 0, "Zipf flow-popularity exponent (0 = uniform)")
+	fs.StringVar(&f.Engine, "engine", "serial", "simulation engine: serial|parallel (bit-identical results)")
+	fs.IntVar(&f.Shards, "shards", 0, "parallel engine worker shards (0 = min(NumMEs, GOMAXPROCS))")
 	return f
+}
+
+// EngineSpec returns the engine the -engine/-shards flags select (nil
+// for the serial default, so callers can pass it straight to
+// WithEngine).
+func (f *CommonFlags) EngineSpec() (ixp.EngineSpec, error) {
+	switch f.Engine {
+	case "", "serial":
+		if f.Shards != 0 {
+			return nil, fmt.Errorf("-shards requires -engine parallel")
+		}
+		return nil, nil
+	case "parallel":
+		return ixp.EngineParallel{Shards: f.Shards}, nil
+	default:
+		return nil, fmt.Errorf("unknown engine %q (want serial or parallel)", f.Engine)
+	}
 }
 
 // DriverLevel returns the -O flag as a driver level, validated.
@@ -115,6 +142,13 @@ func (f *CommonFlags) Options() ([]Option, error) {
 	}
 	if sp != nil {
 		opts = append(opts, WithWorkload(sp))
+	}
+	eng, err := f.EngineSpec()
+	if err != nil {
+		return nil, err
+	}
+	if eng != nil {
+		opts = append(opts, WithEngine(eng))
 	}
 	return opts, nil
 }

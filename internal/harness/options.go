@@ -34,6 +34,7 @@ type settings struct {
 	stalls         bool
 	chromeTrace    io.Writer
 	metricsReg     *metrics.Registry
+	engine         ixp.EngineSpec
 }
 
 func defaultSettings() settings {
@@ -143,6 +144,16 @@ func WithMetricsRegistry(reg *metrics.Registry) Option {
 	return func(s *settings) { s.metricsReg = reg }
 }
 
+// WithEngine selects the simulation engine the measured machine runs on
+// (nil keeps the serial default). Both engines are bit-identical — same
+// reports, same goldens — so EngineParallel trades worker goroutines for
+// wall-clock time without changing any measured number:
+//
+//	harness.WithEngine(ixp.EngineParallel{Shards: 4})
+func WithEngine(spec ixp.EngineSpec) Option {
+	return func(s *settings) { s.engine = spec }
+}
+
 // WithWorkers bounds sweep parallelism (Run ignores it). 0 or negative
 // means GOMAXPROCS.
 func WithWorkers(n int) Option {
@@ -195,6 +206,11 @@ type Result struct {
 	Level  driver.Level
 	NumMEs int
 	Seed   uint64
+	// Engine and Shards record the resolved simulation engine the point
+	// ran on ("serial", or "parallel" with the effective shard count), so
+	// results from different engines are never silently merged.
+	Engine string
+	Shards int
 	Gbps   float64
 	// Table 1 columns: packet Scratch/SRAM/DRAM, app Scratch/SRAM.
 	PktScratch, PktSRAM, PktDRAM float64
@@ -285,7 +301,7 @@ func measure(a *apps.App, res *driver.Result, s *settings) (*Result, error) {
 		wl = &sp
 	}
 	rt, err := rts.New(res.Image, res.Prog, trc, rts.Options{
-		NumMEs: s.run.NumMEs, Cfg: cfg, Workload: wl,
+		NumMEs: s.run.NumMEs, Cfg: cfg, Workload: wl, Engine: s.engine,
 	})
 	if err != nil {
 		return nil, err
@@ -315,11 +331,14 @@ func measure(a *apps.App, res *driver.Result, s *settings) (*Result, error) {
 		return nil, fmt.Errorf("%s measure: %w", a.Name, err)
 	}
 	st := rt.M.Snapshot()
+	engName, engShards := rt.M.EngineInfo()
 	out := &Result{
 		App:           a.Name,
 		Level:         res.Report.Level,
 		NumMEs:        s.run.NumMEs,
 		Seed:          s.run.Seed,
+		Engine:        engName,
+		Shards:        engShards,
 		Gbps:          st.Gbps(rt.M.Cfg.ClockMHz),
 		PktScratch:    st.PerPacket(cg.MemScratch, cg.ClassPacketRing),
 		PktSRAM:       st.PerPacket(cg.MemSRAM, cg.ClassPacketMeta),

@@ -16,6 +16,12 @@ type ReportPoint struct {
 	Level  string `json:"level"`
 	NumMEs int    `json:"num_mes"`
 	Seed   uint64 `json:"seed"`
+	// Engine names the simulation engine the point ran on ("serial" or
+	// "parallel"); Shards is the parallel engine's effective shard count
+	// (0 for serial). Recorded per point so results measured on
+	// different engines are never silently merged.
+	Engine string `json:"engine"`
+	Shards int    `json:"shards,omitempty"`
 
 	Gbps      float64 `json:"gbps"`
 	TxPackets uint64  `json:"tx_packets"`
@@ -50,8 +56,9 @@ type BenchReport struct {
 }
 
 // ReportSchema versions the bench report layout. v2 added the
-// workload-mode point fields and the load_latency section.
-const ReportSchema = "shangrila-bench/v2"
+// workload-mode point fields and the load_latency section; v3 records
+// the simulation engine (and shard count) per point.
+const ReportSchema = "shangrila-bench/v3"
 
 // BuildReport converts sweep results into the export document, in result
 // order.
@@ -63,6 +70,8 @@ func BuildReport(results []*Result) *BenchReport {
 			Level:  r.Level.String(),
 			NumMEs: r.NumMEs,
 			Seed:   r.Seed,
+			Engine: r.Engine,
+			Shards: r.Shards,
 			Gbps:   r.Gbps,
 			PerPacket: map[string]float64{
 				"pkt_scratch": r.PktScratch,

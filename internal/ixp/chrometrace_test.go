@@ -25,7 +25,7 @@ type decodedTrace struct {
 func TestChromeTraceFormat(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.RingSlots = 64
-	m, err := New(cfg, &FixedDescMedia{})
+	m, err := New(cfg, WithMedia(&FixedDescMedia{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestChromeTraceDeterministic(t *testing.T) {
 	export := func() []byte {
 		cfg := DefaultConfig()
 		cfg.RingSlots = 64
-		m, err := New(cfg, &FixedDescMedia{})
+		m, err := New(cfg, WithMedia(&FixedDescMedia{}))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,210 @@
+package ixp
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Engine selection. The machine's discrete-event core comes in two
+// implementations with bit-identical observable behavior:
+//
+//   - EngineSerial: the single-goroutine timing-wheel event loop
+//     (eventq.go). The default.
+//
+//   - EngineParallel: the sharded engine (parallel.go). Microengines are
+//     partitioned across worker goroutines that execute ME-local work
+//     concurrently inside conservative time windows; all shared-state
+//     effects (memory bytes, rings, controllers, stats, tracing, event
+//     sequencing) are replayed serially at epoch barriers in exactly the
+//     serial engine's (time, seq) order, so every observable quantity —
+//     stats, goldens, stall breakdowns, latency histograms — is
+//     byte-identical to EngineSerial at any shard count.
+//
+// Select one at construction: ixp.New(cfg, ixp.WithEngine(ixp.EngineParallel{Shards: 4})).
+
+// EngineSpec selects a simulation engine implementation. The zero spec
+// (a nil Config.Engine) means EngineSerial.
+type EngineSpec interface {
+	// EngineName is the engine's stable identifier ("serial", "parallel"),
+	// used by report schemas and CLI flags.
+	EngineName() string
+}
+
+// EngineSerial selects the single-goroutine event loop (the default).
+type EngineSerial struct{}
+
+// EngineName implements EngineSpec.
+func (EngineSerial) EngineName() string { return "serial" }
+
+// EngineParallel selects the sharded engine. Shards is the number of
+// worker goroutines MEs are partitioned across; 0 picks
+// min(NumMEs, GOMAXPROCS). Config.Validate rejects negative counts and
+// counts above NumMEs with an *EngineConfigError.
+type EngineParallel struct {
+	Shards int
+}
+
+// EngineName implements EngineSpec.
+func (EngineParallel) EngineName() string { return "parallel" }
+
+// EngineConfigError reports an engine configuration Config.Validate
+// rejected: a shard count outside 0..NumMEs, or a memory-controller
+// timing model whose conservative lookahead window is empty.
+type EngineConfigError struct {
+	Shards int
+	NumMEs int
+	Reason string
+}
+
+func (e *EngineConfigError) Error() string {
+	return fmt.Sprintf("ixp: config: parallel engine with %d shard(s) on %d ME(s): %s",
+		e.Shards, e.NumMEs, e.Reason)
+}
+
+// lookahead is the conservative synchronization window of the parallel
+// engine: the minimum completion time of any blocking shared-memory or
+// ring operation. Every such operation issued at t completes no earlier
+// than t + latency + svcBase + svcWord (one-word service), so a thread
+// blocked during the window [T, T+lookahead) cannot resume before the
+// window ends — ME-local execution inside one window is independent
+// across MEs.
+func (c *Config) lookahead() int64 {
+	w := c.ScratchLatency + c.ScratchSvcBase + c.ScratchSvcWord
+	if v := c.SRAMLatency + c.SRAMSvcBase + c.SRAMSvcWord; v < w {
+		w = v
+	}
+	if v := c.DRAMLatency + c.DRAMSvcBase + c.DRAMSvcWord; v < w {
+		w = v
+	}
+	return w
+}
+
+// validateEngine is the Config.Validate leg for the engine selection.
+func (c *Config) validateEngine() error {
+	p, ok := c.Engine.(EngineParallel)
+	if !ok {
+		return nil
+	}
+	if p.Shards < 0 || p.Shards > c.NumMEs {
+		return &EngineConfigError{Shards: p.Shards, NumMEs: c.NumMEs,
+			Reason: fmt.Sprintf("shard count must be 0 (auto) to NumMEs, got %d", p.Shards)}
+	}
+	if c.lookahead() < 1 {
+		return &EngineConfigError{Shards: p.Shards, NumMEs: c.NumMEs,
+			Reason: "conservative lookahead is empty: every memory controller needs latency+service of at least 1 cycle"}
+	}
+	return nil
+}
+
+// resolveShards maps a requested shard count to the effective worker
+// count.
+func (c *Config) resolveShards(requested int) int {
+	n := requested
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > c.NumMEs {
+		n = c.NumMEs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// engine is the machine's event core: m.schedule routes every event
+// through push, and Machine.Run delegates to run. Implementations own
+// their pending-event storage; the (time, seq) processing order contract
+// of eventq.go binds both.
+type engine interface {
+	push(e event)
+	pending() int
+	run(m *Machine, cycles int64) error
+}
+
+// buildEngine constructs the engine the validated Config selects.
+func buildEngine(m *Machine) engine {
+	switch sp := m.Cfg.Engine.(type) {
+	case EngineParallel:
+		return newParallelEngine(m, m.Cfg.resolveShards(sp.Shards))
+	default:
+		return &serialEngine{}
+	}
+}
+
+// EngineInfo reports the resolved engine selection: the engine name and,
+// for the parallel engine, the effective shard count (0 for serial).
+// Report schemas record both so measurements from different engines are
+// never silently merged.
+func (m *Machine) EngineInfo() (name string, shards int) {
+	if p, ok := m.eng.(*parallelEngine); ok {
+		return "parallel", p.shards
+	}
+	return "serial", 0
+}
+
+// ---------------------------------------------------------------------------
+// Serial engine: the single-goroutine timing-wheel event loop.
+
+type serialEngine struct {
+	q eventQueue
+}
+
+func (s *serialEngine) push(e event) { s.q.push(e) }
+
+func (s *serialEngine) pending() int { return s.q.len() }
+
+// run advances the simulation until the cycle budget elapses or an error
+// occurs. It can be called repeatedly for warm-up + measure phases.
+func (s *serialEngine) run(m *Machine, cycles int64) error {
+	deadline := m.now + cycles
+	m.kickoff()
+	for m.err == nil {
+		ev, ok := s.q.popUntil(deadline)
+		if !ok {
+			if s.q.len() > 0 {
+				// The next event is past the budget: leave it queued for a
+				// future Run call (the old engine popped and re-pushed here,
+				// churning the heap on every deadline).
+				m.now = deadline
+				m.stats.Cycles = m.now - m.statsBase
+				return m.err
+			}
+			break
+		}
+		if ev.time > m.now {
+			m.now = ev.time
+		}
+		switch ev.kind {
+		case evActivate:
+			m.MEs[ev.me].scheduled = false
+			m.runME(int(ev.me))
+		case evReady:
+			m.readyThread(int(ev.me), int(ev.thread))
+			// Drain further wakeups sharing this timestamp: they are the
+			// next pops regardless (any activation they schedule carries a
+			// later seq), so handling them here preserves event order while
+			// skipping the dispatch loop.
+			for {
+				h := s.q.peek()
+				if h == nil || h.kind != evReady || h.time != m.now {
+					break
+				}
+				e := s.q.pop()
+				m.readyThread(int(e.me), int(e.thread))
+			}
+		case evRxTick:
+			m.rxTick()
+		case evTxTick:
+			m.txTick()
+		case evXScale:
+			m.xscaleTick()
+		case evCallback:
+			m.takeCB(ev.cb)()
+		case evSample:
+			m.sampleTick()
+		}
+	}
+	m.stats.Cycles = m.now - m.statsBase
+	return m.err
+}

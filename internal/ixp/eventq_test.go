@@ -175,7 +175,7 @@ func computeProg() *cg.Program {
 func TestRunSteadyStateAllocFree(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.SampleInterval = 0
-	m, err := New(cfg, nil)
+	m, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestRunSteadyStateAllocFree(t *testing.T) {
 func BenchmarkEventCore(b *testing.B) {
 	cfg := DefaultConfig()
 	cfg.SampleInterval = 0
-	m, err := New(cfg, nil)
+	m, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -43,7 +43,7 @@ func TestOfferedLoadAccuracy(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.PortGbps = 2.5
 	media := &openMedia{frame: 64}
-	m, err := New(cfg, media)
+	m, err := New(cfg, WithMedia(media))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestLatencyRecorded(t *testing.T) {
 func TestDropCauseRxSaturation(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.RingSlots = 8
-	m, err := New(cfg, &openMedia{frame: 64})
+	m, err := New(cfg, WithMedia(&openMedia{frame: 64}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestDropCauseChannelOverflow(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.NumRings = 4 // Rx, Tx, free + one app ring nobody drains
 	cfg.RingSlots = 8
-	m, err := New(cfg, &openMedia{frame: 64})
+	m, err := New(cfg, WithMedia(&openMedia{frame: 64}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +179,7 @@ func TestDropCausesSimultaneous(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.NumRings = 4
 	cfg.RingSlots = 8
-	m, err := New(cfg, &openMedia{frame: 64})
+	m, err := New(cfg, WithMedia(&openMedia{frame: 64}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +230,7 @@ func TestPacketConservationRandomized(t *testing.T) {
 		cfg.PortGbps = []float64{0.5, 2.5, 10}[next(3)]
 		frame := frames[next(len(frames))]
 		cycles := int64(100_000 + 50_000*next(5))
-		m, err := New(cfg, &openMedia{frame: frame})
+		m, err := New(cfg, WithMedia(&openMedia{frame: frame}))
 		if err != nil {
 			t.Fatal(err)
 		}

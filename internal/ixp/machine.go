@@ -69,6 +69,12 @@ type Config struct {
 	// instruments share a namespace. Nil gives the machine a private
 	// registry (reachable via Observer.Metrics).
 	Metrics *metrics.Registry
+
+	// Engine selects the simulation engine (see engine.go). Nil means
+	// EngineSerial; WithEngine sets it at construction. Validate rejects
+	// parallel selections with invalid shard counts or a degenerate
+	// (empty) conservative lookahead window.
+	Engine EngineSpec
 }
 
 // Validate rejects configurations that would make the timing model divide
@@ -103,7 +109,7 @@ func (c *Config) Validate() error {
 	case c.NumRings > 0 && c.RingSlots <= 0:
 		return fmt.Errorf("ixp: config: RingSlots must be positive when rings are configured (got %d)", c.RingSlots)
 	}
-	return nil
+	return c.validateEngine()
 }
 
 // DefaultConfig returns the calibrated IXP2400 model.
@@ -419,7 +425,7 @@ type Machine struct {
 	lastBusy  [4]int64       // controller busy at the previous telemetry sample
 	lastME    []int64        // per-ME busy at the previous telemetry sample
 	ctrl      [3]*controller // scratch, sram, dram (local is uncontended)
-	events    eventQueue
+	eng       engine         // event core (serial or parallel; see engine.go)
 	now       int64
 	seq       int64
 	statsBase int64 // time origin of the current Stats window
@@ -450,30 +456,37 @@ type Machine struct {
 	XScaleRings []int
 }
 
-// New builds a machine from a validated configuration (ring topology
-// included) and the media that sources and sinks its packets. media may
-// be nil for machines that only execute code (no traffic). Zero or
-// negative clock, port rate or structural sizes are rejected with a
-// descriptive error instead of surfacing later as NaN/Inf rates.
-func New(cfg Config, media Media) (*Machine, error) {
-	if err := cfg.Validate(); err != nil {
+// New builds a machine from a configuration (ring topology included),
+// shaped by functional options: WithMedia supplies the traffic source
+// and sink (machines without media only execute code), WithEngine
+// selects the serial or parallel event core, WithTracer attaches the
+// event sink, WithMetrics overrides the telemetry registry. Options
+// apply before validation, so an invalid engine selection (bad shard
+// count) fails here with an *EngineConfigError, and zero or negative
+// clock, port rate or structural sizes are rejected with a descriptive
+// error instead of surfacing later as NaN/Inf rates.
+func New(cfg Config, opts ...Option) (*Machine, error) {
+	m := &Machine{Cfg: cfg}
+	for _, o := range opts {
+		if o != nil {
+			o(m)
+		}
+	}
+	if err := m.Cfg.Validate(); err != nil {
 		return nil, err
 	}
+	cfg = m.Cfg
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	m := &Machine{
-		Cfg:     cfg,
-		Scratch: make([]byte, cfg.ScratchBytes),
-		SRAM:    make([]byte, cfg.SRAMBytes),
-		DRAM:    make([]byte, cfg.DRAMBytes),
-		reg:     reg,
-		lat:     metrics.NewHistogram(),
-		rxStamp: map[uint32]int64{},
-		media:   media,
-		lastME:  make([]int64, cfg.NumMEs),
-	}
+	m.Scratch = make([]byte, cfg.ScratchBytes)
+	m.SRAM = make([]byte, cfg.SRAMBytes)
+	m.DRAM = make([]byte, cfg.DRAMBytes)
+	m.reg = reg
+	m.lat = metrics.NewHistogram()
+	m.rxStamp = map[uint32]int64{}
+	m.lastME = make([]int64, cfg.NumMEs)
 	m.stats.MEAccesses = map[AccessKey]uint64{}
 	m.stats.MEInstrs = make([]uint64, cfg.NumMEs)
 	m.stats.MEBusy = make([]int64, cfg.NumMEs)
@@ -495,6 +508,7 @@ func New(cfg Config, media Media) (*Machine, error) {
 	for i := 0; i < cfg.NumRings; i++ {
 		m.Rings = append(m.Rings, newRing(cfg.RingSlots))
 	}
+	m.eng = buildEngine(m)
 	return m, nil
 }
 
@@ -578,7 +592,7 @@ func (m *Machine) schedule(t int64, kind evKind, me, thread int, fn func()) {
 		}
 	}
 	m.seq++
-	m.events.push(event{time: t, seq: m.seq, kind: kind, me: int32(me), thread: int32(thread), cb: cb})
+	m.eng.push(event{time: t, seq: m.seq, kind: kind, me: int32(me), thread: int32(thread), cb: cb})
 }
 
 // takeCB claims a scheduled callback out of the registry, freeing its slot.
@@ -615,12 +629,19 @@ func (m *Machine) activateSoon(me int, t int64) {
 }
 
 // Run advances the simulation until the cycle budget elapses or an error
-// occurs. It can be called repeatedly for warm-up + measure phases.
+// occurs. It can be called repeatedly for warm-up + measure phases. The
+// event core is the engine the configuration selected (serial by
+// default); both engines produce bit-identical observable state.
 func (m *Machine) Run(cycles int64) error {
-	deadline := m.now + cycles
-	// Kick everything off. Engine tick chains are perpetual: schedule
-	// them only on the first Run call (another chain would double the
-	// modelled media bandwidth).
+	return m.eng.run(m, cycles)
+}
+
+// kickoff schedules the run's initial events: one activation per idle
+// ME, and — on the first Run only — the perpetual media/XScale/telemetry
+// tick chains (another chain would double the modelled media bandwidth).
+// Both engines call it on entry, so the initial event sequence numbers
+// are identical.
+func (m *Machine) kickoff() {
 	for i := range m.MEs {
 		m.activateSoon(i, m.now)
 	}
@@ -639,54 +660,6 @@ func (m *Machine) Run(cycles int64) error {
 			m.schedule(m.now+m.Cfg.SampleInterval, evSample, 0, 0, nil)
 		}
 	}
-	for m.err == nil {
-		ev, ok := m.events.popUntil(deadline)
-		if !ok {
-			if m.events.len() > 0 {
-				// The next event is past the budget: leave it queued for a
-				// future Run call (the old engine popped and re-pushed here,
-				// churning the heap on every deadline).
-				m.now = deadline
-				m.stats.Cycles = m.now - m.statsBase
-				return m.err
-			}
-			break
-		}
-		if ev.time > m.now {
-			m.now = ev.time
-		}
-		switch ev.kind {
-		case evActivate:
-			m.MEs[ev.me].scheduled = false
-			m.runME(int(ev.me))
-		case evReady:
-			m.readyThread(int(ev.me), int(ev.thread))
-			// Drain further wakeups sharing this timestamp: they are the
-			// next pops regardless (any activation they schedule carries a
-			// later seq), so handling them here preserves event order while
-			// skipping the dispatch loop.
-			for {
-				h := m.events.peek()
-				if h == nil || h.kind != evReady || h.time != m.now {
-					break
-				}
-				e := m.events.pop()
-				m.readyThread(int(e.me), int(e.thread))
-			}
-		case evRxTick:
-			m.rxTick()
-		case evTxTick:
-			m.txTick()
-		case evXScale:
-			m.xscaleTick()
-		case evCallback:
-			m.takeCB(ev.cb)()
-		case evSample:
-			m.sampleTick()
-		}
-	}
-	m.stats.Cycles = m.now - m.statsBase
-	return m.err
 }
 
 // readyThread unblocks a thread whose memory or ring operation completed
@@ -765,67 +738,14 @@ loop:
 		}
 		in := &code[pc]
 		if in.run > 0 {
-			// Straight-line run: execute up to the remaining budget in a
-			// tight loop. Every instruction here costs exactly one cycle,
-			// so the whole stretch accounts in one batched step.
+			// Straight-line run: execute up to the remaining budget in the
+			// shared tight loop. Every instruction there costs exactly one
+			// cycle, so the whole stretch accounts in one batched step.
 			n := int64(in.run)
 			if n > budget {
 				n = budget
 			}
-			rem := n
-			for rem > 0 {
-				d := &code[pc]
-				switch d.kind {
-				case dNop:
-					pc++
-					rem--
-				case dALU:
-					regs[d.dst] = aluEval(d.alu, regs[d.srcA], regs[d.srcB])
-					pc++
-					rem--
-				case dALUImm:
-					regs[d.dst] = aluEval(d.alu, regs[d.srcA], d.imm)
-					pc++
-					rem--
-				case dImmed:
-					regs[d.dst] = d.imm
-					pc++
-					rem--
-				case dFusedALUImmALUImm:
-					regs[d.dst] = aluEval(d.alu, regs[d.srcA], d.imm)
-					if rem == 1 { // budget split the pair; resume at the tail
-						pc++
-						rem = 0
-						break
-					}
-					t := &code[pc+1]
-					regs[t.dst] = aluEval(t.alu, regs[t.srcA], t.imm)
-					pc += 2
-					rem -= 2
-				case dFusedImmedALU:
-					regs[d.dst] = d.imm
-					if rem == 1 {
-						pc++
-						rem = 0
-						break
-					}
-					t := &code[pc+1]
-					regs[t.dst] = aluEval(t.alu, regs[t.srcA], regs[t.srcB])
-					pc += 2
-					rem -= 2
-				case dFusedImmedALUImm:
-					regs[d.dst] = d.imm
-					if rem == 1 {
-						pc++
-						rem = 0
-						break
-					}
-					t := &code[pc+1]
-					regs[t.dst] = aluEval(t.alu, regs[t.srcA], t.imm)
-					pc += 2
-					rem -= 2
-				}
-			}
+			pc = execRun(code, regs, pc, n)
 			instrs += uint64(n)
 			cycles += n
 			budget -= n

@@ -65,7 +65,7 @@ func TestRingBackpressureOnFull(t *testing.T) {
 func TestGrowRingPreservesEntries(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.RingSlots = 4
-	m, err := New(cfg, nil)
+	m, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +207,7 @@ func runLoop(t *testing.T, seed int) *Machine {
 	cfg := DefaultConfig()
 	cfg.SampleInterval = 10_000
 	cfg.RingSlots = 64
-	m, err := New(cfg, &FixedDescMedia{})
+	m, err := New(cfg, WithMedia(&FixedDescMedia{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,18 +338,18 @@ func TestConfigValidation(t *testing.T) {
 	for i, mut := range bad {
 		cfg := DefaultConfig()
 		mut(&cfg)
-		if _, err := New(cfg, nil); err == nil {
+		if _, err := New(cfg); err == nil {
 			t.Errorf("case %d: New accepted an invalid config", i)
 		}
 	}
 	cfg := DefaultConfig()
 	cfg.NumRings = -1
-	if _, err := New(cfg, nil); err == nil {
+	if _, err := New(cfg); err == nil {
 		t.Error("New accepted a negative ring count")
 	}
 	cfg = DefaultConfig()
 	cfg.RingSlots = 0
-	if _, err := New(cfg, nil); err == nil {
+	if _, err := New(cfg); err == nil {
 		t.Error("New accepted zero ring slots")
 	}
 }
@@ -383,7 +383,7 @@ func TestGbpsDegenerateClock(t *testing.T) {
 
 func TestCAMLRUReplacement(t *testing.T) {
 	cfg := DefaultConfig()
-	m, err := New(cfg, nil)
+	m, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -415,7 +415,7 @@ func TestCAMLRUReplacement(t *testing.T) {
 
 func TestMemOutOfRangeFaults(t *testing.T) {
 	cfg := DefaultConfig()
-	m, err := New(cfg, nil)
+	m, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -432,7 +432,7 @@ func TestMemOutOfRangeFaults(t *testing.T) {
 
 func TestAtomicTestAndSet(t *testing.T) {
 	cfg := DefaultConfig()
-	m, err := New(cfg, nil)
+	m, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

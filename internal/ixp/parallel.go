@@ -1,0 +1,526 @@
+package ixp
+
+import (
+	"errors"
+	"sync"
+)
+
+// The parallel sharded engine.
+//
+// MEs interact with each other and with the media engines only through
+// shared memory, scratch rings and the memory controllers — and every
+// such interaction is the *final* act of a thread activation, which then
+// blocks until the controller completes it. Completion takes at least
+// lookahead = min(latency + svcBase + svcWord) over the three
+// controllers, so inside a conservative window [T, T+lookahead) the
+// ME-local work of different MEs is independent: nothing an ME does in
+// the window can alter another ME's instruction stream before the window
+// ends.
+//
+// The engine exploits exactly that structure, in two phases per epoch:
+//
+//   - Shard phase (concurrent). MEs are partitioned across worker
+//     goroutines. Each shard drains its MEs' private event queues over
+//     the window, executing all ME-local work (registers, local memory,
+//     CAM, scheduler state) immediately and *deferring* every
+//     shared-state terminal operation — the blocking memory access or
+//     ring op that ends the activation — into a per-ME log. The shard
+//     phase touches no shared machine state: no stats, no tracer, no
+//     memory bytes outside the ME, no controllers, no event sequencing.
+//
+//   - Replay phase (serial, at the barrier). The per-ME logs and the
+//     global events (media ticks, XScale, callbacks, telemetry samples)
+//     merge in the serial engine's exact (time, seq) order; each step
+//     applies its deferred shared-state effects — byte movement,
+//     controller occupancy, ring mutations, statistics, tracer events —
+//     and assigns the serial engine's sequence numbers to the events the
+//     step would have scheduled. Shared state therefore evolves through
+//     the identical sequence of mutations as under EngineSerial, which
+//     is what makes the engines bit-identical at any shard count.
+//
+// Event ordering across the phases relies on one invariant: during a
+// window, new events for an ME are created only by that ME's own
+// processing (wakeup chains), and global events are created only by
+// global processing. Intra-window creations are ordered by a per-ME
+// creation counter until the replay stamps their true sequence numbers;
+// a creation's stamping always precedes its processing in the merge, so
+// the merge itself compares plain (time, seq) keys.
+
+// meEvent is one pending ME-local event (activation or thread wakeup) in
+// an ME's private queue. Events created before the current epoch carry
+// their true serial sequence number (stamped); events created during the
+// epoch are ordered by the ME-local creation counter until the replay
+// stamps them. Both orders agree — a ME's intra-epoch creations receive
+// sequence numbers in creation order — so stamping never reorders a
+// queue.
+type meEvent struct {
+	time    int64
+	seq     int64 // true serial sequence number once stamped
+	local   int64 // ME-local creation counter while unstamped
+	thread  int32
+	kind    evKind // evActivate or evReady
+	stamped bool
+}
+
+// meEventBefore is the per-ME queue order: time, then pre-epoch events
+// (whose serial seqs all precede any intra-epoch seq) before intra-epoch
+// ones, then seq or creation order within each group.
+func meEventBefore(a, b *meEvent) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.stamped != b.stamped {
+		return a.stamped
+	}
+	if a.stamped {
+		return a.seq < b.seq
+	}
+	return a.local < b.local
+}
+
+// meQueue is a binary min-heap of *meEvent. Stamping mutates keys in
+// place, but the before/after orders agree (see meEvent), so the heap
+// invariant survives.
+type meQueue struct {
+	ev []*meEvent
+}
+
+func (q *meQueue) push(e *meEvent) {
+	q.ev = append(q.ev, e)
+	i := len(q.ev) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !meEventBefore(e, q.ev[p]) {
+			break
+		}
+		q.ev[i] = q.ev[p]
+		i = p
+	}
+	q.ev[i] = e
+}
+
+func (q *meQueue) peek() *meEvent {
+	if len(q.ev) == 0 {
+		return nil
+	}
+	return q.ev[0]
+}
+
+func (q *meQueue) pop() *meEvent {
+	ev := q.ev
+	top := ev[0]
+	n := len(ev) - 1
+	e := ev[n]
+	ev[n] = nil
+	q.ev = ev[:n]
+	if n == 0 {
+		return top
+	}
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && meEventBefore(ev[c+1], ev[c]) {
+			c++
+		}
+		if !meEventBefore(ev[c], e) {
+			break
+		}
+		ev[i] = ev[c]
+		i = c
+	}
+	ev[i] = e
+	return top
+}
+
+// Deferred terminal-operation kinds of a logged activation.
+const (
+	termNone  = uint8(iota) // ctx yield, halt, or budget exhaustion
+	termMem                 // blocking scratch/SRAM/DRAM access: replay runs execMem
+	termRing                // ring get/put: replay runs ringGet/ringPut
+	termFault               // machine check: replay sets the error and stops the run
+)
+
+// logEntry is one processed ME event, recorded in processing order. The
+// replay applies its shared-state effects in merge order: the deferred
+// terminal op, the tracer's ThreadRun, the statistics deltas, and the
+// sequence stamping of the events the step created.
+type logEntry struct {
+	ev       *meEvent // the processed event; supplies the merge key
+	me       int32
+	thread   int32 // activation's chosen thread, or the readied thread
+	isReady  bool  // evReady entry: stamps its created activation only
+	cycles   int64
+	instrs   uint64
+	reason   YieldReason
+	term     uint8
+	in       *dInstr  // terminal instruction (termMem/termRing)
+	cyclesAt int64    // cyclesSoFar when the terminal op issued
+	faultMsg string   // termFault: the machine-check error text
+	activate *meEvent // wakeup-chain activation this step created (or nil)
+}
+
+type accArray [numMemLevels * numAccessClasses]uint64
+
+// meShard is the per-ME slice of engine state: the private event queue,
+// the current epoch's log, the replay cursor, the creation counter and
+// the event free list. The ME's owning worker touches it during the
+// shard phase; the main goroutine touches it everywhere else — the
+// epoch barrier separates the two.
+type meShard struct {
+	q       meQueue
+	log     []logEntry
+	pos     int
+	nextLoc int64
+	free    []*meEvent
+}
+
+func (ms *meShard) alloc() *meEvent {
+	if n := len(ms.free); n > 0 {
+		e := ms.free[n-1]
+		ms.free = ms.free[:n-1]
+		return e
+	}
+	return &meEvent{}
+}
+
+// create allocates an intra-epoch event, orders it by the ME-local
+// creation counter and queues it. The replay stamps its true sequence
+// number when the creating step replays.
+func (ms *meShard) create(t int64, kind evKind, thread int32) *meEvent {
+	e := ms.alloc()
+	*e = meEvent{time: t, local: ms.nextLoc, thread: thread, kind: kind}
+	ms.nextLoc++
+	ms.q.push(e)
+	return e
+}
+
+// parallelEngine is the sharded event core. See the package comment
+// above for the two-phase protocol.
+type parallelEngine struct {
+	m      *Machine
+	shards int
+	w      int64 // conservative lookahead window width
+
+	global heap4     // non-ME events (ticks, callbacks, samples), true seqs
+	mes    []meShard // per-ME state
+
+	// shardAccs are per-shard access-counter staging arrays: the shard
+	// phase bumps local-memory access counters here (the only statistic
+	// ME-local work produces) and run folds them into Machine.acc.
+	shardAccs []accArray
+
+	work    []chan int64 // per-worker epoch window signal
+	wg      sync.WaitGroup
+	started bool
+}
+
+func newParallelEngine(m *Machine, shards int) *parallelEngine {
+	return &parallelEngine{
+		m:      m,
+		shards: shards,
+		w:      m.Cfg.lookahead(),
+		mes:    make([]meShard, m.Cfg.NumMEs),
+	}
+}
+
+// push routes an event scheduled through Machine.schedule. Every caller
+// runs in a serial context (kickoff, replay, or between Run calls), so
+// the event carries its true sequence number.
+func (p *parallelEngine) push(e event) {
+	switch e.kind {
+	case evActivate, evReady:
+		ms := &p.mes[e.me]
+		me := ms.alloc()
+		*me = meEvent{time: e.time, seq: e.seq, thread: e.thread, kind: e.kind, stamped: true}
+		ms.q.push(me)
+	default:
+		p.global.push(e)
+	}
+}
+
+func (p *parallelEngine) pending() int {
+	n := p.global.len()
+	for i := range p.mes {
+		n += len(p.mes[i].q.ev)
+	}
+	return n
+}
+
+// nextTime returns the earliest pending event time across every queue.
+func (p *parallelEngine) nextTime() (int64, bool) {
+	var t int64
+	found := false
+	if p.global.len() > 0 {
+		t = p.global.ev[0].time
+		found = true
+	}
+	for i := range p.mes {
+		if h := p.mes[i].q.peek(); h != nil && (!found || h.time < t) {
+			t = h.time
+			found = true
+		}
+	}
+	return t, found
+}
+
+// run advances the simulation in conservative epochs until the cycle
+// budget elapses or an error occurs, with semantics identical to the
+// serial engine: the same events process in the same (time, seq) order,
+// the deadline leaves future events queued, and draining the queues
+// leaves the clock at the last processed event.
+func (p *parallelEngine) run(m *Machine, cycles int64) error {
+	deadline := m.now + cycles
+	m.kickoff()
+	p.startWorkers()
+	defer p.stopWorkers()
+	for m.err == nil {
+		t, ok := p.nextTime()
+		if !ok {
+			break
+		}
+		if t > deadline {
+			m.now = deadline
+			break
+		}
+		end := t + p.w
+		if end > deadline+1 {
+			end = deadline + 1
+		}
+		p.runEpoch(m, end)
+	}
+	p.foldAcc(m)
+	m.stats.Cycles = m.now - m.statsBase
+	return m.err
+}
+
+// runEpoch executes one conservative window: concurrent shard phase,
+// then the serial replay at the barrier.
+func (p *parallelEngine) runEpoch(m *Machine, end int64) {
+	for i := range p.mes {
+		ms := &p.mes[i]
+		ms.log = ms.log[:0]
+		ms.pos = 0
+		ms.nextLoc = 0
+	}
+	// Dispatch only the shards whose MEs have events inside the window;
+	// a lone active shard runs inline to skip the barrier round-trip.
+	var active []int
+	for s := 0; s < p.shards; s++ {
+		for i := s; i < len(p.mes); i += p.shards {
+			if h := p.mes[i].q.peek(); h != nil && h.time < end {
+				active = append(active, s)
+				break
+			}
+		}
+	}
+	switch {
+	case len(active) == 0:
+		// Global-only window.
+	case len(active) == 1 || len(p.work) == 0:
+		for _, s := range active {
+			p.shardPhase(s, end)
+		}
+	default:
+		p.wg.Add(len(active))
+		for _, s := range active {
+			p.work[s] <- end
+		}
+		p.wg.Wait()
+	}
+	p.replay(m, end)
+}
+
+// shardPhase drains one shard's ME queues over the window [queue heads,
+// end), executing ME-local work and logging deferred effects. It runs
+// concurrently with other shards and must touch only this shard's MEs
+// and per-ME engine state.
+func (p *parallelEngine) shardPhase(s int, end int64) {
+	m := p.m
+	acc := &p.shardAccs[s]
+	for i := s; i < len(p.mes); i += p.shards {
+		ms := &p.mes[i]
+		for {
+			h := ms.q.peek()
+			if h == nil || h.time >= end {
+				break
+			}
+			ev := ms.q.pop()
+			var fault bool
+			if ev.kind == evActivate {
+				m.MEs[i].scheduled = false
+				fault = p.shardActivate(acc, ms, i, ev)
+			} else {
+				p.shardReady(ms, i, ev)
+			}
+			if fault {
+				// The machine check stops the run at this entry's replay
+				// position; later ME-local work would be discarded anyway.
+				return
+			}
+		}
+	}
+}
+
+// replay merges the epoch's per-ME logs with the global events in
+// (time, seq) order and applies every shared-state effect serially.
+func (p *parallelEngine) replay(m *Machine, end int64) {
+	for m.err == nil {
+		var ent *logEntry
+		var best *meShard
+		for i := range p.mes {
+			ms := &p.mes[i]
+			if ms.pos >= len(ms.log) {
+				continue
+			}
+			e := &ms.log[ms.pos]
+			if ent == nil || e.ev.time < ent.ev.time ||
+				(e.ev.time == ent.ev.time && e.ev.seq < ent.ev.seq) {
+				ent, best = e, ms
+			}
+		}
+		g := (*event)(nil)
+		if p.global.len() > 0 && p.global.ev[0].time < end {
+			g = &p.global.ev[0]
+		}
+		switch {
+		case ent == nil && g == nil:
+			return
+		case ent == nil || (g != nil && (g.time < ent.ev.time ||
+			(g.time == ent.ev.time && g.seq < ent.ev.seq))):
+			ev := p.global.pop()
+			if ev.time > m.now {
+				m.now = ev.time
+			}
+			switch ev.kind {
+			case evRxTick:
+				m.rxTick()
+			case evTxTick:
+				m.txTick()
+			case evXScale:
+				m.xscaleTick()
+			case evCallback:
+				m.takeCB(ev.cb)()
+			case evSample:
+				m.sampleTick()
+			}
+		default:
+			best.pos++
+			if ent.ev.time > m.now {
+				m.now = ent.ev.time
+			}
+			p.replayEntry(m, ent)
+			best.free = append(best.free, ent.ev)
+		}
+	}
+}
+
+// replayEntry applies one logged ME step: the deferred terminal
+// operation, tracing, statistics and sequence stamping — in exactly the
+// serial runME/readyThread order.
+func (p *parallelEngine) replayEntry(m *Machine, ent *logEntry) {
+	if ent.isReady {
+		if ent.activate != nil {
+			p.stamp(m, ent.activate)
+		}
+		return
+	}
+	me, ti := int(ent.me), int(ent.thread)
+	mx := m.MEs[me]
+	th := mx.threads[ti]
+	switch ent.term {
+	case termMem:
+		// The shard pre-checked the address range, so this cannot fail;
+		// it moves the bytes, accounts the access, occupies the
+		// controller and emits the MemAccess trace.
+		_, done := m.execMem(mx, th, ti, ent.in, ent.cyclesAt)
+		m.schedule(done, evReady, me, ti, nil)
+	case termRing:
+		var done int64
+		if ent.in.kind == dRingGet {
+			done = m.ringGet(mx, th, ti, ent.in, ent.cyclesAt)
+		} else {
+			done = m.ringPut(mx, th, ti, ent.in, ent.cyclesAt)
+		}
+		m.schedule(done, evReady, me, ti, nil)
+	case termFault:
+		m.stats.MEInstrs[me] += ent.instrs
+		if m.err == nil {
+			m.err = errors.New(ent.faultMsg)
+		}
+		if m.tracer != nil {
+			m.tracer.ThreadRun(ent.ev.time, me, ti, ent.cycles, YieldFault)
+		}
+		return
+	}
+	if m.tracer != nil {
+		m.tracer.ThreadRun(ent.ev.time, me, ti, ent.cycles, ent.reason)
+	}
+	m.stats.MEInstrs[me] += ent.instrs
+	m.stats.MEBusy[me] += ent.cycles
+	if ent.activate != nil {
+		p.stamp(m, ent.activate)
+	}
+}
+
+// stamp assigns the next serial sequence number to an event created
+// during the shard phase — the number Machine.schedule would have handed
+// it under the serial engine. The event already sits in its ME's queue
+// (or has already been processed and merely keys a later log entry);
+// stamping re-keys it without reordering (see meEvent).
+func (p *parallelEngine) stamp(m *Machine, ev *meEvent) {
+	m.seq++
+	ev.seq = m.seq
+	ev.stamped = true
+}
+
+// foldAcc merges the per-shard access-counter arrays into the machine's,
+// so Snapshot (and ResetStats) observe one coherent array between runs.
+func (p *parallelEngine) foldAcc(m *Machine) {
+	for s := range p.shardAccs {
+		for i, v := range p.shardAccs[s] {
+			if v != 0 {
+				m.acc[i] += v
+				p.shardAccs[s][i] = 0
+			}
+		}
+	}
+}
+
+// startWorkers launches the per-shard worker goroutines for one Run
+// call. A single-shard engine runs every phase inline instead.
+func (p *parallelEngine) startWorkers() {
+	if p.shardAccs == nil {
+		p.shardAccs = make([]accArray, p.shards)
+	}
+	if p.shards <= 1 || p.started {
+		return
+	}
+	p.started = true
+	p.work = make([]chan int64, p.shards)
+	for s := 0; s < p.shards; s++ {
+		c := make(chan int64, 1)
+		p.work[s] = c
+		go func(s int, c chan int64) {
+			for end := range c {
+				p.shardPhase(s, end)
+				p.wg.Done()
+			}
+		}(s, c)
+	}
+}
+
+// stopWorkers tears the workers down at the end of the Run call, so
+// machines never leak goroutines across measurements.
+func (p *parallelEngine) stopWorkers() {
+	if !p.started {
+		return
+	}
+	p.started = false
+	for _, c := range p.work {
+		close(c)
+	}
+	p.work = nil
+}

@@ -298,6 +298,71 @@ func fuse(d *dProg, p *cg.Program) {
 	}
 }
 
+// execRun executes exactly n instructions of the straight-line run
+// starting at pc and returns the pc after them. n must not exceed the
+// run length at pc (callers clamp it to the activation budget). This is
+// the interpreter's hottest loop, shared by the serial engine's runME
+// and the parallel engine's shard-side activation runner: every
+// instruction here costs one cycle and touches only the thread's
+// register file, so callers batch the cycle/instruction accounting.
+func execRun(code []dInstr, regs *[cg.NumRegs + 1]uint32, pc int, n int64) int {
+	rem := n
+	for rem > 0 {
+		d := &code[pc]
+		switch d.kind {
+		case dNop:
+			pc++
+			rem--
+		case dALU:
+			regs[d.dst] = aluEval(d.alu, regs[d.srcA], regs[d.srcB])
+			pc++
+			rem--
+		case dALUImm:
+			regs[d.dst] = aluEval(d.alu, regs[d.srcA], d.imm)
+			pc++
+			rem--
+		case dImmed:
+			regs[d.dst] = d.imm
+			pc++
+			rem--
+		case dFusedALUImmALUImm:
+			regs[d.dst] = aluEval(d.alu, regs[d.srcA], d.imm)
+			if rem == 1 { // budget split the pair; resume at the tail
+				pc++
+				rem = 0
+				break
+			}
+			t := &code[pc+1]
+			regs[t.dst] = aluEval(t.alu, regs[t.srcA], t.imm)
+			pc += 2
+			rem -= 2
+		case dFusedImmedALU:
+			regs[d.dst] = d.imm
+			if rem == 1 {
+				pc++
+				rem = 0
+				break
+			}
+			t := &code[pc+1]
+			regs[t.dst] = aluEval(t.alu, regs[t.srcA], regs[t.srcB])
+			pc += 2
+			rem -= 2
+		case dFusedImmedALUImm:
+			regs[d.dst] = d.imm
+			if rem == 1 {
+				pc++
+				rem = 0
+				break
+			}
+			t := &code[pc+1]
+			regs[t.dst] = aluEval(t.alu, regs[t.srcA], t.imm)
+			pc += 2
+			rem -= 2
+		}
+	}
+	return pc
+}
+
 // computeRuns annotates every slot with the straight-line run length
 // starting there. Fused simple slots contribute both halves; a fused
 // branch head terminates its run like the branch it contains.

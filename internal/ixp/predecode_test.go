@@ -77,7 +77,7 @@ func runProg(t *testing.T, prog *cg.Program) *Thread {
 	cfg := DefaultConfig()
 	cfg.SampleInterval = 0
 	cfg.ThreadsPerME = 1
-	m, err := New(cfg, nil)
+	m, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestPredecodeFusedTailEntry(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.SampleInterval = 0
 	cfg.ThreadsPerME = 1
-	m, err := New(cfg, nil)
+	m, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestPredecodeBadReg(t *testing.T) {
 	cfg.ThreadsPerME = 1
 
 	// Unreached: halts before the bad slot, no error.
-	m, err := New(cfg, nil)
+	m, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestPredecodeBadReg(t *testing.T) {
 	}
 
 	// Executed: machine-checks with the original opcode in the message.
-	m2, err := New(cfg, nil)
+	m2, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

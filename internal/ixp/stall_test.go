@@ -12,7 +12,7 @@ func runTraced(t *testing.T, cycles int64) (*Machine, *StallTracer) {
 	t.Helper()
 	cfg := DefaultConfig()
 	cfg.RingSlots = 64
-	m, err := New(cfg, &FixedDescMedia{})
+	m, err := New(cfg, WithMedia(&FixedDescMedia{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestStallShare(t *testing.T) {
 // (failed pops) charges its blocked time to idle, not to memory.
 func TestStallIdleAttribution(t *testing.T) {
 	cfg := DefaultConfig()
-	m, err := New(cfg, nil) // no media: the Rx ring stays empty
+	m, err := New(cfg) // no media: the Rx ring stays empty
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func BenchmarkTracerOverhead(b *testing.B) {
 		cfg := DefaultConfig()
 		cfg.RingSlots = 64
 		cfg.SampleInterval = 0
-		m, err := New(cfg, &FixedDescMedia{})
+		m, err := New(cfg, WithMedia(&FixedDescMedia{}))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -59,6 +59,9 @@ type Options struct {
 	// nil plays the trace back-to-back at line rate, the paper's
 	// saturating-load setup.
 	Workload *workload.Spec
+	// Engine selects the simulation engine (nil means the serial
+	// default; takes precedence over Cfg.Engine when set).
+	Engine ixp.EngineSpec
 }
 
 // New loads img onto a fresh machine, replicating ME programs across
@@ -72,6 +75,9 @@ func New(img *cg.Image, prog *ir.Program, tr []*packet.Packet, opts Options) (*R
 	cfg := opts.Cfg
 	if cfg.NumMEs == 0 {
 		cfg = ixp.DefaultConfig()
+	}
+	if opts.Engine != nil {
+		cfg.Engine = opts.Engine
 	}
 	lay := img.Layout
 	cfg.NumRings = lay.NumRings
@@ -89,7 +95,7 @@ func New(img *cg.Image, prog *ir.Program, tr []*packet.Packet, opts Options) (*R
 		}
 		r.stream = st
 	}
-	m, err := ixp.New(cfg, r)
+	m, err := ixp.New(cfg, ixp.WithMedia(r))
 	if err != nil {
 		return nil, fmt.Errorf("rts: %w", err)
 	}
