@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check race verify bench bench-smoke bench-loadlatency clean
+.PHONY: all build test vet fmt-check race churn-claims verify bench bench-smoke bench-loadlatency bench-churn clean
 
 all: verify
 
@@ -29,8 +29,17 @@ race:
 	$(GO) test -race ./internal/harness/ ./internal/metrics/ ./internal/ixp/
 	$(GO) test -race -cpu 1,2,8 -run 'TestParallel|TestEngine' ./internal/ixp/
 
+# The dynamic-control-plane gate, run explicitly (and with -count=1, so
+# a cached `test` result can never mask a regression): SWC delayed-update
+# coherency under an update storm, rule-flip convergence, byte-identical
+# incremental-vs-cold compiles, and churn report determinism.
+churn-claims:
+	$(GO) test -count=1 -run \
+		'TestSWCCoherencyUnderChurnStorm|TestFirewallRuleFlipConverges|TestIncrementalPacketDifferential|TestChurnDeterminism' \
+		./internal/harness/
+
 # Tier-1 verification: everything CI gates on.
-verify: build vet fmt-check test race
+verify: build vet fmt-check test race churn-claims
 
 # Host-performance benchmark suite → BENCH_sim.json (ns/op, B/op,
 # allocs/op and custom metrics per benchmark). BenchmarkSimulator fans
@@ -62,5 +71,12 @@ bench-loadlatency: build
 	@test -s bench_report.json && echo "bench-loadlatency: report OK"
 	@test -s trace.json && echo "bench-loadlatency: trace OK"
 
+# Short churn experiment: per-app goodput/latency timelines under a
+# control-plane update storm plus the full-vs-incremental compile-latency
+# comparison, written to its own report so CI can archive the timelines.
+bench-churn: build
+	$(GO) run ./cmd/shangrila-bench -quick -experiment churn -report churn_report.json
+	@test -s churn_report.json && echo "bench-churn: report OK"
+
 clean:
-	rm -f bench_report.json trace.json BENCH_sim.json
+	rm -f bench_report.json trace.json BENCH_sim.json churn_report.json

@@ -32,6 +32,12 @@ type Benchmark struct {
 	// from different engines are never compared as one series.
 	Engine string `json:"engine,omitempty"`
 	Shards int    `json:"shards,omitempty"`
+	// GOMAXPROCS is the per-benchmark parallelism testing encodes in the
+	// name suffix ("BenchmarkFoo-8"); NumCPU is the host's logical CPU
+	// count. Recorded per entry so a number measured on a loaded 4-core
+	// runner is never compared against a 32-core one as the same series.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	NumCPU     int `json:"num_cpu,omitempty"`
 }
 
 // Report is the whole document.
@@ -90,14 +96,18 @@ func parseLine(line, pkg string) (Benchmark, bool) {
 	if err != nil {
 		return Benchmark{}, false
 	}
-	// Strip the GOMAXPROCS suffix testing appends ("BenchmarkFoo-8").
+	// Strip the GOMAXPROCS suffix testing appends ("BenchmarkFoo-8"),
+	// keeping its value: it is the parallelism the benchmark ran at.
 	name := f[0]
+	procs := runtime.GOMAXPROCS(0)
 	if i := strings.LastIndexByte(name, '-'); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil {
 			name = name[:i]
+			procs = n
 		}
 	}
-	b := Benchmark{Name: name, Package: pkg, Iterations: iters}
+	b := Benchmark{Name: name, Package: pkg, Iterations: iters,
+		GOMAXPROCS: procs, NumCPU: runtime.NumCPU()}
 	for _, elem := range strings.Split(name, "/")[1:] {
 		switch {
 		case elem == "serial":

@@ -4,6 +4,12 @@
 // machine (arrival process, size mix, flow locality) and the output
 // gains offered load, drop causes and Rx→Tx latency quantiles.
 //
+// With -churn the run becomes a control-plane churn experiment: a
+// seeded update storm (-churn-rate/-churn-burst/-churn-arrival) applies
+// the app's dynamic policy updates through the XScale path mid-run, and
+// the output is the bucketed goodput/latency/flush timeline plus the
+// full-vs-incremental compile latency comparison.
+//
 // With -stalls every simulated cycle of the measured window is attributed
 // to compute, memory latency, memory-controller queueing, ring
 // backpressure or idle, per ME; with -trace the whole run is exported as
@@ -21,6 +27,8 @@
 //	       [-engine serial|parallel] [-shards n]
 //	       [-gbps g] [-arrival fixed|poisson|onoff] [-sizes 64|imix|trimodal]
 //	       [-flows n] [-zipf s]
+//	       [-churn] [-churn-rate u/s] [-churn-burst n]
+//	       [-churn-arrival fixed|poisson] [-swc-check-limit n]
 //	       [-stalls] [-trace out.json]
 //	       [-cpuprofile cpu.pb] [-memprofile mem.pb]
 //	       [-dump-ir pass|all] [-dump-ir-dir dir] [-verify-ir]
@@ -47,6 +55,7 @@ func main() {
 	cycles := flag.Int64("cycles", 1_000_000, "measured simulation cycles (600 MHz core)")
 	warm := flag.Int64("warmup", 150_000, "warm-up cycles before counters reset")
 	stalls := flag.Bool("stalls", false, "print the per-ME stall breakdown of the measured window")
+	churn := flag.Bool("churn", false, "run the control-plane churn experiment instead of a plain measurement")
 	tracePath := flag.String("trace", "", "write the run as Chrome trace_event JSON to this file")
 	prof := harness.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -87,6 +96,19 @@ func main() {
 	)
 	if *stalls {
 		opts = append(opts, harness.WithStallBreakdown())
+	}
+	if *churn {
+		res, err := harness.ChurnRun(app, opts...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ixpsim: churn: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(harness.FormatChurn([]*harness.ChurnResult{res}))
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "ixpsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	var traceFile *os.File
 	if *tracePath != "" {

@@ -21,7 +21,7 @@
 //
 // Usage:
 //
-//	shangrila-bench [-experiment all|fig6|table1|fig13|fig14|fig15|loadlatency]
+//	shangrila-bench [-experiment all|fig6|table1|fig13|fig14|fig15|loadlatency|churn]
 //	                [-quick] [-report bench_report.json] [-workers N]
 //	                [-O level] [-seed n]
 //	                [-engine serial|parallel] [-shards n]
@@ -29,6 +29,8 @@
 //	                [-cpuprofile cpu.pb] [-memprofile mem.pb]
 //	                [-arrival fixed|poisson|onoff] [-sizes 64|imix|trimodal]
 //	                [-flows n] [-zipf s]
+//	                [-churn-rate u/s] [-churn-burst n] [-churn-arrival fixed|poisson]
+//	                [-swc-check-limit n]
 //	                [-dump-ir pass|all] [-dump-ir-dir dir] [-verify-ir]
 //
 // -cpuprofile/-memprofile profile the benchmark process itself (for
@@ -49,7 +51,7 @@ import (
 
 func main() {
 	common := harness.RegisterCommonFlags(flag.CommandLine)
-	exp := flag.String("experiment", "all", "experiment: all|fig6|table1|fig13|fig14|fig15|loadlatency")
+	exp := flag.String("experiment", "all", "experiment: all|fig6|table1|fig13|fig14|fig15|loadlatency|churn")
 	quick := flag.Bool("quick", false, "shorter measurement windows (noisier)")
 	report := flag.String("report", "bench_report.json", "machine-readable report path (empty disables)")
 	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
@@ -96,6 +98,7 @@ func main() {
 
 	var all []*harness.Result
 	var curves []*harness.LoadCurve
+	var churn []*harness.ChurnResult
 	run("fig6", func() error {
 		pts, err := harness.Figure6(figWarm, figMeas)
 		if err != nil {
@@ -161,6 +164,23 @@ func main() {
 		return nil
 	})
 
+	run("churn", func() error {
+		lvl, err := common.DriverLevel()
+		if err != nil {
+			return err
+		}
+		chOpts := append(append([]harness.Option{}, opts...),
+			harness.WithLevel(lvl),
+			harness.WithWindows(figWarm, figMeas))
+		churn, err = harness.ChurnExperiment(apps.All(), chOpts...)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Control-plane churn — goodput/latency under update storms")
+		fmt.Println(harness.FormatChurn(churn))
+		return nil
+	})
+
 	if *tracePath != "" {
 		// Sweep points run concurrently and never stream Chrome traces
 		// (one JSON document per writer), so trace one representative
@@ -194,7 +214,7 @@ func main() {
 		fmt.Printf("wrote %s (Chrome trace_event JSON, %s at %v)\n", *tracePath, app.Name, lvl)
 	}
 
-	if *report != "" && (len(all) > 0 || len(curves) > 0) {
+	if *report != "" && (len(all) > 0 || len(curves) > 0 || len(churn) > 0) {
 		f, err := os.Create(*report)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "shangrila-bench: report: %v\n", err)
@@ -202,6 +222,7 @@ func main() {
 		}
 		rep := harness.BuildReport(all)
 		rep.LoadLatency = curves
+		rep.Churn = churn
 		if err := rep.WriteJSON(f); err != nil {
 			f.Close()
 			fmt.Fprintf(os.Stderr, "shangrila-bench: report: %v\n", err)
@@ -211,7 +232,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "shangrila-bench: report: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s (%d sweep points, %d load curves)\n", *report, len(all), len(curves))
+		fmt.Printf("wrote %s (%d sweep points, %d load curves, %d churn timelines)\n",
+			*report, len(all), len(curves), len(churn))
 	}
 	if err := prof.Stop(); err != nil {
 		fmt.Fprintf(os.Stderr, "shangrila-bench: %v\n", err)

@@ -29,6 +29,9 @@ type App struct {
 	// MinForwardFraction is the fraction of trace packets expected to be
 	// forwarded (used by integration tests as a sanity band).
 	MinForwardFraction float64
+	// Churn names the policy items the control-plane churn experiment
+	// flips at runtime (see ChurnPolicy).
+	Churn *ChurnPolicy
 }
 
 // All returns the three benchmark applications.

@@ -1,0 +1,100 @@
+package apps
+
+import "shangrila/internal/profiler"
+
+// Control-plane churn policies: each benchmark application names a few
+// policy items (routes, firewall rules, label entries) whose state the
+// churn experiment flips at runtime through the XScale control path. A
+// target's States are the announce alternatives — a per-item update
+// version v applies States[(v-1) % len(States)] — and Withdrawn, when
+// set, is the state a withdraw event installs (routes fall back to
+// next-hop 0, i.e. the slow path; rule and label targets flip in place
+// and never withdraw).
+
+// ChurnTarget is one churned policy item.
+type ChurnTarget struct {
+	// Name labels the item in reports ("route 192.168.1/24", "rule 3").
+	Name string
+	// States are the control calls an announce event cycles through.
+	States []profiler.Control
+	// Withdrawn is the control call a withdraw event applies (nil if the
+	// target cannot be withdrawn; withdraw events then re-announce).
+	Withdrawn *profiler.Control
+}
+
+// ChurnPolicy is an application's churn surface.
+type ChurnPolicy struct {
+	Targets []ChurnTarget
+}
+
+// State returns the control for item i at per-item version v (1-based),
+// honouring withdraws where the target supports them.
+func (cp *ChurnPolicy) State(i int, v uint64, withdraw bool) profiler.Control {
+	t := cp.Targets[i%len(cp.Targets)]
+	if withdraw && t.Withdrawn != nil {
+		return *t.Withdrawn
+	}
+	return t.States[int((v-1)%uint64(len(t.States)))]
+}
+
+// l3Churn flips three /24 routes between two next hops; a withdraw
+// points the prefix at next-hop 0 (no neighbor → slow path) until the
+// next announce.
+func l3Churn() *ChurnPolicy {
+	route := func(addr uint32, nhA, nhB uint32) ChurnTarget {
+		mk := func(nh uint32) profiler.Control {
+			return profiler.Control{Name: "l3switch.add_route", Args: []uint32{addr, 24, nh}}
+		}
+		w := mk(0)
+		return ChurnTarget{
+			Name:      "route",
+			States:    []profiler.Control{mk(nhA), mk(nhB)},
+			Withdrawn: &w,
+		}
+	}
+	return &ChurnPolicy{Targets: []ChurnTarget{
+		route(0xc0a80100, 4, 7), // 192.168.1/24: boot nh 4
+		route(0x08080800, 6, 5), // 8.8.8/24: boot nh 6
+		route(0x01010100, 7, 8), // 1.1.1/24: boot nh 7
+	}}
+}
+
+// fwChurn flips the action of four installed rules (allow↔deny) in
+// place; firewall rules are not withdrawn.
+func fwChurn() *ChurnPolicy {
+	rule := func(idx int) ChurnTarget {
+		r := fwRules[idx]
+		mk := func(action uint32) profiler.Control {
+			nh := r.nh
+			if action == fwActionDeny {
+				nh = 0
+			}
+			return profiler.Control{Name: "firewall.add_rule",
+				Args: []uint32{uint32(idx), r.src, r.smask, r.dst, r.dmask,
+					r.sportlo, r.sporthi, r.dportlo, r.dporthi, r.proto, action, nh}}
+		}
+		return ChurnTarget{
+			Name:   "rule",
+			States: []profiler.Control{mk(1 - r.action), mk(r.action)},
+		}
+	}
+	return &ChurnPolicy{Targets: []ChurnTarget{rule(0), rule(1), rule(3), rule(4)}}
+}
+
+// mplsChurn flips the outgoing label of four swap entries between two
+// label plans (out+100 ↔ out+200); label entries flip in place.
+func mplsChurn() *ChurnPolicy {
+	var ts []ChurnTarget
+	for _, l := range mplsPlan.swap[:4] {
+		l := l
+		mk := func(out uint32) profiler.Control {
+			return profiler.Control{Name: "mplsapp.add_ilm",
+				Args: []uint32{l & 1023, mplsOpSwap, out, 1 + l%4}}
+		}
+		ts = append(ts, ChurnTarget{
+			Name:   "ilm",
+			States: []profiler.Control{mk(l + 200), mk(l + 100)},
+		})
+	}
+	return &ChurnPolicy{Targets: ts}
+}

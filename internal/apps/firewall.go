@@ -219,6 +219,7 @@ func Firewall() *App {
 		Controls:           controls,
 		Trace:              fwTrace,
 		MinForwardFraction: 0.55,
+		Churn:              fwChurn(),
 	}
 }
 

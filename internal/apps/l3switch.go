@@ -261,6 +261,7 @@ func L3Switch() *App {
 		Controls:           controls,
 		Trace:              l3Trace,
 		MinForwardFraction: 0.9,
+		Churn:              l3Churn(),
 	}
 }
 

@@ -251,6 +251,7 @@ func MPLS() *App {
 		Controls:           controls,
 		Trace:              mplsTrace,
 		MinForwardFraction: 0.9,
+		Churn:              mplsChurn(),
 	}
 }
 

@@ -307,7 +307,13 @@ func BuildLayout(tp *types.Program, numLocks, numAppRings, numBufs int) *Layout 
 		names = append(names, name)
 	}
 	sortStrings(names)
-	var sram, scratch, local uint32
+	// Local Memory bytes [0, swcRegionBytes) hold the software cache's
+	// 16 lines of 32 bytes; per-ME local globals (SWC counters, seen
+	// words) are laid out after them — their addresses are absolute LM
+	// byte offsets, so they must not alias the line region.
+	const swcRegionBytes = 16 * 32
+	var sram, scratch uint32
+	local := uint32(swcRegionBytes)
 	for _, name := range names {
 		g := tp.Globals[name]
 		size := uint32((g.Type.SizeBytes() + 3) &^ 3)
@@ -325,7 +331,7 @@ func BuildLayout(tp *types.Program, numLocks, numAppRings, numBufs int) *Layout 
 	}
 	l.SRAMGlobalBytes = sram
 	l.ScratchGlobalBytes = scratch
-	l.LocalGlobalBytes = local
+	l.LocalGlobalBytes = local - swcRegionBytes
 
 	// SRAM: globals first, then metadata records. The record size is
 	// rounded to a power of two so record addresses are shift+add.
@@ -350,8 +356,8 @@ func BuildLayout(tp *types.Program, numLocks, numAppRings, numBufs int) *Layout 
 
 	// Local memory: software cache lines, local globals, stacks.
 	l.SWCLineBase = 0
-	l.LocalGlobal0 = 16 * 32 // after 16 cache lines of 32 bytes
-	l.StackBase = l.LocalGlobal0 + ((local + 15) &^ 15)
+	l.LocalGlobal0 = swcRegionBytes // after 16 cache lines of 32 bytes
+	l.StackBase = (local + 15) &^ 15
 	l.StackSize = 192 // 48 words per thread (§5.4)
 	return l
 }

@@ -94,14 +94,13 @@ func compileAggregate(prog *ir.Program, m *aggregate.Merged, layout *Layout,
 	classes map[*types.Channel]aggregate.ChannelClass, opts Options) (*Compiled, error) {
 
 	l := &lowerer{
-		opts:     opts,
-		layout:   layout,
-		tp:       prog.Types,
-		chans:    chanFacts,
-		labels:   map[string]int{},
-		fixups:   map[int]string{},
-		swcEntry: map[string]PReg{},
-		ringOf:   ringOf,
+		opts:   opts,
+		layout: layout,
+		tp:     prog.Types,
+		chans:  chanFacts,
+		labels: map[string]int{},
+		fixups: map[int]string{},
+		ringOf: ringOf,
 	}
 	c := &Compiled{Agg: m.Agg}
 
@@ -608,7 +607,11 @@ func (l *lowerer) lowerLock(in *ir.Instr, acquire bool) {
 		Comment: fmt.Sprintf("lock %d release", in.Imm)})
 }
 
-// lowerCacheLookup: CAM probe + Local Memory line read.
+// lowerCacheLookup: CAM probe + Local Memory line read. The matched (or
+// LRU victim) entry lands in the IR-visible Dst[1] register so the
+// miss path's CacheFill tags and fills the same entry — several lookup
+// sites may cache the same global, so the entry cannot be resolved per
+// global name.
 func (l *lowerer) lowerCacheLookup(in *ir.Instr) {
 	base := l.layout.GlobalAddr[in.Global.Name]
 	key := l.newVReg()
@@ -618,16 +621,15 @@ func (l *lowerer) lowerCacheLookup(in *ir.Instr) {
 		l.emitImmed(key, base+uint32(in.Off))
 	}
 	hit := l.vregOf(in.Dst[0])
-	entry := l.newVReg()
+	entry := l.vregOf(in.Dst[1])
 	l.emit(&Instr{Op: ICAMLookup, Dst: hit, Dst2: entry, SrcA: key,
 		Comment: "swc lookup " + in.Global.Name})
-	l.swcEntry[in.Global.Name] = entry
 	// Line address in Local Memory: SWCLineBase + entry*32.
 	la := l.newVReg()
 	l.emitALUImm(AShl, la, entry, 5)
-	data := make([]PReg, len(in.Dst)-1)
+	data := make([]PReg, len(in.Dst)-2)
 	for i := range data {
-		data[i] = l.vregOf(in.Dst[i+1])
+		data[i] = l.vregOf(in.Dst[i+2])
 	}
 	if len(data) > 0 {
 		l.emit(&Instr{Op: IMem, Level: MemLocal, Addr: la,
@@ -637,17 +639,14 @@ func (l *lowerer) lowerCacheLookup(in *ir.Instr) {
 }
 
 // lowerCacheFill: CAM tag write + Local Memory line write at the entry
-// returned by the preceding lookup.
+// its own lookup returned (Args[0]); Args[1] is the optional index
+// register and Args[2:] the line words.
 func (l *lowerer) lowerCacheFill(in *ir.Instr) {
-	entry, ok := l.swcEntry[in.Global.Name]
-	if !ok {
-		l.failf("cache fill without preceding lookup for %s", in.Global.Name)
-		return
-	}
+	entry := l.vregOf(in.Args[0])
 	base := l.layout.GlobalAddr[in.Global.Name]
 	key := l.newVReg()
-	if len(in.Args) > 0 && in.Args[0] != ir.NoReg {
-		l.emitALUImm(AAdd, key, l.vregOf(in.Args[0]), base+uint32(in.Off))
+	if in.Args[1] != ir.NoReg {
+		l.emitALUImm(AAdd, key, l.vregOf(in.Args[1]), base+uint32(in.Off))
 	} else {
 		l.emitImmed(key, base+uint32(in.Off))
 	}
@@ -655,11 +654,9 @@ func (l *lowerer) lowerCacheFill(in *ir.Instr) {
 		Comment: "swc tag " + in.Global.Name})
 	la := l.newVReg()
 	l.emitALUImm(AShl, la, entry, 5)
-	data := make([]PReg, 0, len(in.Args)-1)
-	for _, a := range in.Args[1:] {
-		if a != ir.NoReg {
-			data = append(data, l.vregOf(a))
-		}
+	data := make([]PReg, 0, len(in.Args)-2)
+	for _, a := range in.Args[2:] {
+		data = append(data, l.vregOf(a))
 	}
 	if len(data) > 0 {
 		l.emit(&Instr{Op: IMem, Level: MemLocal, Store: true, Addr: la,

@@ -42,11 +42,8 @@ type lowerer struct {
 	fixups  map[int]string // instruction index -> label
 	handles map[ir.Reg]*handleInfo
 	regmap  map[ir.Reg]PReg // IR reg -> virtual CGIR reg
-	// swcEntry remembers the CAM entry vreg of the last cache lookup per
-	// global, consumed by the matching cache fill.
-	swcEntry map[string]PReg
-	ringOf   map[string]int // channel name -> ring id
-	err      error
+	ringOf  map[string]int  // channel name -> ring id
+	err     error
 }
 
 // handleInfo is CG's view of a packet handle: the buffer id register, the

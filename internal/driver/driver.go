@@ -15,6 +15,7 @@
 package driver
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 
@@ -119,6 +120,10 @@ type PassTiming struct {
 	InstrsBefore int    `json:"instrs_before"`
 	InstrsAfter  int    `json:"instrs_after"`
 	VerifyNanos  int64  `json:"verify_nanos,omitempty"`
+	// Skipped marks a pass an incremental Session recompile satisfied
+	// from its cache instead of executing; Nanos/VerifyNanos are zero and
+	// the sizes are the cached result's.
+	Skipped bool `json:"skipped,omitempty"`
 }
 
 // Report summarizes what the compiler did.
@@ -160,6 +165,23 @@ type Result struct {
 	Image  *cg.Image
 	Prog   *ir.Program // post-optimization whole program (XScale path)
 	Report *Report
+	// Merged holds the per-aggregate merged programs in final form, so
+	// callers can render the complete IR state (DumpIR) — the artifact
+	// the incremental-vs-cold differential compares byte for byte.
+	Merged []*aggregate.Merged
+}
+
+// DumpIR renders the result's final IR — the whole program plus every
+// merged aggregate body — in the deterministic -dump-ir format. Two
+// compiles that produced semantically identical code produce identical
+// bytes.
+func (r *Result) DumpIR() ([]byte, error) {
+	var b bytes.Buffer
+	ctx := &Context{Prog: r.Prog, Merged: r.Merged}
+	if err := writeDump(&b, "final", "prog", ctx); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
 }
 
 // LowerSource parses, checks and lowers Baker source to IR (the frontend
@@ -201,5 +223,5 @@ func CompileIR(prog *ir.Program, cfg Config) (*Result, error) {
 		}
 	}
 	r.ctx.Report.Metrics = r.reg().Snapshot()
-	return &Result{Image: r.ctx.Image, Prog: prog, Report: r.ctx.Report}, nil
+	return &Result{Image: r.ctx.Image, Prog: prog, Report: r.ctx.Report, Merged: r.ctx.Merged}, nil
 }

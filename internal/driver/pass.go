@@ -71,21 +71,58 @@ type Context struct {
 
 	facts facts
 	reg   *metrics.Registry
+
+	// factGuard, when non-nil, is the set of facts the running pass
+	// declared in Requires (or produced itself during this Run). Reading
+	// any other fact through the typed accessors records a violation:
+	// that is the undeclared dependency that would let an incremental
+	// recompile silently reuse a stale analysis. Installed around
+	// Pass.Run only — ensure and the manager itself read freely.
+	factGuard map[FactKind]bool
+	guardErr  error
+	// factReads logs which facts the current pass consulted (including
+	// the exempt optional SOARIfValid read). The incremental Session uses
+	// it to record each cached pass result's true input set, so reuse is
+	// keyed to the exact fact values a pass observed, not just its
+	// declared Requires.
+	factReads [numFacts]bool
+}
+
+// noteFactRead enforces the Requires contract while a pass runs.
+// SOARIfValid is deliberately not routed here: it is the documented
+// optional read (the code generator forwards SOAR facts when a pipeline
+// happens to have them and passes nil otherwise), so it cannot create a
+// hidden hard dependency.
+func (ctx *Context) noteFactRead(k FactKind) {
+	ctx.factReads[k] = true
+	if ctx.factGuard == nil || ctx.factGuard[k] {
+		return
+	}
+	if ctx.guardErr == nil {
+		ctx.guardErr = fmt.Errorf("undeclared read of %v fact (missing Requires declaration)", k)
+	}
 }
 
 // Profile returns the cached profiler stats (nil before the profile pass
 // has run; passes that declare FactProfile in Requires never see nil).
-func (ctx *Context) Profile() *profiler.Stats { return ctx.facts.profile }
+func (ctx *Context) Profile() *profiler.Stats {
+	ctx.noteFactRead(FactProfile)
+	return ctx.facts.profile
+}
 
 // SetProfile installs the profiler stats fact.
 func (ctx *Context) SetProfile(s *profiler.Stats) {
 	ctx.facts.profile = s
 	ctx.facts.valid[FactProfile] = true
+	if ctx.factGuard != nil {
+		ctx.factGuard[FactProfile] = true // producer may read its own fact
+	}
 }
 
 // SOAR returns the whole-program SOAR facts, analyzing (and annotating the
 // IR) on demand when the cache is empty or invalidated.
 func (ctx *Context) SOAR() *soar.Stats {
+	ctx.noteFactRead(FactSOAR)
 	if !ctx.facts.valid[FactSOAR] {
 		ctx.facts.soar = soar.Analyze(ctx.Prog)
 		ctx.facts.valid[FactSOAR] = true
@@ -95,7 +132,10 @@ func (ctx *Context) SOAR() *soar.Stats {
 
 // SOARIfValid returns the cached SOAR facts without computing them: nil at
 // levels whose pipeline never analyzes (the code generator passes nil on).
+// It is exempt from the Requires guard — an optional read by design — but
+// still logged in factReads so incremental reuse keys on it.
 func (ctx *Context) SOARIfValid() *soar.Stats {
+	ctx.factReads[FactSOAR] = true
 	if !ctx.facts.valid[FactSOAR] {
 		return nil
 	}
@@ -104,6 +144,7 @@ func (ctx *Context) SOARIfValid() *soar.Stats {
 
 // Plan returns the aggregation plan and channel classification facts.
 func (ctx *Context) Plan() (*aggregate.Plan, map[*types.Channel]aggregate.ChannelClass) {
+	ctx.noteFactRead(FactPlan)
 	return ctx.facts.plan, ctx.facts.classes
 }
 
@@ -112,6 +153,9 @@ func (ctx *Context) SetPlan(p *aggregate.Plan, classes map[*types.Channel]aggreg
 	ctx.facts.plan = p
 	ctx.facts.classes = classes
 	ctx.facts.valid[FactPlan] = true
+	if ctx.factGuard != nil {
+		ctx.factGuard[FactPlan] = true
+	}
 }
 
 // Invalidate drops cached facts (a transform that moved packet accesses
@@ -280,8 +324,19 @@ func (r *runner) runPass(p Pass) error {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 	}
-	if err := p.Run(ctx); err != nil {
+	ctx.factGuard = make(map[FactKind]bool, len(p.Requires()))
+	for _, k := range p.Requires() {
+		ctx.factGuard[k] = true
+	}
+	ctx.guardErr = nil
+	err := p.Run(ctx)
+	guardErr := ctx.guardErr
+	ctx.factGuard, ctx.guardErr = nil, nil
+	if err != nil {
 		return fmt.Errorf("%s: %w", name, err)
+	}
+	if guardErr != nil {
+		return fmt.Errorf("%s: %w", name, guardErr)
 	}
 	ctx.Invalidate(p.Invalidates()...)
 	nanos := time.Since(t0).Nanoseconds()

@@ -1,0 +1,256 @@
+package driver_test
+
+import (
+	"bytes"
+	"testing"
+
+	"shangrila/internal/apps"
+	"shangrila/internal/driver"
+	"shangrila/internal/metrics"
+	"shangrila/internal/profiler"
+)
+
+// newSessionFor builds a Session over a fresh lowering of the app.
+func newSessionFor(t *testing.T, a *apps.App, lvl driver.Level) *driver.Session {
+	t.Helper()
+	prog, err := driver.LowerSource(a.Name+".baker", a.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := driver.Config{
+		Level:        lvl,
+		ProfileTrace: a.Trace(prog.Types, 7, 256),
+		Controls:     a.Controls,
+		VerifyIR:     driver.VerifyOn,
+	}
+	s, err := driver.NewSession(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// coldCompile runs a from-scratch CompileIR with the given configuration
+// over a fresh lowering of the app.
+func coldCompile(t *testing.T, a *apps.App, cfg driver.Config) *driver.Result {
+	t.Helper()
+	prog, err := driver.LowerSource(a.Name+".baker", a.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ProfileTrace = a.Trace(prog.Types, 7, 256)
+	cfg.Metrics = nil
+	res, err := driver.CompileIR(prog, cfg)
+	if err != nil {
+		t.Fatalf("cold compile: %v", err)
+	}
+	return res
+}
+
+// deltaFor returns a single-rule policy delta for the app: one route,
+// firewall rule, or label entry beyond the boot configuration.
+func deltaFor(a *apps.App) driver.Delta {
+	switch a.Name {
+	case "l3switch":
+		return driver.Delta{AddControls: []profiler.Control{
+			{Name: "l3switch.add_route", Args: []uint32{0x0b000000, 8, 2}},
+		}}
+	case "firewall":
+		// One more allow rule past the installed set: HTTPS from 10/8 to
+		// 192.168/16 (args follow the app's add_rule signature).
+		return driver.Delta{AddControls: []profiler.Control{
+			{Name: "firewall.add_rule", Args: []uint32{
+				6,                      // idx
+				0x0a000000, 0xff000000, // src, smask
+				0xc0a80000, 0xffff0000, // dst, dmask
+				0, 0xffff, // sport range
+				443, 443, // dport range
+				6, // proto tcp
+				1, // action allow
+				2, // nh
+			}},
+		}}
+	case "mpls":
+		return driver.Delta{AddControls: []profiler.Control{
+			{Name: "mplsapp.add_ilm", Args: []uint32{900, 1, 1000, 3}},
+		}}
+	}
+	return driver.Delta{}
+}
+
+func dumpIR(t *testing.T, res *driver.Result) []byte {
+	t.Helper()
+	b, err := res.DumpIR()
+	if err != nil {
+		t.Fatalf("DumpIR: %v", err)
+	}
+	return b
+}
+
+// passCounts tallies executed and skipped rows of one compile's report.
+func passCounts(res *driver.Result) (executed, skipped int) {
+	for _, pt := range res.Report.Passes {
+		if pt.Skipped {
+			skipped++
+		} else {
+			executed++
+		}
+	}
+	return
+}
+
+// TestSessionIncrementalMatchesColdAllAppsAllLevels is the tentpole
+// differential: for every app at every optimization level, an incremental
+// recompile of a single-rule policy delta must (a) execute strictly fewer
+// passes than the cold pipeline — asserted through the compile.pass.*
+// metrics — and (b) produce bit-identical final IR to a cold compile of
+// the post-delta configuration.
+func TestSessionIncrementalMatchesColdAllAppsAllLevels(t *testing.T) {
+	for _, a := range apps.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			for _, lvl := range driver.Levels() {
+				s := newSessionFor(t, a, lvl)
+				if _, err := s.Compile(); err != nil {
+					t.Fatalf("%v: cold session compile: %v", lvl, err)
+				}
+
+				d := deltaFor(a)
+				if len(d.AddControls) == 0 {
+					t.Fatalf("no delta defined for %s", a.Name)
+				}
+				inc, err := s.Recompile(d)
+				if err != nil {
+					t.Fatalf("%v: incremental recompile: %v", lvl, err)
+				}
+
+				executed, skipped := passCounts(inc)
+				total := len(inc.Report.Passes)
+				if skipped == 0 || executed >= total {
+					t.Errorf("%v: incremental recompile executed %d of %d passes (skipped %d), want strictly fewer",
+						lvl, executed, total, skipped)
+				}
+				// The same claim through the metrics registry: skip
+				// counters present, and runs < 2 per skipped pass.
+				snap := inc.Report.Metrics
+				var metricSkips int64
+				for _, pt := range inc.Report.Passes {
+					if pt.Skipped {
+						metricSkips += snap.Counters[metrics.PassSkips(pt.Pass).String()]
+						if runs := snap.Counters[metrics.PassRuns(pt.Pass).String()]; runs != 1 {
+							t.Errorf("%v: skipped pass %q has %d runs, want 1", lvl, pt.Pass, runs)
+						}
+					}
+				}
+				if metricSkips < int64(skipped) {
+					t.Errorf("%v: compile.pass.*.skips total %d < %d skipped rows", lvl, metricSkips, skipped)
+				}
+
+				// Bit-identity against a cold compile of the post-delta
+				// configuration.
+				cfg := s.Config()
+				cold := coldCompile(t, a, cfg)
+				if !bytes.Equal(dumpIR(t, inc), dumpIR(t, cold)) {
+					t.Errorf("%v: incremental final IR differs from cold compile", lvl)
+				}
+
+				st := s.Stats()
+				if st.Compiles != 2 || st.Incremental != 1 {
+					t.Errorf("%v: session stats = %+v, want 2 compiles / 1 incremental", lvl, st)
+				}
+			}
+		})
+	}
+}
+
+// TestSessionFullCacheHit pins the no-delta case: recompiling with nothing
+// changed reuses every pass.
+func TestSessionFullCacheHit(t *testing.T) {
+	a := apps.L3Switch()
+	s := newSessionFor(t, a, driver.LevelSWC)
+	first, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	executed, skipped := passCounts(second)
+	if executed != 0 || skipped != len(first.Report.Passes) {
+		t.Fatalf("no-delta recompile executed %d / skipped %d of %d passes, want full reuse",
+			executed, skipped, len(first.Report.Passes))
+	}
+	if !bytes.Equal(dumpIR(t, first), dumpIR(t, second)) {
+		t.Error("cache-hit recompile changed the final IR")
+	}
+	if second.Image == nil || second.Report.Plan == nil || second.Report.ProfileStats == nil {
+		t.Error("cache-hit result is missing image/plan/profile")
+	}
+}
+
+// TestSessionFactPlanOnlyDelta pins the invalidation semantics: a delta
+// declaring only FactPlan stale must skip the profile and scalar/SOAR/PAC
+// passes (their facts and IR inputs are untouched) while re-running
+// aggregation and everything downstream of the fresh plan.
+func TestSessionFactPlanOnlyDelta(t *testing.T) {
+	a := apps.L3Switch()
+	s := newSessionFor(t, a, driver.LevelSWC)
+	if _, err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Recompile(driver.Delta{Invalidates: []driver.FactKind{driver.FactPlan}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipped := map[string]bool{}
+	for _, pt := range res.Report.Passes {
+		if pt.Skipped {
+			skipped[pt.Pass] = true
+		}
+	}
+	// The profile and the scalar/SOAR/PAC transforms are untouched by a
+	// plan-only invalidation; aggregation itself must re-run. (Passes
+	// downstream of aggregation may be legitimately reused again once the
+	// rebuilt plan converges to bit-identical IR.)
+	for _, want := range []string{"profile", "inline+scalar", "soar", "pac"} {
+		if !skipped[want] {
+			t.Errorf("pass %q re-ran on a FactPlan-only delta", want)
+		}
+	}
+	if skipped["aggregate"] {
+		t.Error("aggregate pass reused despite its produced fact being invalidated")
+	}
+}
+
+// TestSessionProfileDeltaReattaches pins the mid-flight reattach: a
+// default (profile-invalidating) delta re-runs the profiler but still
+// reuses the profile-independent scalar/SOAR/PAC transforms before
+// re-executing from aggregation.
+func TestSessionProfileDeltaReattaches(t *testing.T) {
+	a := apps.L3Switch()
+	s := newSessionFor(t, a, driver.LevelSWC)
+	if _, err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Recompile(deltaFor(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipped := map[string]bool{}
+	for _, pt := range res.Report.Passes {
+		if pt.Skipped {
+			skipped[pt.Pass] = true
+		}
+	}
+	for _, want := range []string{"inline+scalar", "soar", "pac"} {
+		if !skipped[want] {
+			t.Errorf("pass %q not reused after a profile-only delta", want)
+		}
+	}
+	for _, mustRun := range []string{"profile", "aggregate", "codegen"} {
+		if skipped[mustRun] {
+			t.Errorf("pass %q reused but its inputs changed", mustRun)
+		}
+	}
+}

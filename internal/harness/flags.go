@@ -35,6 +35,14 @@ type CommonFlags struct {
 	// min(NumMEs, GOMAXPROCS).
 	Engine string
 	Shards int
+
+	// Control-plane churn shape (the churn experiment). ChurnRate 0
+	// keeps the experiment's default update storm; SWCCheckLimit 0
+	// keeps the unclamped Equation-2 check interval.
+	ChurnRate     float64
+	ChurnBurst    int
+	ChurnArrival  string
+	SWCCheckLimit uint
 }
 
 // RegisterCommonFlags registers the shared flags on fs and returns the
@@ -53,7 +61,32 @@ func RegisterCommonFlags(fs *flag.FlagSet) *CommonFlags {
 	fs.Float64Var(&f.Zipf, "zipf", 0, "Zipf flow-popularity exponent (0 = uniform)")
 	fs.StringVar(&f.Engine, "engine", "serial", "simulation engine: serial|parallel (bit-identical results)")
 	fs.IntVar(&f.Shards, "shards", 0, "parallel engine worker shards (0 = min(NumMEs, GOMAXPROCS))")
+	fs.Float64Var(&f.ChurnRate, "churn-rate", 0, "control-plane updates per second (0 = churn experiment default)")
+	fs.IntVar(&f.ChurnBurst, "churn-burst", 0, "back-to-back updates per churn arrival (0 = default)")
+	fs.StringVar(&f.ChurnArrival, "churn-arrival", "", "churn arrival process: fixed|poisson (default fixed)")
+	fs.UintVar(&f.SWCCheckLimit, "swc-check-limit", 0, "max packets between software-cache update checks (0 = unclamped)")
 	return f
+}
+
+// ChurnSpec returns the churn stream the -churn-* flags describe, or nil
+// when none is set (the churn experiment then uses its default storm).
+func (f *CommonFlags) ChurnSpec() (*workload.ChurnSpec, error) {
+	if f.ChurnRate == 0 && f.ChurnBurst == 0 && f.ChurnArrival == "" {
+		return nil, nil
+	}
+	sp := &workload.ChurnSpec{
+		UpdatesPerSec: f.ChurnRate,
+		Burst:         f.ChurnBurst,
+		Arrival:       f.ChurnArrival,
+	}
+	probe := *sp
+	if probe.UpdatesPerSec == 0 {
+		probe.UpdatesPerSec = 1
+	}
+	if _, err := probe.Normalize(); err != nil {
+		return nil, err
+	}
+	return sp, nil
 }
 
 // EngineSpec returns the engine the -engine/-shards flags select (nil
@@ -149,6 +182,16 @@ func (f *CommonFlags) Options() ([]Option, error) {
 	}
 	if eng != nil {
 		opts = append(opts, WithEngine(eng))
+	}
+	csp, err := f.ChurnSpec()
+	if err != nil {
+		return nil, err
+	}
+	if csp != nil {
+		opts = append(opts, WithChurn(csp))
+	}
+	if f.SWCCheckLimit != 0 {
+		opts = append(opts, WithSWCMaxCheck(uint32(f.SWCCheckLimit)))
 	}
 	return opts, nil
 }

@@ -13,6 +13,8 @@ import (
 
 	"shangrila/internal/apps"
 	"shangrila/internal/driver"
+	"shangrila/internal/opt/swc"
+	"shangrila/internal/packet"
 )
 
 // RunConfig controls one measured simulation.
@@ -63,7 +65,13 @@ func compile(a *apps.App, lvl driver.Level, seed uint64, s *settings) (*driver.R
 		return nil, fmt.Errorf("%s: %w", a.Name, err)
 	}
 	ptrace := a.Trace(prog.Types, seed, 512)
-	return driver.CompileIR(prog, driver.Config{
+	return driver.CompileIR(prog, driverConfig(a, lvl, ptrace, s))
+}
+
+// driverConfig assembles the driver configuration shared by cold
+// compiles and incremental sessions.
+func driverConfig(a *apps.App, lvl driver.Level, ptrace []*packet.Packet, s *settings) driver.Config {
+	cfg := driver.Config{
 		Level:        lvl,
 		ProfileTrace: ptrace,
 		Controls:     a.Controls,
@@ -71,7 +79,15 @@ func compile(a *apps.App, lvl driver.Level, seed uint64, s *settings) (*driver.R
 		DumpPass:     s.dumpPass,
 		DumpDir:      s.dumpDir,
 		DumpPrefix:   a.Name + "-" + lvl.String(),
-	})
+	}
+	if s.swcMaxCheck != 0 {
+		// Start from the defaults: the driver only substitutes them for
+		// the all-zero config, and a bare MaxCheckLimit would otherwise
+		// zero every selection threshold.
+		cfg.SWC = swc.DefaultConfig()
+		cfg.SWC.MaxCheckLimit = s.swcMaxCheck
+	}
+	return cfg
 }
 
 // ---------------------------------------------------------------------------

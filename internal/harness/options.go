@@ -35,6 +35,8 @@ type settings struct {
 	chromeTrace    io.Writer
 	metricsReg     *metrics.Registry
 	engine         ixp.EngineSpec
+	churn          *workload.ChurnSpec
+	swcMaxCheck    uint32
 }
 
 func defaultSettings() settings {
@@ -117,6 +119,21 @@ func WithCompiled(res *driver.Result) Option {
 // Seed 0 inherits the measurement seed (WithSeed + 1, like the trace).
 func WithWorkload(sp *workload.Spec) Option {
 	return func(s *settings) { s.workload = sp }
+}
+
+// WithChurn sets the control-plane update stream for the churn
+// experiment (nil keeps ChurnRun's default storm). A spec with Seed 0
+// inherits the measurement seed; Items 0 churns every policy item the
+// app declares.
+func WithChurn(sp *workload.ChurnSpec) Option {
+	return func(s *settings) { s.churn = sp }
+}
+
+// WithSWCMaxCheck clamps the software-cache update-check interval
+// (Equation 2's limit) so MEs observe control-plane updates within at
+// most n packets. 0 keeps the unclamped error-rate-derived interval.
+func WithSWCMaxCheck(n uint32) Option {
+	return func(s *settings) { s.swcMaxCheck = n }
 }
 
 // WithStallBreakdown attaches a cycle-level stall tracer to the measured

@@ -53,12 +53,17 @@ type BenchReport struct {
 	// LoadLatency holds load–latency curves when the loadlatency
 	// experiment ran.
 	LoadLatency []*LoadCurve `json:"load_latency,omitempty"`
+	// Churn holds the control-plane churn timelines when the churn
+	// experiment ran.
+	Churn []*ChurnResult `json:"churn,omitempty"`
 }
 
 // ReportSchema versions the bench report layout. v2 added the
 // workload-mode point fields and the load_latency section; v3 records
-// the simulation engine (and shard count) per point.
-const ReportSchema = "shangrila-bench/v3"
+// the simulation engine (and shard count) per point; v4 adds the churn
+// section (goodput/latency timelines under control-plane update storms
+// plus full-vs-incremental compile latency).
+const ReportSchema = "shangrila-bench/v4"
 
 // BuildReport converts sweep results into the export document, in result
 // order.
@@ -116,6 +121,7 @@ func (r *BenchReport) CanonicalJSON() ([]byte, error) {
 		Schema:      r.Schema,
 		Points:      make([]ReportPoint, len(r.Points)),
 		LoadLatency: r.LoadLatency,
+		Churn:       make([]*ChurnResult, len(r.Churn)),
 	}
 	copy(cp.Points, r.Points)
 	for i := range cp.Points {
@@ -128,6 +134,22 @@ func (r *BenchReport) CanonicalJSON() ([]byte, error) {
 			}
 			cp.Points[i].CompilePasses = passes
 		}
+	}
+	// Churn timelines are fully simulated (byte-stable); only the
+	// wall-clock compile-latency percentiles vary, so they are zeroed
+	// while the deterministic pass counts stay.
+	for i, cr := range r.Churn {
+		c := *cr
+		if c.Compile != nil {
+			cl := *c.Compile
+			cl.ColdP50Nanos, cl.ColdP99Nanos = 0, 0
+			cl.IncP50Nanos, cl.IncP99Nanos = 0, 0
+			c.Compile = &cl
+		}
+		cp.Churn[i] = &c
+	}
+	if len(cp.Churn) == 0 {
+		cp.Churn = nil
 	}
 	return json.MarshalIndent(&cp, "", "  ")
 }

@@ -119,8 +119,8 @@ const (
 	OpLockRelease
 
 	// SWC-generated operations (emitted by the software-cache transform).
-	OpCacheLookup // Dst[0] = hit(0/1), Dst[1..] = cached words; Global, Off/Args[0] key
-	OpCacheFill   // install Args (key, words...) for Global
+	OpCacheLookup // Dst[0] = hit(0/1), Dst[1] = CAM entry, Dst[2..] = cached words; Global, Off/Args[0] key
+	OpCacheFill   // install line at entry Args[0]; Args[1] = index (or NoReg), Args[2..] = words; Global
 	OpCacheFlush  // invalidate all cached lines of Global
 )
 

@@ -120,17 +120,20 @@ func verifyFunc(fn *Func) error {
 func verifyInstr(fn *Func, b *Block, idx int, in *Instr, member map[*Block]bool,
 	errf func(*Block, int, *Instr, string, ...any) error) error {
 	// Register ranges. Args may use NoReg only in the optional index slot
-	// of global and cache accesses.
-	optionalIndex := func(op Op) bool {
+	// of global and cache accesses (arg 0, except CacheFill whose arg 0
+	// carries the CAM entry from its lookup and whose index is arg 1).
+	optionalIndexSlot := func(op Op) string {
 		switch op {
-		case OpLoad, OpStore, OpCacheLookup, OpCacheFill, OpCacheFlush:
-			return true
+		case OpLoad, OpStore, OpCacheLookup, OpCacheFlush:
+			return "arg 0"
+		case OpCacheFill:
+			return "arg 1"
 		}
-		return false
+		return ""
 	}
 	checkReg := func(r Reg, what string) error {
 		if r == NoReg {
-			if what != "arg 0" || !optionalIndex(in.Op) {
+			if what != optionalIndexSlot(in.Op) {
 				return errf(b, idx, in, "%v: %s is NoReg", in.Op, what)
 			}
 			return nil

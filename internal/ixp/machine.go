@@ -166,6 +166,13 @@ type Stats struct {
 	// MEBusy accumulates executing (non-idle) cycles per ME; divided by
 	// Cycles it is the ME's utilization over the measured window.
 	MEBusy []int64
+	// CAMLookups, CAMHits and CAMClears observe the software-controlled
+	// cache per ME: 16-entry CAM probes, their hits, and full-CAM
+	// invalidations — the delayed-update flush path, so a churn run can
+	// verify that control-plane updates actually reach each ME.
+	CAMLookups []uint64
+	CAMHits    []uint64
+	CAMClears  []uint64
 	// Busy accumulates controller occupancy cycles per level.
 	Busy [4]int64
 }
@@ -180,6 +187,9 @@ func (s *Stats) clone() Stats {
 	cp.MEInstrs = append([]uint64(nil), s.MEInstrs...)
 	cp.MEBusy = append([]int64(nil), s.MEBusy...)
 	cp.RingOverflow = append([]uint64(nil), s.RingOverflow...)
+	cp.CAMLookups = append([]uint64(nil), s.CAMLookups...)
+	cp.CAMHits = append([]uint64(nil), s.CAMHits...)
+	cp.CAMClears = append([]uint64(nil), s.CAMClears...)
 	return cp
 }
 
@@ -491,6 +501,9 @@ func New(cfg Config, opts ...Option) (*Machine, error) {
 	m.stats.MEInstrs = make([]uint64, cfg.NumMEs)
 	m.stats.MEBusy = make([]int64, cfg.NumMEs)
 	m.stats.RingOverflow = make([]uint64, cfg.NumRings)
+	m.stats.CAMLookups = make([]uint64, cfg.NumMEs)
+	m.stats.CAMHits = make([]uint64, cfg.NumMEs)
+	m.stats.CAMClears = make([]uint64, cfg.NumMEs)
 	m.ctrl[0] = &controller{level: cg.MemScratch, latency: cfg.ScratchLatency, svcBase: cfg.ScratchSvcBase, svcWord: cfg.ScratchSvcWord}
 	m.ctrl[1] = &controller{level: cg.MemSRAM, latency: cfg.SRAMLatency, svcBase: cfg.SRAMSvcBase, svcWord: cfg.SRAMSvcWord}
 	m.ctrl[2] = &controller{level: cg.MemDRAM, latency: cfg.DRAMLatency, svcBase: cfg.DRAMSvcBase, svcWord: cfg.DRAMSvcWord}
@@ -822,6 +835,7 @@ loop:
 			mx.cam[e] = camEntry{tag: regs[in.srcB], valid: true}
 			m.camTouch(mx, int(e))
 		case dCAMClear:
+			m.stats.CAMClears[mx.idx]++
 			for i := range mx.cam {
 				mx.cam[i].valid = false
 			}
@@ -872,7 +886,16 @@ loop:
 	}
 	m.stats.MEInstrs[meIdx] += instrs
 	m.stats.MEBusy[meIdx] += cycles
-	mx.rrNext = (ti + 1) % len(mx.threads)
+	if reason == YieldBudget {
+		// Budget exhaustion only chunks the event loop; MEs context-switch
+		// at voluntary yield points (I/O, ctx_arb), never mid-sequence, so
+		// the same thread continues on the next activation. Rotating here
+		// would let a sibling observe a software-cache fill between its
+		// CAM tag write and its line write.
+		mx.rrNext = ti
+	} else {
+		mx.rrNext = (ti + 1) % len(mx.threads)
+	}
 	// Context switch overhead of 1 cycle, then run the next ready thread.
 	hasReady := mx.readyMask != 0
 	if n > 64 {
@@ -984,9 +1007,11 @@ func (m *Machine) ringPut(mx *ME, th *Thread, ti int, in *dInstr, cyclesSoFar in
 }
 
 func (m *Machine) camLookup(mx *ME, key uint32) (hit, entry uint32) {
+	m.stats.CAMLookups[mx.idx]++
 	for e, ce := range mx.cam {
 		if ce.valid && ce.tag == key {
 			m.camTouch(mx, e)
+			m.stats.CAMHits[mx.idx]++
 			return 1, uint32(e)
 		}
 	}
@@ -1248,6 +1273,9 @@ func (m *Machine) ResetStats() {
 		MEInstrs:     make([]uint64, m.Cfg.NumMEs),
 		MEBusy:       make([]int64, m.Cfg.NumMEs),
 		RingOverflow: make([]uint64, m.Cfg.NumRings),
+		CAMLookups:   make([]uint64, m.Cfg.NumMEs),
+		CAMHits:      make([]uint64, m.Cfg.NumMEs),
+		CAMClears:    make([]uint64, m.Cfg.NumMEs),
 	}
 	m.statsBase = base
 	m.acc = [numMemLevels * numAccessClasses]uint64{}

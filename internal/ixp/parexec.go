@@ -211,6 +211,7 @@ loop:
 			mx.cam[e] = camEntry{tag: regs[in.srcB], valid: true}
 			m.camTouch(mx, int(e))
 		case dCAMClear:
+			m.stats.CAMClears[mx.idx]++
 			for i := range mx.cam {
 				mx.cam[i].valid = false
 			}
@@ -251,7 +252,13 @@ loop:
 		return true
 	}
 	th.pc = pc
-	mx.rrNext = (ti + 1) % len(mx.threads)
+	if reason == YieldBudget {
+		// Mirror the serial engine: budget exhaustion resumes the same
+		// thread — context switches happen only at voluntary yields.
+		mx.rrNext = ti
+	} else {
+		mx.rrNext = (ti + 1) % len(mx.threads)
+	}
 	hasReady := mx.readyMask != 0
 	if n > 64 {
 		hasReady = false

@@ -44,6 +44,18 @@ func PassVerifyNanos(pass string) Key { return Key("compile.pass." + pass + ".ve
 // delta (after - before; negative means the pass shrank the program).
 func PassSizeDelta(pass string) Key { return Key("compile.pass." + pass + ".size_delta") }
 
+// PassSkips counts the times an incremental recompile reused a named
+// pass's cached result instead of executing it.
+func PassSkips(pass string) Key { return Key("compile.pass." + pass + ".skips") }
+
+// Session-level incremental-compilation counters: total compiles executed
+// by a driver.Session and how many of those reused at least one cached
+// pass result.
+const (
+	SessionCompiles    = Key("compile.session.compiles")
+	SessionIncremental = Key("compile.session.incremental")
+)
+
 // StallShareKey is the per-category stall-share gauge family exported from
 // a stall breakdown (category as in ixp.Stall.StallShare, e.g.
 // "mem_queue.dram").

@@ -24,6 +24,8 @@
 package pac
 
 import (
+	"sort"
+
 	"shangrila/internal/baker/types"
 	"shangrila/internal/ir"
 )
@@ -336,6 +338,13 @@ func combineBlock(tp *types.Program, f *ir.Func, b *ir.Block, st *Stats) {
 	if len(done) == 0 {
 		return
 	}
+	// Clusters reach done in map-iteration order when several flush at
+	// once; rewrite in program order so the registers the combinations
+	// allocate are numbered deterministically (compile output must be
+	// byte-stable for the incremental-vs-cold differential).
+	sort.Slice(done, func(i, j int) bool {
+		return done[i].accs[0].idx < done[j].accs[0].idx
+	})
 	// Build rewrites.
 	removed := map[*ir.Instr]bool{}
 	inserts := map[int][]*ir.Instr{}

@@ -18,13 +18,20 @@
 //
 // The transform rewrites each cacheable load in ME code into
 //
-//	hit, v… = cam_lookup(key)            (OpCacheLookup)
-//	if !hit { v… = load home; cam_fill } (original load + OpCacheFill)
+//	hit, ent, v… = cam_lookup(key)            (OpCacheLookup)
+//	if !hit { v… = load home; cam_fill ent } (original load + OpCacheFill)
 //
 // and prepends the per-packet delayed-update check to the aggregate entry:
-// every check_limit packets the ME reads the structure's update flag
-// (written by the store path, which runs on the XScale) and flushes its
-// cached lines when set.
+// every check_limit packets the ME compares the structure's shared update
+// version (bumped by the store path, which runs on the XScale) against the
+// version it last observed — kept in per-ME Local Memory — and flushes its
+// cached lines when they differ.
+//
+// The version/seen split matters with several MEs running the same
+// aggregate: a shared boolean flag that a checking ME clears after
+// flushing would hide the update from every other ME that had not checked
+// yet. With a monotonic version, no ME ever writes shared state on the
+// check path, so each ME independently notices every update.
 package swc
 
 import (
@@ -52,6 +59,13 @@ type Config struct {
 	// MaxLineWords bounds cacheable access width (a CAM entry maps one
 	// Local-Memory line; 8 words = 32 bytes).
 	MaxLineWords int
+	// MaxCheckLimit, when non-zero, caps every candidate's Equation-2
+	// check limit. Profiles with no observed data-path writes drive the
+	// required check rate to zero (limit 2^20 packets), which is correct
+	// for a static table but makes a control-plane update invisible for
+	// the whole window; churn experiments bound the staleness by capping
+	// the limit.
+	MaxCheckLimit uint32
 }
 
 // DefaultConfig mirrors the paper's setting: tolerate one delivery error
@@ -97,8 +111,13 @@ func CheckLimit(rate float64) uint32 {
 
 // Candidate is one global selected for software caching.
 type Candidate struct {
-	Global     *types.Global
-	Flag       *types.Global // scratch word set by the store path
+	Global *types.Global
+	// Flag is the shared scratch word holding the structure's update
+	// version; the store path increments it.
+	Flag *types.Global
+	// Seen is the per-ME Local-Memory word holding the version this ME
+	// last flushed against.
+	Seen       *types.Global
 	CheckLimit uint32
 	HitRate    float64
 }
@@ -143,41 +162,61 @@ func SelectCandidates(prog *ir.Program, stats *profiler.Stats, cfg Config) []*Ca
 			continue
 		}
 		limit := CheckLimit(CheckRate(writes, reads, cfg.ErrorRate))
+		if cfg.MaxCheckLimit != 0 && limit > cfg.MaxCheckLimit {
+			limit = cfg.MaxCheckLimit
+		}
 		out = append(out, &Candidate{Global: g, CheckLimit: limit, HitRate: hr})
 	}
 	return out
 }
 
-// Apply installs the software cache: synthesizes the update flag and
+// synthGlobal returns the named synthetic global, creating it on first
+// use. Re-applying SWC over a shared types.Program (an incremental
+// compile session snapshots IR with CloneProgram, which shares Types)
+// must reuse the words it synthesized before — their identity is the
+// contract between already-generated store paths and new check code. A
+// non-synthetic name collision is still an error.
+func synthGlobal(prog *ir.Program, name, module string, space types.MemSpace) (*types.Global, error) {
+	if g := prog.Types.Globals[name]; g != nil {
+		if !g.Synthetic || g.Space != space {
+			return nil, fmt.Errorf("swc: global %s already exists", name)
+		}
+		return g, nil
+	}
+	g := &types.Global{
+		Name:      name,
+		Type:      types.UintType,
+		Module:    module,
+		Space:     space,
+		Synthetic: true,
+	}
+	prog.Types.Globals[name] = g
+	return g, nil
+}
+
+// Apply installs the software cache: synthesizes the update version and
 // counter globals, rewrites ME loads, prepends delayed-update checks, and
-// tags every store path (control/init/XScale code) with flag updates.
+// tags every store path (control/init/XScale code) with version bumps.
 func Apply(prog *ir.Program, merged []*aggregate.Merged, cands []*Candidate, cfg Config) (*Stats, error) {
 	st := &Stats{Candidates: len(cands)}
 	if len(cands) == 0 {
 		return st, nil
 	}
-	// Synthesize flag globals (shared, Scratch) and the per-ME packet
-	// counter (Local Memory).
+	// Synthesize the shared version words (Scratch), the per-ME seen
+	// words and packet counter (Local Memory).
+	var err error
 	for _, c := range cands {
-		c.Flag = &types.Global{
-			Name:      c.Global.Name + "$upd",
-			Type:      types.UintType,
-			Module:    c.Global.Module,
-			Space:     types.SpaceScratch,
-			Synthetic: true,
+		if c.Flag, err = synthGlobal(prog, c.Global.Name+"$upd", c.Global.Module, types.SpaceScratch); err != nil {
+			return nil, err
 		}
-		if _, dup := prog.Types.Globals[c.Flag.Name]; dup {
-			return nil, fmt.Errorf("swc: synthetic global %s already exists", c.Flag.Name)
+		if c.Seen, err = synthGlobal(prog, c.Global.Name+"$seen", c.Global.Module, types.SpaceLocal); err != nil {
+			return nil, err
 		}
-		prog.Types.Globals[c.Flag.Name] = c.Flag
 	}
-	counter := &types.Global{
-		Name:      "$swc_count",
-		Type:      types.UintType,
-		Space:     types.SpaceLocal,
-		Synthetic: true,
+	counter, err := synthGlobal(prog, "$swc_count", "", types.SpaceLocal)
+	if err != nil {
+		return nil, err
 	}
-	prog.Types.Globals[counter.Name] = counter
 
 	minLimit := cands[0].CheckLimit
 	for _, c := range cands {
@@ -209,7 +248,11 @@ func Apply(prog *ir.Program, merged []*aggregate.Merged, cands []*Candidate, cfg
 	return st, nil
 }
 
-// tagStores appends "flag <- 1" after every store to a candidate.
+// tagStores appends "flag <- flag + 1" after every store to a candidate:
+// the store path bumps the structure's update version. Store paths run on
+// the XScale (controls execute run-to-completion at a single simulated
+// instant), so the read-modify-write cannot tear; no ME ever writes the
+// version, so checking MEs cannot race each other into missing an update.
 func tagStores(fn *ir.Func, cands []*Candidate) int {
 	byGlobal := map[*types.Global]*Candidate{}
 	for _, c := range cands {
@@ -227,11 +270,16 @@ func tagStores(fn *ir.Func, cands []*Candidate) int {
 			if c == nil {
 				continue
 			}
+			ver := fn.NewReg(ir.ClassWord)
 			one := fn.NewReg(ir.ClassWord)
+			ver1 := fn.NewReg(ir.ClassWord)
 			out = append(out,
+				&ir.Instr{Op: ir.OpLoad, Pos: in.Pos, Global: c.Flag,
+					Width: 4, Dst: []ir.Reg{ver}, Args: []ir.Reg{ir.NoReg}},
 				&ir.Instr{Op: ir.OpConst, Pos: in.Pos, Dst: []ir.Reg{one}, Imm: 1},
+				&ir.Instr{Op: ir.OpAdd, Pos: in.Pos, Dst: []ir.Reg{ver1}, Args: []ir.Reg{ver, one}},
 				&ir.Instr{Op: ir.OpStore, Pos: in.Pos, Global: c.Flag,
-					Width: 4, Args: []ir.Reg{ir.NoReg, one}})
+					Width: 4, Args: []ir.Reg{ir.NoReg, ver1}})
 			n++
 		}
 		b.Instrs = out
@@ -276,15 +324,22 @@ func rewriteLoads(fn *ir.Func, cands []*Candidate, cfg Config) int {
 
 // rewriteOneLoad splits the block at the load:
 //
-//	  ... hit, t… = cachelookup; condbr hit -> bHit, bMiss
-//	bMiss: d… = load (original); cachefill; br bJoin
+//	  ... hit, ent, t… = cachelookup; condbr hit -> bHit, bMiss
+//	bMiss: d… = load (original); cachefill ent; br bJoin
 //	bHit:  d… = mov t…; br bJoin
 //	bJoin: rest
+//
+// The CAM entry register ent (the matching entry on a hit, the LRU
+// victim on a miss) flows from each lookup into its own fill: the tag
+// write and the line write must land on the same entry, and a global
+// can be cached at several sites of one function, so the entry cannot
+// be resolved per global at codegen time.
 func rewriteOneLoad(fn *ir.Func, b *ir.Block, idx int) {
 	load := b.Instrs[idx]
 	rest := append([]*ir.Instr(nil), b.Instrs[idx+1:]...)
 
 	hit := fn.NewReg(ir.ClassWord)
+	ent := fn.NewReg(ir.ClassWord)
 	tmps := make([]ir.Reg, len(load.Dst))
 	for i := range tmps {
 		tmps[i] = fn.NewReg(ir.ClassWord)
@@ -296,7 +351,7 @@ func rewriteOneLoad(fn *ir.Func, b *ir.Block, idx int) {
 	lookup := &ir.Instr{
 		Op:     ir.OpCacheLookup,
 		Pos:    load.Pos,
-		Dst:    append([]ir.Reg{hit}, tmps...),
+		Dst:    append([]ir.Reg{hit, ent}, tmps...),
 		Args:   load.Args, // index register (possibly NoReg)
 		Global: load.Global,
 		Off:    load.Off,
@@ -306,10 +361,14 @@ func rewriteOneLoad(fn *ir.Func, b *ir.Block, idx int) {
 		&ir.Instr{Op: ir.OpCondBr, Pos: load.Pos, Args: []ir.Reg{hit},
 			Blocks: []*ir.Block{bHit, bMiss}})
 
+	idxReg := ir.NoReg
+	if len(load.Args) > 0 {
+		idxReg = load.Args[0]
+	}
 	fill := &ir.Instr{
 		Op:     ir.OpCacheFill,
 		Pos:    load.Pos,
-		Args:   append(append([]ir.Reg{}, load.Args...), load.Dst...),
+		Args:   append([]ir.Reg{ent, idxReg}, load.Dst...),
 		Global: load.Global,
 		Off:    load.Off,
 		Width:  load.Width,
@@ -330,7 +389,13 @@ func rewriteOneLoad(fn *ir.Func, b *ir.Block, idx int) {
 // prependCheck inserts the Figure 8 delayed-update check at the entry:
 //
 //	count++
-//	if count > limit { count = 0; for each cand: if flag { flush; flag=0 } }
+//	if count > limit {
+//	    count = 0
+//	    for each cand: if ver != seen { flush; seen = ver }
+//	}
+//
+// seen lives in per-ME Local Memory, so every ME tracks the shared
+// version independently and the check path writes no shared state.
 func prependCheck(fn *ir.Func, cands []*Candidate, counter *types.Global, limit uint32) {
 	entry := fn.Entry
 	rest := append([]*ir.Instr(nil), entry.Instrs...)
@@ -361,17 +426,19 @@ func prependCheck(fn *ir.Func, cands []*Candidate, counter *types.Global, limit 
 		&ir.Instr{Op: ir.OpStore, Global: counter, Width: 4, Args: []ir.Reg{ir.NoReg, zero}})
 	cur := bCheck
 	for _, c := range cands {
-		flag := fn.NewReg(ir.ClassWord)
+		ver := fn.NewReg(ir.ClassWord)
+		seen := fn.NewReg(ir.ClassWord)
+		stale := fn.NewReg(ir.ClassWord)
 		bFlush := fn.NewBlock()
 		bNext := fn.NewBlock()
 		cur.Instrs = append(cur.Instrs,
-			&ir.Instr{Op: ir.OpLoad, Global: c.Flag, Width: 4, Dst: []ir.Reg{flag}, Args: []ir.Reg{ir.NoReg}},
-			&ir.Instr{Op: ir.OpCondBr, Args: []ir.Reg{flag}, Blocks: []*ir.Block{bFlush, bNext}})
-		z := fn.NewReg(ir.ClassWord)
+			&ir.Instr{Op: ir.OpLoad, Global: c.Flag, Width: 4, Dst: []ir.Reg{ver}, Args: []ir.Reg{ir.NoReg}},
+			&ir.Instr{Op: ir.OpLoad, Global: c.Seen, Width: 4, Dst: []ir.Reg{seen}, Args: []ir.Reg{ir.NoReg}},
+			&ir.Instr{Op: ir.OpNe, Dst: []ir.Reg{stale}, Args: []ir.Reg{ver, seen}},
+			&ir.Instr{Op: ir.OpCondBr, Args: []ir.Reg{stale}, Blocks: []*ir.Block{bFlush, bNext}})
 		bFlush.Instrs = append(bFlush.Instrs,
 			&ir.Instr{Op: ir.OpCacheFlush, Global: c.Global},
-			&ir.Instr{Op: ir.OpConst, Dst: []ir.Reg{z}},
-			&ir.Instr{Op: ir.OpStore, Global: c.Flag, Width: 4, Args: []ir.Reg{ir.NoReg, z}},
+			&ir.Instr{Op: ir.OpStore, Global: c.Seen, Width: 4, Args: []ir.Reg{ir.NoReg, ver}},
 			&ir.Instr{Op: ir.OpBr, Blocks: []*ir.Block{bNext}})
 		cur = bNext
 	}
