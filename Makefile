@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check race churn-claims verify bench bench-smoke bench-loadlatency bench-churn clean
+.PHONY: all build test vet fmt-check race churn-claims verify bench bench-smoke bench-loadlatency bench-churn bench-cluster clean
 
 all: verify
 
@@ -21,12 +21,13 @@ fmt-check:
 
 # Race-check the concurrent packages: the sweep runner's worker pool,
 # the metrics instruments it samples, the trace-enabled machine tests,
-# and the parallel sharded engine (including the full differential suite
-# replayed on it inside ./internal/harness/). The second leg re-runs the
-# engine determinism tests at several GOMAXPROCS settings so shard
+# the parallel sharded engine (including the full differential suite
+# replayed on it inside ./internal/harness/), and the multi-NPU cluster
+# scheduler's shared balancer and epoch barriers. The second leg re-runs
+# the engine determinism tests at several GOMAXPROCS settings so shard
 # scheduling is exercised under contention and on a single P.
 race:
-	$(GO) test -race ./internal/harness/ ./internal/metrics/ ./internal/ixp/
+	$(GO) test -race ./internal/harness/ ./internal/metrics/ ./internal/ixp/ ./internal/cluster/
 	$(GO) test -race -cpu 1,2,8 -run 'TestParallel|TestEngine' ./internal/ixp/
 
 # The dynamic-control-plane gate, run explicitly (and with -count=1, so
@@ -48,7 +49,7 @@ verify: build vet fmt-check test race churn-claims
 # are never merged. CI uploads the file as an artifact so simulator
 # throughput is comparable per commit.
 bench: build
-	$(GO) test -run xxx -bench 'BenchmarkSimulator$$|BenchmarkFigure6$$|BenchmarkCompiler$$' \
+	$(GO) test -run xxx -bench 'BenchmarkSimulator$$|BenchmarkCluster$$|BenchmarkFigure6$$|BenchmarkCompiler$$' \
 		-benchmem . > /tmp/bench_raw.txt
 	$(GO) test -run xxx -bench 'BenchmarkEventCore$$|BenchmarkTracerOverhead' \
 		-benchmem ./internal/ixp/ >> /tmp/bench_raw.txt
@@ -78,5 +79,14 @@ bench-churn: build
 	$(GO) run ./cmd/shangrila-bench -quick -experiment churn -report churn_report.json
 	@test -s churn_report.json && echo "bench-churn: report OK"
 
+# Short multi-NPU cluster experiment: goodput scaling at doubling chip
+# counts plus the chip-drain scenario on a 4-chip line card, every chip
+# advancing on its own worker, written to its own report so CI can
+# archive the topology and per-chip series.
+bench-cluster: build
+	$(GO) run ./cmd/shangrila-bench -quick -experiment cluster -chips 4 -workers 4 \
+		-report cluster_report.json
+	@test -s cluster_report.json && echo "bench-cluster: report OK"
+
 clean:
-	rm -f bench_report.json trace.json BENCH_sim.json churn_report.json
+	rm -f bench_report.json trace.json BENCH_sim.json churn_report.json cluster_report.json

@@ -171,3 +171,36 @@ func BenchmarkSimulator(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCluster measures the multi-NPU line-card simulation: the
+// optimized L3-Switch replicated across doubling chip counts behind the
+// ECMP flow-hash balancer, every chip advancing concurrently. The chip
+// count is encoded in the sub-benchmark name ("chips=N") so benchjson
+// keys each cluster size as its own series.
+func BenchmarkCluster(b *testing.B) {
+	a := apps.L3Switch()
+	res, err := harness.Compile(a, driver.LevelSWC, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchCfg()
+	for _, chips := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("chips=%d", chips), func(b *testing.B) {
+			p := harness.ClusterParams{Chips: chips, Flows: 65_536, DrainChip: harness.NoDrain}
+			opts := append(cfg.Options(),
+				harness.WithCompiled(res), harness.WithWorkers(chips))
+			b.ResetTimer()
+			var last *harness.ClusterResult
+			for i := 0; i < b.N; i++ {
+				r, err := harness.ClusterRun(a, p, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			chipCycles := float64(chips) * float64(cfg.Warmup+cfg.Measure) * float64(b.N)
+			b.ReportMetric(chipCycles/b.Elapsed().Seconds(), "simcycles/s")
+			b.ReportMetric(last.AggregateGbps, "Gbps")
+		})
+	}
+}

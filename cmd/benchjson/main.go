@@ -29,9 +29,12 @@ type Benchmark struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 	// Engine and Shards are parsed from engine-variant sub-benchmark
 	// names ("…/serial", "…/parallel-shards=4") so simulator numbers
-	// from different engines are never compared as one series.
+	// from different engines are never compared as one series. Chips is
+	// parsed from cluster sub-benchmarks ("…/chips=4") — the multi-NPU
+	// line-card size, a different series per chip count.
 	Engine string `json:"engine,omitempty"`
 	Shards int    `json:"shards,omitempty"`
+	Chips  int    `json:"chips,omitempty"`
 	// GOMAXPROCS is the per-benchmark parallelism testing encodes in the
 	// name suffix ("BenchmarkFoo-8"); NumCPU is the host's logical CPU
 	// count. Recorded per entry so a number measured on a loaded 4-core
@@ -116,6 +119,10 @@ func parseLine(line, pkg string) (Benchmark, bool) {
 			if n, err := strconv.Atoi(strings.TrimPrefix(elem, "parallel-shards=")); err == nil {
 				b.Engine = "parallel"
 				b.Shards = n
+			}
+		case strings.HasPrefix(elem, "chips="):
+			if n, err := strconv.Atoi(strings.TrimPrefix(elem, "chips=")); err == nil {
+				b.Chips = n
 			}
 		}
 	}

@@ -4,11 +4,14 @@
 // machine (arrival process, size mix, flow locality) and the output
 // gains offered load, drop causes and Rx→Tx latency quantiles.
 //
-// With -churn the run becomes a control-plane churn experiment: a
-// seeded update storm (-churn-rate/-churn-burst/-churn-arrival) applies
-// the app's dynamic policy updates through the XScale path mid-run, and
-// the output is the bucketed goodput/latency/flush timeline plus the
-// full-vs-incremental compile latency comparison.
+// With -experiment the run dispatches through the experiment registry
+// against the one named app instead of a plain measurement: -experiment
+// churn applies a seeded control-plane update storm mid-run
+// (-churn-rate/-churn-burst/-churn-arrival) and prints the bucketed
+// goodput/latency/flush timeline; -experiment cluster replicates the app
+// across a multi-NPU line card (-chips, -cluster-*) behind the flow-hash
+// load balancer and prints the goodput-scaling and drain series. Unknown
+// names are rejected with the valid set and a nonzero exit.
 //
 // With -stalls every simulated cycle of the measured window is attributed
 // to compute, memory latency, memory-controller queueing, ring
@@ -24,11 +27,10 @@
 // Usage:
 //
 //	ixpsim [-O level] [-mes n] [-cycles n] [-seed n]
+//	       [-experiment name] [experiment flags]
 //	       [-engine serial|parallel] [-shards n]
 //	       [-gbps g] [-arrival fixed|poisson|onoff] [-sizes 64|imix|trimodal]
 //	       [-flows n] [-zipf s]
-//	       [-churn] [-churn-rate u/s] [-churn-burst n]
-//	       [-churn-arrival fixed|poisson] [-swc-check-limit n]
 //	       [-stalls] [-trace out.json]
 //	       [-cpuprofile cpu.pb] [-memprofile mem.pb]
 //	       [-dump-ir pass|all] [-dump-ir-dir dir] [-verify-ir]
@@ -43,21 +45,39 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"shangrila/internal/apps"
 	"shangrila/internal/cg"
 	"shangrila/internal/harness"
 )
 
+// appExperiments returns the registry entries that can run against one
+// explicit app (the only kind ixpsim dispatches), with their names.
+func appExperiments(reg *harness.ExperimentRegistry) (names []string, byName map[string]*harness.Experiment) {
+	byName = map[string]*harness.Experiment{}
+	for _, name := range reg.Names() {
+		if e, ok := reg.Lookup(name); ok && e.RunApp != nil {
+			names = append(names, name)
+			byName[name] = e
+		}
+	}
+	return names, byName
+}
+
 func main() {
+	registry := harness.Experiments()
+	expNames, expByName := appExperiments(registry)
 	common := harness.RegisterCommonFlags(flag.CommandLine)
 	mes := flag.Int("mes", 6, "enabled packet-processing MEs (1..6)")
 	cycles := flag.Int64("cycles", 1_000_000, "measured simulation cycles (600 MHz core)")
 	warm := flag.Int64("warmup", 150_000, "warm-up cycles before counters reset")
 	stalls := flag.Bool("stalls", false, "print the per-ME stall breakdown of the measured window")
-	churn := flag.Bool("churn", false, "run the control-plane churn experiment instead of a plain measurement")
+	exp := flag.String("experiment", "",
+		"run a registered experiment against the app: "+strings.Join(expNames, "|")+" (empty = plain measurement)")
 	tracePath := flag.String("trace", "", "write the run as Chrome trace_event JSON to this file")
 	prof := harness.RegisterProfileFlags(flag.CommandLine)
+	expFlags := registry.BindFlags(flag.CommandLine)
 	flag.Parse()
 	if err := prof.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "ixpsim: %v\n", err)
@@ -97,13 +117,32 @@ func main() {
 	if *stalls {
 		opts = append(opts, harness.WithStallBreakdown())
 	}
-	if *churn {
-		res, err := harness.ChurnRun(app, opts...)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ixpsim: churn: %v\n", err)
+	if *exp != "" {
+		e, ok := expByName[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ixpsim: unknown experiment %q (valid: %s)\n",
+				*exp, strings.Join(expNames, "|"))
+			os.Exit(2)
+		}
+		cfg := harness.DefaultRunConfig()
+		cfg.Seed = common.Seed
+		cfg.NumMEs = *mes
+		cfg.Warmup, cfg.Measure = *warm, *cycles
+		ctx := &harness.ExpContext{
+			Out:     os.Stdout,
+			Common:  common,
+			Opts:    opts,
+			Cfg:     cfg,
+			FigWarm: *warm,
+			FigMeas: *cycles,
+			Loads:   harness.DefaultLoads(),
+			Report:  harness.NewReportBuilder(),
+		}
+		ctx.Report.RecordExperiment(e.Name)
+		if err := e.RunApp(ctx, app, expFlags[e.Name]); err != nil {
+			fmt.Fprintf(os.Stderr, "ixpsim: %s: %v\n", e.Name, err)
 			os.Exit(1)
 		}
-		fmt.Print(harness.FormatChurn([]*harness.ChurnResult{res}))
 		if err := prof.Stop(); err != nil {
 			fmt.Fprintf(os.Stderr, "ixpsim: %v\n", err)
 			os.Exit(1)

@@ -1,12 +1,17 @@
-// Command shangrila-bench regenerates the paper's evaluation: Figure 6
-// (memory micro-benchmark), Table 1 (per-packet dynamic memory accesses)
-// and Figures 13-15 (forwarding rate vs enabled MEs per optimization
-// level for L3-Switch, Firewall and MPLS), plus load–latency curves from
-// the open-loop workload engine (the Figure 9 discussion). Sweep points
-// fan out across worker goroutines and every point's measurement —
-// forwarding rate, per-packet accesses, simulator telemetry, compile pass
-// timings, latency histograms — is written to a machine-readable JSON
-// report.
+// Command shangrila-bench regenerates the paper's evaluation through the
+// experiment registry: every experiment (Figure 6's memory
+// micro-benchmark, Table 1's per-packet access counts, the Figures 13-15
+// forwarding-rate sweeps, load–latency curves, control-plane churn
+// timelines, and the multi-NPU cluster scaling/drain scenarios)
+// self-registers with its name, synopsis and private flags, and the CLI
+// generates its usage text and -experiment value set from the registry —
+// run `shangrila-bench -h` for the authoritative list. Unknown experiment
+// names are rejected with the valid set and a nonzero exit.
+//
+// Sweep points fan out across worker goroutines and every measurement —
+// forwarding rates, per-packet accesses, telemetry, compile pass timings,
+// latency histograms, cluster topologies — lands in one machine-readable
+// JSON report (schema shangrila-bench/v5).
 //
 // With -stalls every sweep point carries a conservative per-ME stall
 // breakdown (stall_breakdown in the report); -trace additionally runs one
@@ -18,20 +23,6 @@
 // simulation engine (-shards worker goroutines per point; results are
 // bit-identical to the serial default, and the report records the engine
 // and shard count per point).
-//
-// Usage:
-//
-//	shangrila-bench [-experiment all|fig6|table1|fig13|fig14|fig15|loadlatency|churn]
-//	                [-quick] [-report bench_report.json] [-workers N]
-//	                [-O level] [-seed n]
-//	                [-engine serial|parallel] [-shards n]
-//	                [-stalls] [-trace trace.json]
-//	                [-cpuprofile cpu.pb] [-memprofile mem.pb]
-//	                [-arrival fixed|poisson|onoff] [-sizes 64|imix|trimodal]
-//	                [-flows n] [-zipf s]
-//	                [-churn-rate u/s] [-churn-burst n] [-churn-arrival fixed|poisson]
-//	                [-swc-check-limit n]
-//	                [-dump-ir pass|all] [-dump-ir-dir dir] [-verify-ir]
 //
 // -cpuprofile/-memprofile profile the benchmark process itself (for
 // `go tool pprof`), covering compilation and every sweep worker — the
@@ -45,20 +36,34 @@ import (
 	"os"
 
 	"shangrila/internal/apps"
-	"shangrila/internal/driver"
 	"shangrila/internal/harness"
 )
 
 func main() {
+	registry := harness.Experiments()
 	common := harness.RegisterCommonFlags(flag.CommandLine)
-	exp := flag.String("experiment", "all", "experiment: all|fig6|table1|fig13|fig14|fig15|loadlatency|churn")
+	exp := flag.String("experiment", "all",
+		"experiments to run, comma-separated: "+registry.UsageSpec())
 	quick := flag.Bool("quick", false, "shorter measurement windows (noisier)")
 	report := flag.String("report", "bench_report.json", "machine-readable report path (empty disables)")
 	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
 	stalls := flag.Bool("stalls", false, "attach per-ME stall breakdowns to every sweep point")
 	tracePath := flag.String("trace", "", "write one representative traced run as Chrome trace_event JSON")
 	prof := harness.RegisterProfileFlags(flag.CommandLine)
+	expFlags := registry.BindFlags(flag.CommandLine)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: shangrila-bench [-experiment %s] [flags]\n\nexperiments:\n%s\nflags:\n",
+			registry.UsageSpec(), registry.Synopses())
+		flag.PrintDefaults()
+	}
 	flag.Parse()
+
+	selected, err := registry.Select(*exp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shangrila-bench: %v\n", err)
+		os.Exit(2)
+	}
 	if err := prof.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "shangrila-bench: %v\n", err)
 		os.Exit(1)
@@ -86,100 +91,24 @@ func main() {
 		opts = append(opts, harness.WithStallBreakdown())
 	}
 
-	run := func(name string, fn func() error) {
-		if *exp != "all" && *exp != name {
-			return
-		}
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "shangrila-bench: %s: %v\n", name, err)
+	ctx := &harness.ExpContext{
+		Out:     os.Stdout,
+		Quick:   *quick,
+		Common:  common,
+		Opts:    opts,
+		Cfg:     cfg,
+		FigWarm: figWarm,
+		FigMeas: figMeas,
+		Loads:   loads,
+		Report:  harness.NewReportBuilder(),
+	}
+	for _, e := range selected {
+		ctx.Report.RecordExperiment(e.Name)
+		if err := e.Run(ctx, expFlags[e.Name]); err != nil {
+			fmt.Fprintf(os.Stderr, "shangrila-bench: %s: %v\n", e.Name, err)
 			os.Exit(1)
 		}
 	}
-
-	var all []*harness.Result
-	var curves []*harness.LoadCurve
-	var churn []*harness.ChurnResult
-	run("fig6", func() error {
-		pts, err := harness.Figure6(figWarm, figMeas)
-		if err != nil {
-			return err
-		}
-		fmt.Println(harness.FormatFigure6(pts))
-		return nil
-	})
-	run("table1", func() error {
-		rows, err := harness.Table1(cfg, opts...)
-		if err != nil {
-			return err
-		}
-		fmt.Println("Table 1 — dynamic memory accesses per packet")
-		fmt.Println(harness.FormatTable1(rows))
-		all = append(all, rows...)
-		return nil
-	})
-	figs := []struct {
-		name  string
-		app   func() *apps.App
-		title string
-	}{
-		{"fig13", apps.L3Switch, "Figure 13: L3-Switch"},
-		{"fig14", apps.Firewall, "Figure 14: Firewall"},
-		{"fig15", apps.MPLS, "Figure 15: MPLS"},
-	}
-	for _, f := range figs {
-		f := f
-		run(f.name, func() error {
-			series, results, err := harness.FigureResults(f.app(), cfg, 6, opts...)
-			if err != nil {
-				return err
-			}
-			fmt.Println(harness.FormatFigure(f.title, series))
-			all = append(all, results...)
-			return nil
-		})
-	}
-	run("loadlatency", func() error {
-		lvl, err := common.DriverLevel()
-		if err != nil {
-			return err
-		}
-		shape, err := common.TrafficShape()
-		if err != nil {
-			return err
-		}
-		// BASE is the contrast curve; -O picks the optimized one.
-		levels := []driver.Level{driver.LevelBase}
-		if lvl != driver.LevelBase {
-			levels = append(levels, lvl)
-		}
-		llOpts := append(append([]harness.Option{}, opts...),
-			harness.WithWindows(cfg.Warmup, cfg.Measure),
-			harness.WithWorkload(shape))
-		curves, err = harness.LoadLatency(apps.All(), levels, loads, llOpts...)
-		if err != nil {
-			return err
-		}
-		fmt.Println("Load–latency curves (offered load sweep, Figure 9 shape)")
-		fmt.Println(harness.FormatLoadLatency(curves))
-		return nil
-	})
-
-	run("churn", func() error {
-		lvl, err := common.DriverLevel()
-		if err != nil {
-			return err
-		}
-		chOpts := append(append([]harness.Option{}, opts...),
-			harness.WithLevel(lvl),
-			harness.WithWindows(figWarm, figMeas))
-		churn, err = harness.ChurnExperiment(apps.All(), chOpts...)
-		if err != nil {
-			return err
-		}
-		fmt.Println("Control-plane churn — goodput/latency under update storms")
-		fmt.Println(harness.FormatChurn(churn))
-		return nil
-	})
 
 	if *tracePath != "" {
 		// Sweep points run concurrently and never stream Chrome traces
@@ -214,15 +143,13 @@ func main() {
 		fmt.Printf("wrote %s (Chrome trace_event JSON, %s at %v)\n", *tracePath, app.Name, lvl)
 	}
 
-	if *report != "" && (len(all) > 0 || len(curves) > 0 || len(churn) > 0) {
+	if *report != "" && !ctx.Report.Empty() {
 		f, err := os.Create(*report)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "shangrila-bench: report: %v\n", err)
 			os.Exit(1)
 		}
-		rep := harness.BuildReport(all)
-		rep.LoadLatency = curves
-		rep.Churn = churn
+		rep := ctx.Report.Report()
 		if err := rep.WriteJSON(f); err != nil {
 			f.Close()
 			fmt.Fprintf(os.Stderr, "shangrila-bench: report: %v\n", err)
@@ -232,8 +159,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "shangrila-bench: report: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s (%d sweep points, %d load curves, %d churn timelines)\n",
-			*report, len(all), len(curves), len(churn))
+		fmt.Printf("wrote %s (%d sweep points, %d load curves, %d churn timelines, %d cluster runs)\n",
+			*report, len(rep.Points), len(rep.LoadLatency), len(rep.Churn), len(rep.Cluster))
 	}
 	if err := prof.Stop(); err != nil {
 		fmt.Fprintf(os.Stderr, "shangrila-bench: %v\n", err)

@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"sync"
+
+	"shangrila/internal/workload"
+)
+
+// balancer is the line card's ingress stage: one deterministic workload
+// stream sharded across chips by ECMP flow hash. Generation is
+// demand-driven — a chip's fabric port pulls its next frame, and the
+// balancer advances the shared stream (routing every generated arrival
+// to its owner's queue) until the request can be answered. The global
+// arrival sequence, the hash assignment and therefore every chip's
+// subsequence depend only on the spec and seed, never on how chip
+// goroutines interleave, so cluster runs are bit-identical at any
+// worker count.
+type balancer struct {
+	mu       sync.Mutex
+	stream   *workload.Stream
+	clockMHz float64
+	seed     uint64
+
+	queues  []frameQueue
+	pending []float64 // fractional cycles since each chip's last queued frame
+	active  []bool
+	nActive int
+	routed  []uint64 // arrivals assigned per chip (redistribution evidence)
+
+	// due is the absolute fractional cycle of the next generated
+	// arrival; drainChip/drainAt schedule the ECMP withdrawal of one
+	// chip (drainChip < 0 = no drain).
+	due       float64
+	drainChip int
+	drainAt   int64
+}
+
+// frame is one scheduled arrival in a chip queue. gap is the fractional
+// cycle spacing to the chip's next frame; gapUnresolved until a later
+// arrival routes to the same chip.
+type frame struct {
+	bytes, flow int
+	gap         float64
+}
+
+const gapUnresolved = -1
+
+// frameQueue is a FIFO with an explicit head index so steady-state pops
+// never reallocate; compact reclaims the consumed prefix once it
+// dominates the backing array.
+type frameQueue struct {
+	frames []frame
+	head   int
+}
+
+func (q *frameQueue) len() int     { return len(q.frames) - q.head }
+func (q *frameQueue) peek() *frame { return &q.frames[q.head] }
+func (q *frameQueue) tail() *frame { return &q.frames[len(q.frames)-1] }
+func (q *frameQueue) push(f frame) { q.frames = append(q.frames, f) }
+func (q *frameQueue) pop() frame {
+	f := q.frames[q.head]
+	q.head++
+	if q.head > 64 && q.head*2 > len(q.frames) {
+		n := copy(q.frames, q.frames[q.head:])
+		q.frames = q.frames[:n]
+		q.head = 0
+	}
+	return f
+}
+
+// pullCap bounds how many global arrivals one NextFrame call may
+// generate before giving up (the port re-polls). It only matters for
+// pathological hash/skew combinations that starve a chip; ordinary
+// flow-hash traffic reaches every active chip well within it.
+const pullCap = 1 << 20
+
+func newBalancer(sp workload.Spec, seed uint64, clockMHz float64, chips int) (*balancer, error) {
+	st, err := workload.NewStream(sp)
+	if err != nil {
+		return nil, err
+	}
+	b := &balancer{
+		stream:    st,
+		clockMHz:  clockMHz,
+		seed:      seed,
+		queues:    make([]frameQueue, chips),
+		pending:   make([]float64, chips),
+		active:    make([]bool, chips),
+		nActive:   chips,
+		routed:    make([]uint64, chips),
+		drainChip: -1,
+	}
+	for i := range b.active {
+		b.active[i] = true
+	}
+	return b, nil
+}
+
+// scheduleDrain withdraws chip d from the ECMP set for arrivals due at
+// or after cycle at. Call before the run (the cluster scheduler sets it
+// up at construction).
+func (b *balancer) scheduleDrain(d int, at int64) {
+	b.mu.Lock()
+	b.drainChip, b.drainAt = d, at
+	b.mu.Unlock()
+}
+
+// Routed returns a copy of the per-chip assignment counters.
+func (b *balancer) Routed() []uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]uint64(nil), b.routed...)
+}
+
+// next pops chip c's next scheduled frame once its pacing gap is known,
+// generating ahead on the shared stream as needed. ok=false means no
+// further frames will reach c (it was drained) or the pull cap was hit.
+func (b *balancer) next(c int) (bytes, flow int, gap float64, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for n := 0; ; n++ {
+		if q := &b.queues[c]; q.len() > 0 && q.peek().gap != gapUnresolved {
+			f := q.pop()
+			return f.bytes, f.flow, f.gap, true
+		}
+		if !b.active[c] && b.queues[c].len() == 0 {
+			return 0, 0, 0, false
+		}
+		if n >= pullCap {
+			return 0, 0, 0, false
+		}
+		b.generate()
+	}
+}
+
+// generate advances the shared stream by one arrival: apply a pending
+// drain, hash the flow over the active set, resolve the owner's tail
+// gap, and account the inter-arrival spacing toward every chip's next
+// frame.
+func (b *balancer) generate() {
+	pkt := b.stream.Next()
+	if b.drainChip >= 0 && b.active[b.drainChip] && b.due >= float64(b.drainAt) {
+		d := b.drainChip
+		b.active[d] = false
+		b.nActive--
+		// The drained chip's last queued frame will never see a
+		// successor; close its gap so the queue stays deliverable.
+		if q := &b.queues[d]; q.len() > 0 && q.tail().gap == gapUnresolved {
+			q.tail().gap = b.pending[d]
+		}
+	}
+	c := b.route(pkt.Flow)
+	if q := &b.queues[c]; q.len() > 0 && q.tail().gap == gapUnresolved {
+		q.tail().gap = b.pending[c]
+	}
+	b.pending[c] = 0
+	b.queues[c].push(frame{bytes: pkt.FrameBytes, flow: pkt.Flow, gap: gapUnresolved})
+	b.routed[c]++
+	g := pkt.GapSeconds * b.clockMHz * 1e6
+	b.due += g
+	for i := range b.pending {
+		b.pending[i] += g
+	}
+}
+
+// route hashes a flow over the active chips (ECMP): a seeded 64-bit mix
+// of the flow id, reduced modulo the live set. Shrinking the set (a
+// drain) remaps flows the way real non-consistent ECMP does — the
+// redistribution the drain scenario measures.
+func (b *balancer) route(flow int) int {
+	if b.nActive <= 0 {
+		return 0
+	}
+	idx := int(mix64(uint64(flow)^(b.seed*0x9e3779b97f4a7c15)) % uint64(b.nActive))
+	for c, a := range b.active {
+		if !a {
+			continue
+		}
+		if idx == 0 {
+			return c
+		}
+		idx--
+	}
+	return 0
+}
+
+// mix64 is the SplitMix64 finalizer (same mixer the workload source
+// uses), good avalanche for flow-hash spreading.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// chipFeed adapts one balancer shard to ixp.FrameSource.
+type chipFeed struct {
+	b    *balancer
+	chip int
+}
+
+func (f *chipFeed) NextFrame() (int, int, float64, bool) { return f.b.next(f.chip) }

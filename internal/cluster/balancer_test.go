@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"testing"
+
+	"shangrila/internal/workload"
+)
+
+const testClockMHz = 600
+
+func testSpec(t *testing.T, flows int) workload.Spec {
+	t.Helper()
+	sp, err := workload.Spec{Seed: 5, OfferedGbps: 2, Flows: flows, ZipfS: 1.1}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// pulled is one delivered frame as observed by a chip's fabric port.
+type pulled struct {
+	bytes, flow int
+	gap         float64
+}
+
+// drainChipQueue pulls up to n frames for one chip.
+func drainChipQueue(b *balancer, chip, n int) []pulled {
+	var out []pulled
+	for len(out) < n {
+		bytes, flow, gap, ok := b.next(chip)
+		if !ok {
+			break
+		}
+		out = append(out, pulled{bytes, flow, gap})
+	}
+	return out
+}
+
+// TestBalancerSingleChipExactGaps: with one chip the balancer is a pure
+// pass-through — every frame carries exactly its packet's scheduled gap
+// (pkt.GapSeconds scaled to cycles, bit-for-bit), which is what makes a
+// one-chip cluster bit-identical to a plain single-machine run.
+func TestBalancerSingleChipExactGaps(t *testing.T) {
+	sp := testSpec(t, 64)
+	b, err := newBalancer(sp, 9, testClockMHz, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := workload.NewStream(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		bytes, flow, gap, ok := b.next(0)
+		if !ok {
+			t.Fatalf("arrival %d: next returned !ok", i)
+		}
+		pkt := ref.Next()
+		if want := pkt.GapSeconds * testClockMHz * 1e6; gap != want {
+			t.Fatalf("arrival %d: gap %v, want exactly %v", i, gap, want)
+		}
+		if bytes != pkt.FrameBytes || flow != pkt.Flow {
+			t.Fatalf("arrival %d: frame %dB flow %d, want %dB flow %d",
+				i, bytes, flow, pkt.FrameBytes, pkt.Flow)
+		}
+	}
+}
+
+// TestBalancerInterleavingInvariant: each chip's frame subsequence
+// depends only on spec, seed and chip count — never on the order chips
+// pull in. This is the property that makes cluster runs bit-identical at
+// any worker count.
+func TestBalancerInterleavingInvariant(t *testing.T) {
+	sp := testSpec(t, 512)
+	const chips, n = 3, 200
+	mk := func() *balancer {
+		b, err := newBalancer(sp, 9, testClockMHz, chips)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	// Sequential pulls: exhaust chip 0's quota, then 1's, then 2's.
+	seq := mk()
+	var seqFrames [chips][]pulled
+	for c := 0; c < chips; c++ {
+		seqFrames[c] = drainChipQueue(seq, c, n)
+	}
+	// Interleaved pulls in a rotating order.
+	inter := mk()
+	var interFrames [chips][]pulled
+	for i := 0; i < n; i++ {
+		for c := chips - 1; c >= 0; c-- {
+			bytes, flow, gap, ok := inter.next(c)
+			if !ok {
+				t.Fatalf("chip %d pull %d: !ok", c, i)
+			}
+			interFrames[c] = append(interFrames[c], pulled{bytes, flow, gap})
+		}
+	}
+	for c := 0; c < chips; c++ {
+		if len(seqFrames[c]) != n {
+			t.Fatalf("chip %d: sequential pull got %d frames, want %d", c, len(seqFrames[c]), n)
+		}
+		for i := range seqFrames[c] {
+			if seqFrames[c][i] != interFrames[c][i] {
+				t.Fatalf("chip %d frame %d differs across pull orders: %+v vs %+v",
+					c, i, seqFrames[c][i], interFrames[c][i])
+			}
+		}
+	}
+	// The same arrivals were assigned in both runs.
+	r1, r2 := seq.Routed(), inter.Routed()
+	for c := range r1 {
+		if r1[c] < uint64(n) || r2[c] < uint64(n) {
+			t.Errorf("chip %d routed %d/%d arrivals, want >= %d (frames were delivered)", c, r1[c], r2[c], n)
+		}
+	}
+}
+
+// TestBalancerDrain: after the drain point no new arrivals route to the
+// drained chip, its already-queued tail stays deliverable (the final gap
+// is resolved), and once the queue empties next reports !ok while the
+// surviving chips absorb the full stream.
+func TestBalancerDrain(t *testing.T) {
+	sp := testSpec(t, 512)
+	b, err := newBalancer(sp, 9, testClockMHz, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let some arrivals land on both chips, then drain chip 1 at a point
+	// mid-stream: 2 Gbps of 64B frames is ~3.9 Mpps, so 200k cycles at
+	// 600 MHz covers ~1300 arrivals.
+	const drainAt = 200_000
+	b.scheduleDrain(1, drainAt)
+
+	pre := drainChipQueue(b, 1, 1<<20) // pull until the drained queue runs dry
+	if len(pre) == 0 {
+		t.Fatal("drained chip saw no arrivals before the drain point")
+	}
+	for i, f := range pre {
+		if f.gap < 0 {
+			t.Fatalf("drained frame %d delivered with unresolved gap %v", i, f.gap)
+		}
+	}
+	if _, _, _, ok := b.next(1); ok {
+		t.Error("drained chip still receiving frames after its queue drained")
+	}
+	routedAtDrain := b.Routed()
+	// The survivor keeps pulling; no arrival may land on chip 1 again.
+	if got := drainChipQueue(b, 0, 2000); len(got) != 2000 {
+		t.Fatalf("surviving chip starved: got %d frames", len(got))
+	}
+	routedAfter := b.Routed()
+	if routedAfter[1] != routedAtDrain[1] {
+		t.Errorf("drained chip's routed count advanced after drain: %d -> %d",
+			routedAtDrain[1], routedAfter[1])
+	}
+	if routedAfter[0] <= routedAtDrain[0] {
+		t.Error("surviving chip's routed count did not advance")
+	}
+}
+
+// TestBalancerSpread: the ECMP hash spreads a heavy-tailed flow
+// population across chips without gross imbalance (no chip starves, no
+// chip owns the stream).
+func TestBalancerSpread(t *testing.T) {
+	sp := testSpec(t, 4096)
+	const chips = 4
+	b, err := newBalancer(sp, 9, testClockMHz, chips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate a window of arrivals by pulling every chip until each has
+	// seen a healthy share.
+	for c := 0; c < chips; c++ {
+		if got := drainChipQueue(b, c, 500); len(got) != 500 {
+			t.Fatalf("chip %d starved: %d frames", c, len(got))
+		}
+	}
+	routed := b.Routed()
+	var total uint64
+	for _, r := range routed {
+		total += r
+	}
+	for c, r := range routed {
+		share := float64(r) / float64(total)
+		if share < 0.05 || share > 0.60 {
+			t.Errorf("chip %d owns %.0f%% of arrivals (%v): hash spread is broken",
+				c, share*100, routed)
+		}
+	}
+}

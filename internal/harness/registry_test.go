@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+func noopExperiment(name string) *Experiment {
+	return &Experiment{
+		Name:     name,
+		Synopsis: name + " synopsis",
+		Run:      func(*ExpContext, any) error { return nil },
+	}
+}
+
+// TestRegistryRegisterRejects: malformed registrations fail loudly —
+// empty names, nil runners, names that collide with the selection
+// syntax, and duplicates.
+func TestRegistryRegisterRejects(t *testing.T) {
+	r := NewExperimentRegistry()
+	cases := []struct {
+		name string
+		e    *Experiment
+	}{
+		{"nil experiment", nil},
+		{"empty name", &Experiment{Run: func(*ExpContext, any) error { return nil }}},
+		{"nil Run", &Experiment{Name: "broken"}},
+		{"reserved all", noopExperiment("all")},
+		{"comma in name", noopExperiment("a,b")},
+	}
+	for _, c := range cases {
+		if err := r.Register(c.e); err == nil {
+			t.Errorf("%s: Register accepted, want error", c.name)
+		}
+	}
+	if err := r.Register(noopExperiment("x")); err != nil {
+		t.Fatalf("valid registration failed: %v", err)
+	}
+	if err := r.Register(noopExperiment("x")); err == nil {
+		t.Error("duplicate name accepted, want error")
+	}
+	if got := r.Names(); len(got) != 1 || got[0] != "x" {
+		t.Errorf("names after rejections = %v, want [x]", got)
+	}
+}
+
+// TestRegistrySelect: "all"/empty select everything, comma lists resolve
+// in registration order regardless of spelling, and unknown names error
+// with the valid set (the CLIs turn that into exit 2).
+func TestRegistrySelect(t *testing.T) {
+	r := NewExperimentRegistry()
+	for _, name := range []string{"alpha", "beta", "gamma"} {
+		if err := r.Register(noopExperiment(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := func(es []*Experiment) []string {
+		var out []string
+		for _, e := range es {
+			out = append(out, e.Name)
+		}
+		return out
+	}
+	for _, spec := range []string{"", "all", "beta,all"} {
+		got, err := r.Select(spec)
+		if err != nil {
+			t.Fatalf("Select(%q): %v", spec, err)
+		}
+		if g := names(got); strings.Join(g, ",") != "alpha,beta,gamma" {
+			t.Errorf("Select(%q) = %v, want all in order", spec, g)
+		}
+	}
+	// Spelled out of order, with whitespace: still registration order.
+	got, err := r.Select(" gamma , alpha ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := names(got); strings.Join(g, ",") != "alpha,gamma" {
+		t.Errorf("Select out-of-order = %v, want [alpha gamma]", g)
+	}
+	// Unknown names error and the message carries the valid set.
+	if _, err := r.Select("alpha,nope"); err == nil {
+		t.Error("Select with unknown name succeeded, want error")
+	} else if !strings.Contains(err.Error(), "nope") || !strings.Contains(err.Error(), r.UsageSpec()) {
+		t.Errorf("unknown-name error %q does not list the valid set", err)
+	}
+	if _, err := r.Select(" , "); err == nil {
+		t.Error("empty selection succeeded, want error")
+	}
+}
+
+// TestRegistryBindFlagsIsolation: BindFlags returns fresh storage per
+// FlagSet, so two CLIs (or two parses) never share flag values.
+func TestRegistryBindFlagsIsolation(t *testing.T) {
+	r := NewExperimentRegistry()
+	e := noopExperiment("tuned")
+	e.Flags = func(fs *flag.FlagSet) any {
+		v := new(int)
+		fs.IntVar(v, "knob", 1, "test knob")
+		return v
+	}
+	if err := r.Register(e); err != nil {
+		t.Fatal(err)
+	}
+	fs1 := flag.NewFlagSet("one", flag.ContinueOnError)
+	fs2 := flag.NewFlagSet("two", flag.ContinueOnError)
+	fs1.SetOutput(io.Discard)
+	fs2.SetOutput(io.Discard)
+	v1 := r.BindFlags(fs1)["tuned"].(*int)
+	v2 := r.BindFlags(fs2)["tuned"].(*int)
+	if err := fs1.Parse([]string{"-knob", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs2.Parse([]string{"-knob", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	if *v1 != 7 || *v2 != 9 {
+		t.Errorf("flag storage shared across FlagSets: v1=%d v2=%d, want 7/9", *v1, *v2)
+	}
+}
+
+// TestRegistryGeneratedUsage: the usage spec and synopses are generated
+// from the registry, so every registered name appears in both — the
+// anti-drift property the registry exists for.
+func TestRegistryGeneratedUsage(t *testing.T) {
+	r := NewExperimentRegistry()
+	for _, name := range []string{"one", "two"} {
+		if err := r.Register(noopExperiment(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec := r.UsageSpec()
+	if !strings.HasPrefix(spec, "all|") {
+		t.Errorf("UsageSpec %q does not offer all", spec)
+	}
+	syn := r.Synopses()
+	for _, name := range r.Names() {
+		if !strings.Contains(spec, name) {
+			t.Errorf("UsageSpec %q missing %q", spec, name)
+		}
+		if !strings.Contains(syn, name) || !strings.Contains(syn, name+" synopsis") {
+			t.Errorf("Synopses missing %q:\n%s", name, syn)
+		}
+	}
+}
+
+// TestDefaultRegistryExperiments: the built-in suite self-registers the
+// full evaluation, and every entry passes Select round-trip.
+func TestDefaultRegistryExperiments(t *testing.T) {
+	reg := Experiments()
+	want := []string{"fig6", "table1", "fig13", "fig14", "fig15", "loadlatency", "churn", "cluster"}
+	have := map[string]bool{}
+	for _, n := range reg.Names() {
+		have[n] = true
+	}
+	for _, n := range want {
+		if !have[n] {
+			t.Errorf("default registry missing experiment %q (have %v)", n, reg.Names())
+			continue
+		}
+		if got, err := reg.Select(n); err != nil || len(got) != 1 || got[0].Name != n {
+			t.Errorf("Select(%q) = %v, %v", n, got, err)
+		}
+	}
+	// The single-app CLI needs RunApp on churn and cluster.
+	for _, n := range []string{"churn", "cluster"} {
+		if e, ok := reg.Lookup(n); !ok || e.RunApp == nil {
+			t.Errorf("experiment %q has no RunApp runner", n)
+		}
+	}
+}

@@ -48,29 +48,61 @@ type ReportPoint struct {
 
 // BenchReport is the top-level bench_report.json document.
 type BenchReport struct {
-	Schema string        `json:"schema"`
-	Points []ReportPoint `json:"points"`
+	Schema string `json:"schema"`
+	// Experiments names the experiments that contributed to this report,
+	// in execution order — the registry records each one uniformly.
+	Experiments []string      `json:"experiments,omitempty"`
+	Points      []ReportPoint `json:"points"`
 	// LoadLatency holds load–latency curves when the loadlatency
 	// experiment ran.
 	LoadLatency []*LoadCurve `json:"load_latency,omitempty"`
 	// Churn holds the control-plane churn timelines when the churn
 	// experiment ran.
 	Churn []*ChurnResult `json:"churn,omitempty"`
+	// Cluster holds multi-NPU line-card runs: topology, per-chip
+	// goodput/imbalance, bucketed timelines and merged tail latency.
+	Cluster []*ClusterResult `json:"cluster,omitempty"`
 }
 
 // ReportSchema versions the bench report layout. v2 added the
 // workload-mode point fields and the load_latency section; v3 records
 // the simulation engine (and shard count) per point; v4 adds the churn
 // section (goodput/latency timelines under control-plane update storms
-// plus full-vs-incremental compile latency).
-const ReportSchema = "shangrila-bench/v4"
+// plus full-vs-incremental compile latency); v5 adds the experiments
+// list and the cluster section (multi-NPU topology and per-chip
+// points), with every experiment feeding one report builder.
+const ReportSchema = "shangrila-bench/v5"
 
-// BuildReport converts sweep results into the export document, in result
-// order.
-func BuildReport(results []*Result) *BenchReport {
-	rep := &BenchReport{Schema: ReportSchema}
+// ReportBuilder accumulates every experiment's machine-readable output
+// into one schema-v5 document — the single report-assembly path all
+// experiments share.
+type ReportBuilder struct {
+	rep     BenchReport
+	expSeen map[string]bool
+}
+
+// NewReportBuilder returns an empty builder at the current schema.
+func NewReportBuilder() *ReportBuilder {
+	return &ReportBuilder{
+		rep:     BenchReport{Schema: ReportSchema},
+		expSeen: map[string]bool{},
+	}
+}
+
+// RecordExperiment notes that the named experiment contributed
+// (idempotent; order of first contribution is kept).
+func (b *ReportBuilder) RecordExperiment(name string) {
+	if name == "" || b.expSeen[name] {
+		return
+	}
+	b.expSeen[name] = true
+	b.rep.Experiments = append(b.rep.Experiments, name)
+}
+
+// AddResults appends sweep results as report points, in result order.
+func (b *ReportBuilder) AddResults(results []*Result) {
 	for _, r := range results {
-		rep.Points = append(rep.Points, ReportPoint{
+		b.rep.Points = append(b.rep.Points, ReportPoint{
 			App:    r.App,
 			Level:  r.Level.String(),
 			NumMEs: r.NumMEs,
@@ -100,7 +132,40 @@ func BuildReport(results []*Result) *BenchReport {
 			Latency:       r.Latency,
 		})
 	}
-	return rep
+}
+
+// AddLoadCurves appends load–latency curves.
+func (b *ReportBuilder) AddLoadCurves(curves []*LoadCurve) {
+	b.rep.LoadLatency = append(b.rep.LoadLatency, curves...)
+}
+
+// AddChurn appends control-plane churn timelines.
+func (b *ReportBuilder) AddChurn(results []*ChurnResult) {
+	b.rep.Churn = append(b.rep.Churn, results...)
+}
+
+// AddCluster appends multi-NPU cluster runs.
+func (b *ReportBuilder) AddCluster(results []*ClusterResult) {
+	b.rep.Cluster = append(b.rep.Cluster, results...)
+}
+
+// Empty reports whether nothing measurable was added (experiment names
+// alone don't make a report worth writing).
+func (b *ReportBuilder) Empty() bool {
+	r := &b.rep
+	return len(r.Points) == 0 && len(r.LoadLatency) == 0 &&
+		len(r.Churn) == 0 && len(r.Cluster) == 0
+}
+
+// Report returns the assembled document.
+func (b *ReportBuilder) Report() *BenchReport { return &b.rep }
+
+// BuildReport converts sweep results into the export document, in result
+// order (a convenience wrapper over the builder).
+func BuildReport(results []*Result) *BenchReport {
+	b := NewReportBuilder()
+	b.AddResults(results)
+	return b.Report()
 }
 
 // WriteJSON writes the report as indented JSON (map keys marshal sorted,
@@ -119,9 +184,13 @@ func (r *BenchReport) WriteJSON(w io.Writer) error {
 func (r *BenchReport) CanonicalJSON() ([]byte, error) {
 	cp := BenchReport{
 		Schema:      r.Schema,
+		Experiments: r.Experiments,
 		Points:      make([]ReportPoint, len(r.Points)),
 		LoadLatency: r.LoadLatency,
 		Churn:       make([]*ChurnResult, len(r.Churn)),
+		// Cluster runs are fully simulated — no wall-clock fields —
+		// so they pass through unchanged.
+		Cluster: r.Cluster,
 	}
 	copy(cp.Points, r.Points)
 	for i := range cp.Points {

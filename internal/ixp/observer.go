@@ -76,6 +76,12 @@ func (o Observer) Snapshot() Stats { return o.m.Snapshot() }
 // transmitted since the last stats reset.
 func (o Observer) Latency() metrics.HistogramSnapshot { return o.m.lat.Snapshot() }
 
+// MergeLatencyInto folds the machine's Rx→Tx latency histogram (every
+// sample since the last stats reset) into dst, preserving exact bucket
+// counts — the cluster harness aggregates per-chip distributions into
+// one line-card tail this way.
+func (o Observer) MergeLatencyInto(dst *metrics.Histogram) { dst.Merge(o.m.lat) }
+
 // RingMaxOcc returns each ring's high-water occupancy since the last stats
 // reset, indexed by ring number.
 func (o Observer) RingMaxOcc() []int {

@@ -137,6 +137,36 @@ func (h *Histogram) quantileLocked(q float64) int64 {
 	return h.max
 }
 
+// Merge folds src's samples into h (bucket counts, count, sum and max).
+// Quantiles of the merged histogram are exactly those of recording both
+// sample sets into one histogram — the cluster harness merges per-chip
+// latency distributions this way. Merging a histogram into itself is a
+// no-op.
+func (h *Histogram) Merge(src *Histogram) {
+	if src == nil || src == h {
+		return
+	}
+	src.mu.Lock()
+	counts := append([]uint64(nil), src.counts...)
+	count, sum, max := src.count, src.sum, src.max
+	src.mu.Unlock()
+	h.mu.Lock()
+	if len(counts) > len(h.counts) {
+		grown := make([]uint64, len(counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range counts {
+		h.counts[i] += c
+	}
+	h.count += count
+	h.sum += sum
+	if max > h.max {
+		h.max = max
+	}
+	h.mu.Unlock()
+}
+
 // Reset discards every sample (the simulator resets after warm-up).
 func (h *Histogram) Reset() {
 	h.mu.Lock()

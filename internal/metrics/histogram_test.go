@@ -163,3 +163,38 @@ func TestRegistryHistogram(t *testing.T) {
 		t.Errorf("registry histogram snapshot = %+v", hs)
 	}
 }
+
+// TestHistogramMerge: merging two histograms is exactly equivalent to
+// recording both sample sets into one — bucket counts, count, sum, max
+// and therefore every quantile. The cluster harness relies on this to
+// merge per-chip latency distributions without approximation.
+func TestHistogramMerge(t *testing.T) {
+	a, b, ref := NewHistogram(), NewHistogram(), NewHistogram()
+	for i := int64(0); i < 500; i++ {
+		v := (i * 2654435761) % 100_000 // deterministic spread across octaves
+		a.Record(v)
+		ref.Record(v)
+	}
+	for i := int64(0); i < 300; i++ {
+		v := (i*40503 + 17) % 1000
+		b.Record(v)
+		ref.Record(v)
+	}
+	a.Merge(b)
+	if got, want := a.Snapshot(), ref.Snapshot(); got != want {
+		t.Errorf("merged snapshot %+v != recorded-together %+v", got, want)
+	}
+	// Merging into an empty histogram copies; self-merge and nil-merge
+	// are no-ops.
+	empty := NewHistogram()
+	empty.Merge(b)
+	if got, want := empty.Snapshot(), b.Snapshot(); got != want {
+		t.Errorf("merge into empty %+v != source %+v", got, want)
+	}
+	before := b.Snapshot()
+	b.Merge(b)
+	b.Merge(nil)
+	if got := b.Snapshot(); got != before {
+		t.Errorf("self/nil merge changed the histogram: %+v -> %+v", before, got)
+	}
+}

@@ -62,6 +62,11 @@ type Options struct {
 	// Engine selects the simulation engine (nil means the serial
 	// default; takes precedence over Cfg.Engine when set).
 	Engine ixp.EngineSpec
+	// Media overrides the machine's installed media. nil keeps the
+	// runtime itself (trace playback / workload stream); the cluster
+	// passes its fabric port here and feeds packets back through the
+	// runtime's FabricSink methods.
+	Media ixp.Media
 }
 
 // New loads img onto a fresh machine, replicating ME programs across
@@ -95,7 +100,11 @@ func New(img *cg.Image, prog *ir.Program, tr []*packet.Packet, opts Options) (*R
 		}
 		r.stream = st
 	}
-	m, err := ixp.New(cfg, ixp.WithMedia(r))
+	med := ixp.Media(r)
+	if opts.Media != nil {
+		med = opts.Media
+	}
+	m, err := ixp.New(cfg, ixp.WithMedia(med))
 	if err != nil {
 		return nil, fmt.Errorf("rts: %w", err)
 	}
@@ -260,10 +269,23 @@ func (r *Runtime) Inject(m *ixp.Machine) float64 {
 		return gap
 	}
 	pkt := r.stream.Next()
-	// Zipf flow locality: the flow picks the trace packet, so popular
-	// flows replay identical headers (table keys, labels, routes).
-	p := r.trace[pkt.Flow%len(r.trace)]
-	frame := pkt.FrameBytes
+	r.DeliverFrame(m, pkt.FrameBytes, pkt.Flow)
+	return pkt.GapSeconds * m.Cfg.ClockMHz * 1e6
+}
+
+// DeliverFrame implements ixp.FabricSink: it materializes one
+// externally-scheduled arrival (the cluster fabric's delivery path,
+// also the tail of the runtime's own workload player). Zipf flow
+// locality: the flow picks the trace packet, so popular flows replay
+// identical headers (table keys, labels, routes). The arrival is
+// consumed whether or not the Rx path accepts it (open loop); a false
+// return means it was counted as a saturation loss.
+func (r *Runtime) DeliverFrame(m *ixp.Machine, frameBytes, flow int) bool {
+	if len(r.trace) == 0 {
+		return false
+	}
+	p := r.trace[flow%len(r.trace)]
+	frame := frameBytes
 	lay := r.Img.Layout
 	if max := int(lay.BufSize - lay.BufHeadroom); frame > max {
 		frame = max
@@ -271,9 +293,9 @@ func (r *Runtime) Inject(m *ixp.Machine) float64 {
 	if frame < p.Len() {
 		frame = p.Len()
 	}
-	r.enqueue(m, p, frame)
+	ok := r.enqueue(m, p, frame)
 	r.tracePos++
-	return pkt.GapSeconds * m.Cfg.ClockMHz * 1e6
+	return ok
 }
 
 // enqueue copies one trace packet into a fresh buffer, padded to
