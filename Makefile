@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check race churn-claims verify bench bench-smoke bench-loadlatency bench-churn bench-cluster clean
+.PHONY: all build test vet fmt-check race churn-claims verify fuzz-ci bench bench-smoke bench-loadlatency bench-churn bench-cluster clean
 
 all: verify
 
@@ -39,8 +39,24 @@ churn-claims:
 		'TestSWCCoherencyUnderChurnStorm|TestFirewallRuleFlipConverges|TestIncrementalPacketDifferential|TestChurnDeterminism' \
 		./internal/harness/
 
-# Tier-1 verification: everything CI gates on.
+# Tier-1 verification: everything CI gates on. `test` includes the
+# checked-in fuzz-corpus replay (internal/harness/testdata/fuzz-corpus),
+# so every previously minimized compiler-bug reproducer re-runs through
+# the full differential oracle on each verify.
 verify: build vet fmt-check test race churn-claims
+
+# Compiler-fuzzing gate (~1-2 min): 500 seeded random Baker programs,
+# each compiled at every cumulative optimization level and checked
+# packet-for-packet against the host reference interpreter, plus one
+# invalid mutant per program through the frontend negative checker. The
+# seed is fixed so a red run replays exactly:
+#   go run ./cmd/shangrila-bench -experiment fuzz -fuzz-n 500 -fuzz-seed 4242
+# Campaign stats (programs/sec, feature histogram, minimized failures)
+# land in fuzz_report.json for CI to archive.
+fuzz-ci: build
+	$(GO) run ./cmd/shangrila-bench -experiment fuzz -fuzz-n 500 -fuzz-seed 4242 \
+		-report fuzz_report.json
+	@test -s fuzz_report.json && echo "fuzz-ci: report OK"
 
 # Host-performance benchmark suite → BENCH_sim.json (ns/op, B/op,
 # allocs/op and custom metrics per benchmark). BenchmarkSimulator fans
@@ -89,4 +105,4 @@ bench-cluster: build
 	@test -s cluster_report.json && echo "bench-cluster: report OK"
 
 clean:
-	rm -f bench_report.json trace.json BENCH_sim.json churn_report.json cluster_report.json
+	rm -f bench_report.json trace.json BENCH_sim.json churn_report.json cluster_report.json fuzz_report.json

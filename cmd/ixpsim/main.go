@@ -10,8 +10,14 @@
 // (-churn-rate/-churn-burst/-churn-arrival) and prints the bucketed
 // goodput/latency/flush timeline; -experiment cluster replicates the app
 // across a multi-NPU line card (-chips, -cluster-*) behind the flow-hash
-// load balancer and prints the goodput-scaling and drain series. Unknown
-// names are rejected with the valid set and a nonzero exit.
+// load balancer and prints the goodput-scaling and drain series;
+// -experiment fuzz runs the app through the differential oracle — every
+// optimization level checked packet-for-packet against the host
+// reference interpreter. Unknown names are rejected with the valid set
+// and a nonzero exit.
+//
+// Every plain measurement echoes the resolved -seed so a run (or a
+// divergence) can be replayed exactly.
 //
 // With -stalls every simulated cycle of the measured window is attributed
 // to compute, memory latency, memory-controller queueing, ring
@@ -171,8 +177,8 @@ func main() {
 		}
 		fmt.Printf("wrote %s (Chrome trace_event JSON; open in chrome://tracing)\n", *tracePath)
 	}
-	fmt.Printf("%s at %v on %d ME(s): %.2f Gbps (%d packets in %.2f ms simulated)\n",
-		app.Name, lvl, *mes, r.Gbps, r.TxPackets, float64(*cycles)/600e3)
+	fmt.Printf("%s at %v on %d ME(s), seed %d: %.2f Gbps (%d packets in %.2f ms simulated)\n",
+		app.Name, lvl, *mes, common.Seed, r.Gbps, r.TxPackets, float64(*cycles)/600e3)
 	fmt.Printf("pipeline: %d stage(s), code %v instructions\n", r.Stages, r.CodeSizes)
 	if r.Workload != nil {
 		fmt.Printf("\noffered %.2f Gbps (%s arrivals, %s sizes): goodput %.2f Gbps, drop %.2f%%\n",

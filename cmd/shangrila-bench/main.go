@@ -2,16 +2,22 @@
 // experiment registry: every experiment (Figure 6's memory
 // micro-benchmark, Table 1's per-packet access counts, the Figures 13-15
 // forwarding-rate sweeps, load–latency curves, control-plane churn
-// timelines, and the multi-NPU cluster scaling/drain scenarios)
-// self-registers with its name, synopsis and private flags, and the CLI
-// generates its usage text and -experiment value set from the registry —
-// run `shangrila-bench -h` for the authoritative list. Unknown experiment
-// names are rejected with the valid set and a nonzero exit.
+// timelines, the multi-NPU cluster scaling/drain scenarios, and the
+// compiler-fuzzing campaign of seeded random Baker programs checked
+// against the host reference interpreter) self-registers with its name,
+// synopsis and private flags, and the CLI generates its usage text and
+// -experiment value set from the registry — run `shangrila-bench -h` for
+// the authoritative list. Unknown experiment names are rejected with the
+// valid set and a nonzero exit.
+//
+// Every run prints the resolved traffic/generator seed so any result —
+// including a fuzz divergence — can be replayed exactly with -seed (or
+// -fuzz-seed for a campaign's generator range).
 //
 // Sweep points fan out across worker goroutines and every measurement —
 // forwarding rates, per-packet accesses, telemetry, compile pass timings,
-// latency histograms, cluster topologies — lands in one machine-readable
-// JSON report (schema shangrila-bench/v5).
+// latency histograms, cluster topologies, fuzz campaign statistics —
+// lands in one machine-readable JSON report (schema shangrila-bench/v6).
 //
 // With -stalls every sweep point carries a conservative per-ME stall
 // breakdown (stall_breakdown in the report); -trace additionally runs one
@@ -102,15 +108,22 @@ func main() {
 		Loads:   loads,
 		Report:  harness.NewReportBuilder(),
 	}
+	fmt.Printf("seed %d (replay with -seed %d)\n", common.Seed, common.Seed)
+	// An experiment failure (e.g. a diverging fuzz campaign) must not lose
+	// the report: whatever sections were built — including the failing
+	// campaign's minimized reproducers — are still written before exiting
+	// nonzero, so CI can archive the evidence.
+	var expErr error
 	for _, e := range selected {
 		ctx.Report.RecordExperiment(e.Name)
 		if err := e.Run(ctx, expFlags[e.Name]); err != nil {
 			fmt.Fprintf(os.Stderr, "shangrila-bench: %s: %v\n", e.Name, err)
-			os.Exit(1)
+			expErr = err
+			break
 		}
 	}
 
-	if *tracePath != "" {
+	if *tracePath != "" && expErr == nil {
 		// Sweep points run concurrently and never stream Chrome traces
 		// (one JSON document per writer), so trace one representative
 		// point — the first app at the requested -O level — with a
@@ -159,11 +172,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "shangrila-bench: report: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s (%d sweep points, %d load curves, %d churn timelines, %d cluster runs)\n",
-			*report, len(rep.Points), len(rep.LoadLatency), len(rep.Churn), len(rep.Cluster))
+		fmt.Printf("wrote %s (seed %d; %d sweep points, %d load curves, %d churn timelines, %d cluster runs, %d fuzz campaigns)\n",
+			*report, common.Seed, len(rep.Points), len(rep.LoadLatency), len(rep.Churn), len(rep.Cluster), len(rep.Fuzz))
 	}
 	if err := prof.Stop(); err != nil {
 		fmt.Fprintf(os.Stderr, "shangrila-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if expErr != nil {
 		os.Exit(1)
 	}
 }

@@ -23,15 +23,22 @@ type App struct {
 	// tables (routes, labels, rules); they run both at profile time and
 	// at runtime boot.
 	Controls []profiler.Control
-	// Trace generates n packets exercising the app's hot paths with the
-	// distributions described in the comments of each constructor.
-	Trace func(tp *types.Program, seed uint64, n int) []*packet.Packet
+	// Traffic declares the app's input-traffic mix; Trace renders it.
+	// Hand-written and generated apps use the same spec type, so both
+	// are first-class citizens of every experiment.
+	Traffic TraceSpec
 	// MinForwardFraction is the fraction of trace packets expected to be
 	// forwarded (used by integration tests as a sanity band).
 	MinForwardFraction float64
 	// Churn names the policy items the control-plane churn experiment
 	// flips at runtime (see ChurnPolicy).
 	Churn *ChurnPolicy
+}
+
+// Trace generates n packets exercising the app's hot paths with the
+// mix declared by Traffic.
+func (a *App) Trace(tp *types.Program, seed uint64, n int) []*packet.Packet {
+	return a.Traffic.Generate(tp, seed, n)
 }
 
 // All returns the three benchmark applications.

@@ -217,45 +217,56 @@ func Firewall() *App {
 		Name:               "firewall",
 		Source:             firewallSrc,
 		Controls:           controls,
-		Trace:              fwTrace,
+		Traffic:            fwTraffic(),
 		MinForwardFraction: 0.55,
 		Churn:              fwChurn(),
 	}
 }
 
-func fwTrace(tp *types.Program, seed uint64, n int) []*packet.Packet {
-	r := workload.NewSource(seed)
-	var out []*packet.Packet
-	for i := 0; i < n; i++ {
-		roll := r.Intn(100)
-		var p *packet.Packet
-		switch {
-		case roll < 45: // web allow (rule 0)
-			src := 0x0a000000 | (r.Uint32() & 0x00ffffff)
-			dst := 0xc0a80000 | (r.Uint32() & 0xffff)
-			p = buildIP(tp, r, 0x0a00, 0x5e00000f, dst, 6, 1024+uint32(r.Intn(60000)), 80, true)
-			setIPSrc(tp, p, src)
-		case roll < 60: // DNS allow (rule 1)
-			src := 0x0a000000 | (r.Uint32() & 0x00ffffff)
-			p = buildIP(tp, r, 0x0a00, 0x5e00000f, 0x08080808, 17, 1024+uint32(r.Intn(60000)), 53, true)
-			setIPSrc(tp, p, src)
-		case roll < 70: // return traffic allow (rule 3)
-			src := 0xc0a80000 | (r.Uint32() & 0xffff)
-			dst := 0x0a000000 | (r.Uint32() & 0x00ffffff)
-			p = buildIP(tp, r, 0x0a00, 0x5e00000f, dst, 6, 80, 1024+uint32(r.Intn(60000)), true)
-			setIPSrc(tp, p, src)
-		case roll < 80: // telnet deny (rule 2)
-			p = buildIP(tp, r, 0x0a00, 0x5e00000f, r.Uint32(), 6, 40000, 23, true)
-		case roll < 90: // blacklisted source deny (rule 5)
-			src := 0x31330000 | (r.Uint32() & 0xffff)
-			p = buildIP(tp, r, 0x0a00, 0x5e00000f, r.Uint32(), 6, 40000, 8080, true)
-			setIPSrc(tp, p, src)
-		default: // unmatched -> default deny
-			p = buildIP(tp, r, 0x0a00, 0x5e00000f, 0x7f000001, 132, 7, 7, true)
-		}
-		out = append(out, p)
-	}
-	return out
+// fwTraffic declares the firewall mix as weighted cases; the single
+// per-packet selection roll and cumulative boundaries reproduce the
+// historical switch exactly.
+func fwTraffic() TraceSpec {
+	return TraceSpec{Cases: []TraceCase{
+		{Name: "web-allow", Weight: 45, // rule 0
+			Build: func(tp *types.Program, r *workload.Source, i int) *packet.Packet {
+				src := 0x0a000000 | (r.Uint32() & 0x00ffffff)
+				dst := 0xc0a80000 | (r.Uint32() & 0xffff)
+				p := buildIP(tp, r, 0x0a00, 0x5e00000f, dst, 6, 1024+uint32(r.Intn(60000)), 80, true)
+				setIPSrc(tp, p, src)
+				return p
+			}},
+		{Name: "dns-allow", Weight: 15, // rule 1
+			Build: func(tp *types.Program, r *workload.Source, i int) *packet.Packet {
+				src := 0x0a000000 | (r.Uint32() & 0x00ffffff)
+				p := buildIP(tp, r, 0x0a00, 0x5e00000f, 0x08080808, 17, 1024+uint32(r.Intn(60000)), 53, true)
+				setIPSrc(tp, p, src)
+				return p
+			}},
+		{Name: "return-allow", Weight: 10, // rule 3
+			Build: func(tp *types.Program, r *workload.Source, i int) *packet.Packet {
+				src := 0xc0a80000 | (r.Uint32() & 0xffff)
+				dst := 0x0a000000 | (r.Uint32() & 0x00ffffff)
+				p := buildIP(tp, r, 0x0a00, 0x5e00000f, dst, 6, 80, 1024+uint32(r.Intn(60000)), true)
+				setIPSrc(tp, p, src)
+				return p
+			}},
+		{Name: "telnet-deny", Weight: 10, // rule 2
+			Build: func(tp *types.Program, r *workload.Source, i int) *packet.Packet {
+				return buildIP(tp, r, 0x0a00, 0x5e00000f, r.Uint32(), 6, 40000, 23, true)
+			}},
+		{Name: "blacklist-deny", Weight: 10, // rule 5
+			Build: func(tp *types.Program, r *workload.Source, i int) *packet.Packet {
+				src := 0x31330000 | (r.Uint32() & 0xffff)
+				p := buildIP(tp, r, 0x0a00, 0x5e00000f, r.Uint32(), 6, 40000, 8080, true)
+				setIPSrc(tp, p, src)
+				return p
+			}},
+		{Name: "default-deny", Weight: 10, // unmatched
+			Build: func(tp *types.Program, r *workload.Source, i int) *packet.Packet {
+				return buildIP(tp, r, 0x0a00, 0x5e00000f, 0x7f000001, 132, 7, 7, true)
+			}},
+	}}
 }
 
 // setIPSrc rewrites the IPv4 source of a freshly built Ethernet/IPv4

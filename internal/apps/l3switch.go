@@ -259,60 +259,63 @@ func L3Switch() *App {
 		Name:               "l3switch",
 		Source:             l3switchSrc,
 		Controls:           controls,
-		Trace:              l3Trace,
+		Traffic:            l3Traffic(),
 		MinForwardFraction: 0.9,
 		Churn:              l3Churn(),
 	}
 }
 
-func l3Trace(tp *types.Program, seed uint64, n int) []*packet.Packet {
-	r := workload.NewSource(seed)
-	var out []*packet.Packet
-	for i := 0; i < n; i++ {
-		switch {
-		case i%200 == 199: // rare ARP (control path)
-			p, err := trace.Build([]trace.Layer{
-				{Proto: tp.Protocols["ether"], Fields: map[string]uint32{
-					"dst_hi": 0xffff, "dst_lo": 0xffffffff,
-					"src_hi": 0x0002, "src_lo": r.Uint32(), "type": 0x0806}},
-				{Proto: tp.Protocols["arp"], Fields: map[string]uint32{
-					"htype": 1, "ptype": 0x0800, "op": 1}},
-			}, 64, tp.Metadata.Bytes)
-			if err != nil {
-				panic(err)
-			}
-			p.Port = uint32(r.Intn(3))
-			out = append(out, p)
-		case i%7 == 3: // bridged frame (dst MAC != router MAC)
-			p, err := trace.Build([]trace.Layer{
-				{Proto: tp.Protocols["ether"], Fields: map[string]uint32{
-					"dst_hi": 0x0002, "dst_lo": uint32(r.Intn(64)),
-					"src_hi": 0x0002, "src_lo": uint32(r.Intn(64)),
-					"type": 0x0800}},
-				{Proto: tp.Protocols["ipv4"], Fields: map[string]uint32{
-					"ver": 4, "hlen": 5, "ttl": 17, "dst": r.Uint32()}, Size: 20},
-			}, 64, tp.Metadata.Bytes)
-			if err != nil {
-				panic(err)
-			}
-			p.Port = uint32(r.Intn(3))
-			out = append(out, p)
-		default: // routed IP: destination inside an installed prefix.
-			// Most traffic belongs to a handful of hot flows (the skew
-			// that makes route entries cacheable, §5.2); the tail spreads
-			// across the full table.
-			var dst uint32
-			if r.Intn(10) < 7 {
-				dst = l3HotDsts[r.Intn(len(l3HotDsts))]
-			} else {
-				dst = r.AddrInPrefix(l3Routes[r.Intn(len(l3Routes))])
-			}
-			port := uint32(r.Intn(3))
-			hi, lo := routerMAC(port)
-			p := buildIP(tp, r, hi, lo, dst, 6, 0, 0, false)
-			p.Port = port
-			out = append(out, p)
-		}
-	}
-	return out
+// l3Traffic declares the L3-Switch mix: every 200th packet an ARP
+// (control path), every 7th-mod-3 a bridged frame, the rest routed IP.
+func l3Traffic() TraceSpec {
+	return TraceSpec{Cases: []TraceCase{
+		{Name: "arp", Every: 200, Offset: 199,
+			Build: func(tp *types.Program, r *workload.Source, i int) *packet.Packet {
+				p, err := trace.Build([]trace.Layer{
+					{Proto: tp.Protocols["ether"], Fields: map[string]uint32{
+						"dst_hi": 0xffff, "dst_lo": 0xffffffff,
+						"src_hi": 0x0002, "src_lo": r.Uint32(), "type": 0x0806}},
+					{Proto: tp.Protocols["arp"], Fields: map[string]uint32{
+						"htype": 1, "ptype": 0x0800, "op": 1}},
+				}, 64, tp.Metadata.Bytes)
+				if err != nil {
+					panic(err)
+				}
+				p.Port = uint32(r.Intn(3))
+				return p
+			}},
+		{Name: "bridged", Every: 7, Offset: 3, // dst MAC != router MAC
+			Build: func(tp *types.Program, r *workload.Source, i int) *packet.Packet {
+				p, err := trace.Build([]trace.Layer{
+					{Proto: tp.Protocols["ether"], Fields: map[string]uint32{
+						"dst_hi": 0x0002, "dst_lo": uint32(r.Intn(64)),
+						"src_hi": 0x0002, "src_lo": uint32(r.Intn(64)),
+						"type": 0x0800}},
+					{Proto: tp.Protocols["ipv4"], Fields: map[string]uint32{
+						"ver": 4, "hlen": 5, "ttl": 17, "dst": r.Uint32()}, Size: 20},
+				}, 64, tp.Metadata.Bytes)
+				if err != nil {
+					panic(err)
+				}
+				p.Port = uint32(r.Intn(3))
+				return p
+			}},
+		// Routed IP: destination inside an installed prefix. Most traffic
+		// belongs to a handful of hot flows (the skew that makes route
+		// entries cacheable, §5.2); the tail spreads across the full table.
+		{Name: "routed", Weight: 1,
+			Build: func(tp *types.Program, r *workload.Source, i int) *packet.Packet {
+				var dst uint32
+				if r.Intn(10) < 7 {
+					dst = l3HotDsts[r.Intn(len(l3HotDsts))]
+				} else {
+					dst = r.AddrInPrefix(l3Routes[r.Intn(len(l3Routes))])
+				}
+				port := uint32(r.Intn(3))
+				hi, lo := routerMAC(port)
+				p := buildIP(tp, r, hi, lo, dst, 6, 0, 0, false)
+				p.Port = port
+				return p
+			}},
+	}}
 }

@@ -249,7 +249,7 @@ func MPLS() *App {
 		Name:               "mpls",
 		Source:             mplsSrc,
 		Controls:           controls,
-		Trace:              mplsTrace,
+		Traffic:            mplsTraffic(),
 		MinForwardFraction: 0.9,
 		Churn:              mplsChurn(),
 	}
@@ -281,34 +281,41 @@ func buildMPLS(tp *types.Program, r *workload.Source, labels []uint32, innerTTL 
 	return p
 }
 
-func mplsTrace(tp *types.Program, seed uint64, n int) []*packet.Packet {
-	r := workload.NewSource(seed)
-	var out []*packet.Packet
-	for i := 0; i < n; i++ {
-		roll := r.Intn(100)
-		switch {
-		case roll < 55: // transit swap
-			l := mplsPlan.swap[r.Intn(len(mplsPlan.swap))]
-			out = append(out, buildMPLS(tp, r, []uint32{l}, 19))
-		case roll < 65: // single pop to IP exit
-			l := mplsPlan.pop[r.Intn(len(mplsPlan.pop))]
-			out = append(out, buildMPLS(tp, r, []uint32{l}, 19))
-		case roll < 75: // stacked pops: outer pop(s), then a swap below
-			depth := 1 + r.Intn(2)
-			var labels []uint32
-			for d := 0; d < depth; d++ {
-				labels = append(labels, mplsPlan.pop[r.Intn(len(mplsPlan.pop))])
-			}
-			labels = append(labels, mplsPlan.swap[r.Intn(len(mplsPlan.swap))])
-			out = append(out, buildMPLS(tp, r, labels, 19))
-		case roll < 83: // push
-			l := mplsPlan.push[r.Intn(len(mplsPlan.push))]
-			out = append(out, buildMPLS(tp, r, []uint32{l}, 19))
-		default: // unlabeled IP -> FEC imposition
-			net := mplsFECNets[r.Intn(len(mplsFECNets))]
-			dst := net<<16 | (r.Uint32() & 0xffff)
-			out = append(out, buildIP(tp, r, 0x0a00, 0x5e000000, dst, 6, 0, 0, false))
-		}
-	}
-	return out
+// mplsTraffic declares the MPLS mix as weighted cases; the single
+// per-packet selection roll and cumulative boundaries reproduce the
+// historical switch exactly.
+func mplsTraffic() TraceSpec {
+	return TraceSpec{Cases: []TraceCase{
+		{Name: "swap", Weight: 55, // transit swap
+			Build: func(tp *types.Program, r *workload.Source, i int) *packet.Packet {
+				l := mplsPlan.swap[r.Intn(len(mplsPlan.swap))]
+				return buildMPLS(tp, r, []uint32{l}, 19)
+			}},
+		{Name: "pop", Weight: 10, // single pop to IP exit
+			Build: func(tp *types.Program, r *workload.Source, i int) *packet.Packet {
+				l := mplsPlan.pop[r.Intn(len(mplsPlan.pop))]
+				return buildMPLS(tp, r, []uint32{l}, 19)
+			}},
+		{Name: "stacked-pop", Weight: 10, // outer pop(s), then a swap below
+			Build: func(tp *types.Program, r *workload.Source, i int) *packet.Packet {
+				depth := 1 + r.Intn(2)
+				var labels []uint32
+				for d := 0; d < depth; d++ {
+					labels = append(labels, mplsPlan.pop[r.Intn(len(mplsPlan.pop))])
+				}
+				labels = append(labels, mplsPlan.swap[r.Intn(len(mplsPlan.swap))])
+				return buildMPLS(tp, r, labels, 19)
+			}},
+		{Name: "push", Weight: 8,
+			Build: func(tp *types.Program, r *workload.Source, i int) *packet.Packet {
+				l := mplsPlan.push[r.Intn(len(mplsPlan.push))]
+				return buildMPLS(tp, r, []uint32{l}, 19)
+			}},
+		{Name: "fec", Weight: 17, // unlabeled IP -> FEC imposition
+			Build: func(tp *types.Program, r *workload.Source, i int) *packet.Packet {
+				net := mplsFECNets[r.Intn(len(mplsFECNets))]
+				dst := net<<16 | (r.Uint32() & 0xffff)
+				return buildIP(tp, r, 0x0a00, 0x5e000000, dst, 6, 0, 0, false)
+			}},
+	}}
 }

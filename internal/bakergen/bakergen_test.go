@@ -1,0 +1,193 @@
+package bakergen
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"shangrila/internal/driver"
+)
+
+// TestSpecDeterminism pins the generator contract: equal seeds produce
+// equal specs (and therefore equal sources), for one binary.
+func TestSpecDeterminism(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		a, b := NewSpec(seed), NewSpec(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: NewSpec not deterministic", seed)
+		}
+		if a.Source() != b.Source() {
+			t.Fatalf("seed %d: Source not deterministic", seed)
+		}
+	}
+}
+
+// TestSpecJSONRoundTrip: specs survive the JSON round trip the corpus,
+// the minimizer and the fuzz report all rely on.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		s := NewSpec(seed)
+		raw, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Spec
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.Source() != s.Source() {
+			t.Fatalf("seed %d: source changed across JSON round trip", seed)
+		}
+	}
+}
+
+// TestGeneratedProgramsCompile: every generated program must pass the
+// full frontend and IR lowering — the generator's validity contract.
+func TestGeneratedProgramsCompile(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		s := NewSpec(seed)
+		if _, err := driver.LowerSource("gen.baker", s.Source()); err != nil {
+			t.Fatalf("seed %d: generated program rejected: %v\n%s", seed, err, s.Source())
+		}
+	}
+}
+
+// TestProtoShapes pins structural invariants the emitter depends on:
+// whole-word protocols, the forced seq/hl/s marker fields, and bounded
+// front growth (headroom safety).
+func TestProtoShapes(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		s := NewSpec(seed)
+		protos := []*Proto{&s.Base, &s.Inner}
+		if s.Mid != nil {
+			protos = append(protos, s.Mid)
+		}
+		if s.Stack != nil {
+			protos = append(protos, &s.Stack.Shim)
+		}
+		for _, st := range s.Stages {
+			if st.Push != nil {
+				protos = append(protos, st.Push)
+			}
+		}
+		pushBytes := 0
+		for _, st := range s.Stages {
+			if st.Push != nil {
+				pushBytes += st.Push.SizeBytes()
+			}
+		}
+		if pushBytes >= 60 {
+			t.Fatalf("seed %d: push chain %dB can escape the 64B headroom", seed, pushBytes)
+		}
+		for _, p := range protos {
+			bits := 0
+			for _, f := range p.Fields {
+				bits += f.Bits
+			}
+			if bits%32 != 0 {
+				t.Fatalf("seed %d: proto %s is %d bits (not whole words)", seed, p.Name, bits)
+			}
+		}
+		if s.Base.Fields[0].Name != "seq" || s.Base.Fields[0].Bits != 32 {
+			t.Fatalf("seed %d: base must lead with seq:32", seed)
+		}
+		if s.Inner.Field("seq") == nil {
+			t.Fatalf("seed %d: inner must carry seq", seed)
+		}
+		if s.Mid != nil && (s.Mid.Fields[0].Name != "hl" || !s.Mid.DynDemux) {
+			t.Fatalf("seed %d: mid must be dyn-demux with leading hl", seed)
+		}
+		if s.Stack != nil {
+			last := s.Stack.Shim.Fields[len(s.Stack.Shim.Fields)-1]
+			if last.Name != "s" || last.Bits != 8 {
+				t.Fatalf("seed %d: shim must end with s:8", seed)
+			}
+		}
+	}
+}
+
+// TestMinimize: the minimizer must reach a fixpoint that still satisfies
+// keep, never mutate its input, and strip structure the predicate does
+// not require.
+func TestMinimize(t *testing.T) {
+	s := NewSpec(42)
+	orig := s.Clone()
+	// Keep = "program still has at least one work stage".
+	keep := func(c *Spec) bool {
+		for _, st := range c.Stages {
+			if st.Push == nil {
+				return true
+			}
+		}
+		return false
+	}
+	min := Minimize(s, keep)
+	if !reflect.DeepEqual(s, orig) {
+		t.Fatal("Minimize mutated its input")
+	}
+	if !keep(min) {
+		t.Fatal("minimized spec no longer satisfies keep")
+	}
+	if len(min.Stages) != 1 || min.Stages[0].Push != nil {
+		t.Fatalf("expected a single work stage, got %d stages", len(min.Stages))
+	}
+	if min.Mid != nil || min.Stack != nil || min.Payload != 0 {
+		t.Fatalf("minimizer left removable structure: mid=%v stack=%v payload=%d",
+			min.Mid != nil, min.Stack != nil, min.Payload)
+	}
+	if len(min.Stages[0].Ops) != 0 {
+		t.Fatalf("minimizer left %d removable ops", len(min.Stages[0].Ops))
+	}
+	// The minimized program must still be frontend-valid.
+	if _, err := driver.LowerSource("min.baker", min.Source()); err != nil {
+		t.Fatalf("minimized program rejected: %v", err)
+	}
+}
+
+// TestFeatures spot-checks the coverage histogram against a known seed's
+// structure.
+func TestFeatures(t *testing.T) {
+	s := NewSpec(7)
+	f := s.Features()
+	if f["program"] != 1 {
+		t.Fatalf("program feature = %d", f["program"])
+	}
+	work, push := 0, 0
+	for _, st := range s.Stages {
+		if st.Push != nil {
+			push++
+		} else {
+			work++
+		}
+	}
+	if f["work"] != work || f["push"] != push {
+		t.Fatalf("stage counts: got work=%d push=%d, want %d/%d",
+			f["work"], f["push"], work, push)
+	}
+	if (s.Stack != nil) != (f["stack"] == 1) {
+		t.Fatal("stack feature mismatch")
+	}
+}
+
+// TestMutateClasses: every invalid class produces a program the frontend
+// rejects, and Mutate leaves the original untouched.
+func TestMutateClasses(t *testing.T) {
+	s := NewSpec(3)
+	orig := s.Source()
+	for _, class := range InvalidClasses() {
+		m := Mutate(s, class)
+		if m.Invalid != class {
+			t.Fatalf("class %s not recorded", class)
+		}
+		if _, err := driver.LowerSource("bad.baker", m.Source()); err == nil {
+			t.Errorf("class %s: frontend accepted the mutant", class)
+		}
+	}
+	if s.Source() != orig {
+		t.Fatal("Mutate mutated its input")
+	}
+	if strings.Contains(s.Source(), "zz_missing") {
+		t.Fatal("valid program contains injected defect")
+	}
+}

@@ -1,0 +1,210 @@
+package bakergen
+
+import (
+	"fmt"
+
+	"shangrila/internal/workload"
+)
+
+// Generation limits. Push depth is capped so the worst-case front growth
+// stays well inside the 64-byte buffer headroom both executors reserve.
+const (
+	tableSize  = 16
+	maxPayload = 16
+)
+
+// NewSpec draws a random valid program spec from the seed. The draw
+// sequence is part of no compatibility contract (corpus files persist
+// specs, not seeds), but for one binary the mapping is deterministic:
+// equal seeds give equal specs.
+func NewSpec(seed uint64) *Spec {
+	r := workload.NewSource(seed)
+	s := &Spec{Seed: seed}
+	// Wire layout, outermost first. Base always leads with the unique
+	// 32-bit seq word; Inner repeats it so output frames stay pairwise
+	// distinct even after Base is popped.
+	s.Base = genProto(r, "pb", 2+r.Intn(2), Field{Name: "seq", Bits: 32})
+	if r.Intn(100) < 45 {
+		m := genMid(r)
+		s.Mid = &m
+	}
+	if r.Intn(100) < 40 {
+		s.Stack = &StackSpec{Shim: genShim(r), MaxDepth: 1 + r.Intn(3)}
+	}
+	s.Inner = genProto(r, "pi", 2+r.Intn(3), Field{Name: "seq", Bits: 32})
+
+	// Pipeline: 1..4 work stages with 0..2 pushes spliced between them.
+	nWork := 1 + r.Intn(4)
+	nPush := r.Intn(3)
+	kinds := make([]bool, 0, nWork+nPush) // true = push
+	for i := 0; i < nWork; i++ {
+		kinds = append(kinds, false)
+	}
+	for i := 0; i < nPush; i++ {
+		// Insert at a random position after at least one work stage, so
+		// pushed views also get exercised by downstream work stages when
+		// the draw lands before the end.
+		at := 1 + r.Intn(len(kinds))
+		kinds = append(kinds[:at], append([]bool{true}, kinds[at:]...)...)
+	}
+	view := s.Inner
+	pushIdx := 0
+	for i, isPush := range kinds {
+		st := Stage{Name: fmt.Sprintf("s%d", i)}
+		if isPush {
+			p := genProto(r, fmt.Sprintf("pp%d", pushIdx), 1+r.Intn(2), Field{})
+			pushIdx++
+			st.Push = &p
+			st.Ops = genPushOps(r, &view, &p)
+			view = p
+		} else {
+			st.Ops = genWorkOps(r, &view)
+		}
+		s.Stages = append(s.Stages, st)
+	}
+
+	s.Table = make([]uint32, tableSize)
+	for i := range s.Table {
+		s.Table[i] = r.Uint32()
+	}
+	s.Payload = r.Intn(maxPayload + 1)
+	return s
+}
+
+// genProto generates a protocol of the given word count. A non-zero
+// first field is forced as the leading field; the rest of each 32-bit
+// word is partitioned into random widths.
+func genProto(r *workload.Source, name string, words int, first Field) Proto {
+	p := Proto{Name: name}
+	idx := 0
+	rem := words * 32
+	if first.Bits > 0 {
+		p.Fields = append(p.Fields, first)
+		rem -= first.Bits
+	}
+	for rem > 0 {
+		w := fieldWidth(r, rem)
+		p.Fields = append(p.Fields, Field{Name: fmt.Sprintf("f%d", idx), Bits: w})
+		idx++
+		rem -= w
+	}
+	return p
+}
+
+// genMid generates the dynamic-demux middle layer: a leading 8-bit "hl"
+// field carrying the header size in words, IPv4-style.
+func genMid(r *workload.Source) Proto {
+	p := genProto(r, "pm", 1+r.Intn(3), Field{Name: "hl", Bits: 8})
+	p.DynDemux = true
+	return p
+}
+
+// genShim generates the stack shim: random fields with a trailing 8-bit
+// "s" bottom-of-stack flag, MPLS-style.
+func genShim(r *workload.Source) Proto {
+	words := 1 + r.Intn(2)
+	p := Proto{Name: "ps"}
+	rem := words*32 - 8
+	idx := 0
+	for rem > 0 {
+		w := fieldWidth(r, rem)
+		p.Fields = append(p.Fields, Field{Name: fmt.Sprintf("f%d", idx), Bits: w})
+		idx++
+		rem -= w
+	}
+	p.Fields = append(p.Fields, Field{Name: "s", Bits: 8})
+	return p
+}
+
+// fieldWidth draws one field width (a multiple of 4 bits, at most 32)
+// that fits in rem without stranding a sliver too small to be a field.
+func fieldWidth(r *workload.Source, rem int) int {
+	if rem <= 8 {
+		return rem
+	}
+	w := 4 * (1 + r.Intn(8)) // 4..32
+	if w > rem {
+		w = rem
+	}
+	if rem-w > 0 && rem-w < 4 {
+		w = rem // absorb the sliver
+	}
+	return w
+}
+
+// genWorkOps draws a work-stage body over the given view.
+func genWorkOps(r *workload.Source, view *Proto) []Op {
+	var ops []Op
+	if r.Intn(100) < 30 {
+		f := randField(r, view)
+		ops = append(ops, Op{Kind: "dropif", Field: f.Name, Imm: dropMask(r, f.Bits)})
+	}
+	n := 1 + r.Intn(5)
+	for i := 0; i < n; i++ {
+		switch pickWeighted(r, []int{35, 15, 10, 10, 15}) {
+		case 0:
+			ops = append(ops, Op{Kind: "rewrite",
+				Field: randField(r, view).Name, Src: randField(r, view).Name,
+				Imm: r.Uint32() & 0xff})
+		case 1:
+			ops = append(ops, Op{Kind: "table", Src: randField(r, view).Name})
+		case 2:
+			ops = append(ops, Op{Kind: "metaput", Src: randField(r, view).Name})
+		case 3:
+			ops = append(ops, Op{Kind: "metaget", Field: randField(r, view).Name})
+		case 4:
+			ops = append(ops, Op{Kind: "counter"})
+		}
+	}
+	return ops
+}
+
+// genPushOps draws the pushed header's field writes; the first field is
+// always written so every push exercises a post-encap store.
+func genPushOps(r *workload.Source, view *Proto, push *Proto) []Op {
+	var ops []Op
+	for i := range push.Fields {
+		if i > 0 && r.Intn(100) >= 70 {
+			continue
+		}
+		op := Op{Kind: "pushwrite", Field: push.Fields[i].Name, Imm: r.Uint32() & 0xfff}
+		if r.Intn(100) < 50 {
+			op.Src = randField(r, view).Name
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+func randField(r *workload.Source, p *Proto) *Field {
+	return &p.Fields[r.Intn(len(p.Fields))]
+}
+
+// dropMask picks a 1-2 bit mask inside the field width, so a dropif
+// discards 25-50% of uniformly random field values.
+func dropMask(r *workload.Source, bits int) uint32 {
+	if bits > 32 {
+		bits = 32
+	}
+	m := uint32(1) << uint(r.Intn(bits))
+	if r.Intn(2) == 1 {
+		m |= uint32(1) << uint(r.Intn(bits))
+	}
+	return m
+}
+
+func pickWeighted(r *workload.Source, weights []int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	roll := r.Intn(total)
+	acc := 0
+	for i, w := range weights {
+		acc += w
+		if roll < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

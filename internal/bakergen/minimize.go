@@ -1,0 +1,94 @@
+package bakergen
+
+// Minimize delta-debugs a spec: it greedily applies the smallest
+// structural reductions — drop a stage, drop an op, remove the mid
+// layer, flatten the stack, strip payload — keeping a reduction only
+// when keep still holds (for a fuzz failure: "the differential oracle
+// still diverges"), and repeats to a fixed point. The input is never
+// mutated; the returned spec is the reduced reproducer to check into the
+// corpus.
+func Minimize(s *Spec, keep func(*Spec) bool) *Spec {
+	cur := s.Clone()
+	for changed := true; changed; {
+		changed = false
+		for _, cand := range reductions(cur) {
+			if keep(cand) {
+				cur = cand
+				changed = true
+				break
+			}
+		}
+	}
+	return cur
+}
+
+// reductions enumerates every single-step reduction of s, smallest
+// effect last so whole-stage removals are tried first.
+func reductions(s *Spec) []*Spec {
+	var out []*Spec
+	for i := range s.Stages {
+		c := s.Clone()
+		c.Stages = append(c.Stages[:i], c.Stages[i+1:]...)
+		repairViews(c)
+		out = append(out, c)
+	}
+	if s.Mid != nil {
+		c := s.Clone()
+		c.Mid = nil
+		out = append(out, c)
+	}
+	if s.Stack != nil {
+		c := s.Clone()
+		c.Stack = nil
+		out = append(out, c)
+		if s.Stack.MaxDepth > 1 {
+			c := s.Clone()
+			c.Stack.MaxDepth = 1
+			out = append(out, c)
+		}
+	}
+	if s.Payload > 0 {
+		c := s.Clone()
+		c.Payload = 0
+		out = append(out, c)
+	}
+	for i := range s.Stages {
+		for j := range s.Stages[i].Ops {
+			c := s.Clone()
+			st := &c.Stages[i]
+			st.Ops = append(st.Ops[:j], st.Ops[j+1:]...)
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// repairViews restores spec validity after a stage removal changed the
+// view chain: ops referring to fields the (new) current view no longer
+// has are dropped.
+func repairViews(s *Spec) {
+	view := s.Inner
+	for i := range s.Stages {
+		st := &s.Stages[i]
+		var kept []Op
+		for _, op := range st.Ops {
+			if fieldOK(&view, op.Field, st.Push != nil) && srcOK(&view, op.Src) {
+				kept = append(kept, op)
+			}
+		}
+		st.Ops = kept
+		if st.Push != nil {
+			view = *st.Push
+		}
+	}
+}
+
+// fieldOK checks an op's target field against the view; push targets
+// live in the pushed proto and are always fine.
+func fieldOK(view *Proto, name string, isPush bool) bool {
+	return name == "" || isPush || view.Field(name) != nil
+}
+
+func srcOK(view *Proto, name string) bool {
+	return name == "" || view.Field(name) != nil
+}

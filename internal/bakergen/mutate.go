@@ -1,0 +1,38 @@
+package bakergen
+
+// Invalid-mutation classes: each plants exactly one frontend defect in an
+// otherwise-valid generated program. The negative test suite requires the
+// parser/typechecker to reject every class with a positioned error — and
+// never to panic — so the fuzzer exercises the error paths of the
+// frontend, not just the happy path.
+const (
+	// InvalidSyntax drops the module's closing brace (parser error).
+	InvalidSyntax = "syntax"
+	// InvalidDupField declares the base protocol's second field with the
+	// first field's name (duplicate-field check).
+	InvalidDupField = "dup-field"
+	// InvalidUnknownField makes the sink read a field the view does not
+	// declare (field resolution).
+	InvalidUnknownField = "unknown-field"
+	// InvalidChanType declares out_cc with the base protocol while the
+	// sink puts the final pipeline view (channel type check).
+	InvalidChanType = "chan-type"
+	// InvalidWiring wires a channel that was never declared.
+	InvalidWiring = "wiring"
+	// InvalidControlGlobal makes the control function store to an
+	// undeclared global (global resolution).
+	InvalidControlGlobal = "control-global"
+)
+
+// InvalidClasses lists every mutation class.
+func InvalidClasses() []string {
+	return []string{InvalidSyntax, InvalidDupField, InvalidUnknownField,
+		InvalidChanType, InvalidWiring, InvalidControlGlobal}
+}
+
+// Mutate returns a copy of s carrying the named defect class.
+func Mutate(s *Spec, class string) *Spec {
+	c := s.Clone()
+	c.Invalid = class
+	return c
+}

@@ -209,3 +209,27 @@ func TestEngineDifferentialParallel(t *testing.T) {
 		}
 	}
 }
+
+// TestAppsPacketDifferential is the packet-level leg of the differential
+// suite, consuming the public oracle: every example application's
+// transmitted frames at every optimization level must match the host
+// reference interpreter exactly (the same contract the compiler fuzzer
+// enforces on generated programs).
+func TestAppsPacketDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential suite is slow; run without -short")
+	}
+	for _, a := range apps.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			t.Parallel()
+			rep := Differential(a)
+			if !rep.OK() {
+				t.Errorf("%s", rep)
+			}
+			if rep.Injected == 0 || rep.RefFrames == 0 {
+				t.Fatalf("vacuous differential: injected=%d ref=%d", rep.Injected, rep.RefFrames)
+			}
+		})
+	}
+}

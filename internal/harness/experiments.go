@@ -3,6 +3,7 @@ package harness
 import (
 	"flag"
 	"fmt"
+	"time"
 
 	"shangrila/internal/apps"
 	"shangrila/internal/driver"
@@ -126,6 +127,78 @@ func init() {
 			return runClusterSeries(ctx, a, flags.(*clusterFlags))
 		},
 	})
+
+	RegisterExperiment(&Experiment{
+		Name:     "fuzz",
+		Synopsis: "compiler fuzzing: random Baker programs, host-vs-compiled differential",
+		Flags:    fuzzFlagDefs,
+		Run: func(ctx *ExpContext, flags any) error {
+			ff := flags.(*fuzzFlags)
+			res := RunFuzz(ff.config(ctx))
+			fmt.Fprintln(ctx.Out, res)
+			ctx.Report.AddFuzz(res)
+			if !res.OK() {
+				return fmt.Errorf("%d of %d programs diverged (replay with -fuzz-seed %d)",
+					res.Divergent, res.Programs, res.Seed)
+			}
+			return nil
+		},
+		RunApp: func(ctx *ExpContext, a *apps.App, flags any) error {
+			// Against one explicit app the experiment is the differential
+			// oracle itself: every level vs the host reference.
+			ff := flags.(*fuzzFlags)
+			seed := ff.Seed
+			if seed == 0 {
+				seed = ctx.Common.Seed
+			}
+			rep := DifferentialWith(DiffConfig{Seed: seed, TraceN: ff.TraceN}, a)
+			fmt.Fprintf(ctx.Out, "differential (seed %d): %s\n", seed, rep)
+			if !rep.OK() {
+				return fmt.Errorf("fuzz: %s diverged (seed %d)", a.Name, seed)
+			}
+			return nil
+		},
+	})
+}
+
+// fuzzFlags is the fuzz experiment's private flag surface.
+type fuzzFlags struct {
+	N        int
+	Seed     uint64
+	TraceN   int
+	Budget   time.Duration
+	Minimize bool
+}
+
+func fuzzFlagDefs(fs *flag.FlagSet) any {
+	ff := &fuzzFlags{}
+	fs.IntVar(&ff.N, "fuzz-n", 50, "fuzz experiment: generated programs per campaign")
+	fs.Uint64Var(&ff.Seed, "fuzz-seed", 0, "fuzz experiment: first generator seed (0 = use -seed)")
+	fs.IntVar(&ff.TraceN, "fuzz-trace", 12, "fuzz experiment: packets injected per program")
+	fs.DurationVar(&ff.Budget, "fuzz-budget", 0, "fuzz experiment: wall-clock budget (0 = none)")
+	fs.BoolVar(&ff.Minimize, "fuzz-minimize", true, "fuzz experiment: delta-debug divergent programs")
+	return ff
+}
+
+// config resolves the flag surface against the shared context: an unset
+// -fuzz-seed inherits the common -seed so every campaign is replayable
+// from the values echoed in the output.
+func (ff *fuzzFlags) config(ctx *ExpContext) FuzzConfig {
+	seed := ff.Seed
+	if seed == 0 {
+		seed = ctx.Common.Seed
+	}
+	n := ff.N
+	if ctx.Quick && n > 10 {
+		n = 10
+	}
+	return FuzzConfig{
+		N:        n,
+		Seed:     seed,
+		TraceN:   ff.TraceN,
+		Budget:   ff.Budget,
+		Minimize: ff.Minimize,
+	}
 }
 
 // registerFigure registers one forwarding-rate figure sweep (rate vs

@@ -50,7 +50,7 @@ type CommonFlags struct {
 func RegisterCommonFlags(fs *flag.FlagSet) *CommonFlags {
 	f := &CommonFlags{}
 	fs.IntVar(&f.Level, "O", 6, "optimization level 0..6 (BASE..+SWC)")
-	fs.Uint64Var(&f.Seed, "seed", 1234, "traffic generator seed")
+	fs.Uint64Var(&f.Seed, "seed", 1234, "traffic generator seed (runs echo the resolved seed; replay with the same value)")
 	fs.StringVar(&f.DumpIR, "dump-ir", "", `dump IR after the named compiler pass (or "all")`)
 	fs.StringVar(&f.DumpDir, "dump-ir-dir", "", "write IR dumps to this directory instead of stdout")
 	fs.BoolVar(&f.VerifyIR, "verify-ir", false, "run the IR verifier after every compiler pass")

@@ -27,7 +27,7 @@ type ExpContext struct {
 	FigWarm, FigMeas int64
 	Loads            []float64
 	// Report collects every experiment's machine-readable results on
-	// the single canonical path (schema v5).
+	// the single canonical path (schema v6).
 	Report *ReportBuilder
 }
 

@@ -62,6 +62,10 @@ type BenchReport struct {
 	// Cluster holds multi-NPU line-card runs: topology, per-chip
 	// goodput/imbalance, bucketed timelines and merged tail latency.
 	Cluster []*ClusterResult `json:"cluster,omitempty"`
+	// Fuzz holds compiler-fuzzing campaign results: programs run,
+	// feature-coverage histogram, and any (minimized) divergent
+	// reproducers.
+	Fuzz []*FuzzResult `json:"fuzz,omitempty"`
 }
 
 // ReportSchema versions the bench report layout. v2 added the
@@ -70,11 +74,13 @@ type BenchReport struct {
 // section (goodput/latency timelines under control-plane update storms
 // plus full-vs-incremental compile latency); v5 adds the experiments
 // list and the cluster section (multi-NPU topology and per-chip
-// points), with every experiment feeding one report builder.
-const ReportSchema = "shangrila-bench/v5"
+// points), with every experiment feeding one report builder; v6 adds
+// the fuzz section (compiler-fuzzing campaign statistics and minimized
+// divergence reproducers).
+const ReportSchema = "shangrila-bench/v6"
 
 // ReportBuilder accumulates every experiment's machine-readable output
-// into one schema-v5 document — the single report-assembly path all
+// into one schema-v6 document — the single report-assembly path all
 // experiments share.
 type ReportBuilder struct {
 	rep     BenchReport
@@ -149,12 +155,17 @@ func (b *ReportBuilder) AddCluster(results []*ClusterResult) {
 	b.rep.Cluster = append(b.rep.Cluster, results...)
 }
 
+// AddFuzz appends a compiler-fuzzing campaign result.
+func (b *ReportBuilder) AddFuzz(r *FuzzResult) {
+	b.rep.Fuzz = append(b.rep.Fuzz, r)
+}
+
 // Empty reports whether nothing measurable was added (experiment names
 // alone don't make a report worth writing).
 func (b *ReportBuilder) Empty() bool {
 	r := &b.rep
 	return len(r.Points) == 0 && len(r.LoadLatency) == 0 &&
-		len(r.Churn) == 0 && len(r.Cluster) == 0
+		len(r.Churn) == 0 && len(r.Cluster) == 0 && len(r.Fuzz) == 0
 }
 
 // Report returns the assembled document.
@@ -191,6 +202,7 @@ func (r *BenchReport) CanonicalJSON() ([]byte, error) {
 		// Cluster runs are fully simulated — no wall-clock fields —
 		// so they pass through unchanged.
 		Cluster: r.Cluster,
+		Fuzz:    make([]*FuzzResult, len(r.Fuzz)),
 	}
 	copy(cp.Points, r.Points)
 	for i := range cp.Points {
@@ -219,6 +231,15 @@ func (r *BenchReport) CanonicalJSON() ([]byte, error) {
 	}
 	if len(cp.Churn) == 0 {
 		cp.Churn = nil
+	}
+	// Fuzz campaigns are deterministic except for throughput timing.
+	for i, fr := range r.Fuzz {
+		f := *fr
+		f.ElapsedNanos, f.ProgramsPerSec = 0, 0
+		cp.Fuzz[i] = &f
+	}
+	if len(cp.Fuzz) == 0 {
+		cp.Fuzz = nil
 	}
 	return json.MarshalIndent(&cp, "", "  ")
 }

@@ -147,8 +147,21 @@ func combineBlock(tp *types.Program, f *ir.Func, b *ir.Block, st *Stats) {
 	open := map[[2]interface{}]*cluster{} // key: (kind, base handle)
 	var done []*cluster
 
+	// A flushed store cluster's wide store sinks to its last member's
+	// index, which may be *after* a store member's original position. A
+	// later load must therefore never hoist above that sink point (by
+	// joining a load cluster whose first access precedes it), or it would
+	// read the pre-store memory. Track the sink high-water mark per
+	// domain (packet data / metadata).
+	storeSink := map[bool]int{} // key: kind.isMeta()
+
 	flush := func(c *cluster) {
 		if c != nil && len(c.accs) >= 2 {
+			if !c.kind.isLoad() {
+				if s := c.accs[len(c.accs)-1].idx; s > storeSink[c.kind.isMeta()] {
+					storeSink[c.kind.isMeta()] = s
+				}
+			}
 			done = append(done, c)
 		}
 	}
@@ -198,32 +211,13 @@ func combineBlock(tp *types.Program, f *ir.Func, b *ir.Block, st *Stats) {
 			}
 		case ir.OpDecap:
 			killDefs(in)
-			from := tp.ProtoByID[in.Imm]
-			if from.FixedSize >= 0 {
-				hb := resolve(in.Args[0])
-				hb.delta += int32(from.FixedSize)
-				alias[in.Dst[0]] = hb
-			} else {
-				alias[in.Dst[0]] = hbase{base: in.Dst[0]}
-			}
+			alias[in.Dst[0]] = hbase{base: in.Dst[0]}
+			flushAll()
 			continue
 		case ir.OpEncap:
 			killDefs(in)
-			size := int32(in.Proto.FixedSize)
-			if size < 0 {
-				size = int32(in.Proto.HeaderMin)
-			}
-			// Safe only when SOAR proved the head offset is at least the
-			// new header's size: otherwise the encap may grow the buffer
-			// front and shift every related offset.
-			if in.StaticMin >= size {
-				hb := resolve(in.Args[0])
-				hb.delta -= size
-				alias[in.Dst[0]] = hb
-			} else {
-				alias[in.Dst[0]] = hbase{base: in.Dst[0]}
-				flushAll() // potential front growth invalidates pending bursts
-			}
+			alias[in.Dst[0]] = hbase{base: in.Dst[0]}
+			flushAll()
 			continue
 		case ir.OpPktCopy, ir.OpPktCreate:
 			killDefs(in)
@@ -267,6 +261,14 @@ func combineBlock(tp *types.Program, f *ir.Func, b *ir.Block, st *Stats) {
 			}
 			key := [2]interface{}{kind, h}
 			c := open[key]
+			// Never hoist a load above a sunk combined store: joining a
+			// cluster whose first access precedes the domain's store-sink
+			// high-water mark would move this read over that wide store.
+			if c != nil && kind.isLoad() && c.accs[0].idx < storeSink[kind.isMeta()] {
+				flush(c)
+				c = nil
+				delete(open, key)
+			}
 			if c != nil && len(c.accs) > 0 && !safeToJoin(b, c, idx, in, kind, delta, resolve) {
 				flush(c)
 				c = nil

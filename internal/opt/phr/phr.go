@@ -58,22 +58,46 @@ func Run(prog *ir.Program, plan *aggregate.Plan, merged []*aggregate.Merged) *St
 }
 
 // fieldAccessors maps each metadata field to the set of PPFs touching it
-// in the original program.
+// in the original program. PAC may have combined field accesses into raw
+// byte-range accesses (Field == nil) before PHR runs, so a raw access
+// counts as touching every metadata field its range overlaps — otherwise a
+// field looks private to one PPF while another still reads its SRAM slot
+// through a combined access.
 func fieldAccessors(prog *ir.Program) map[*types.ProtoField]map[string]bool {
 	out := map[*types.ProtoField]map[string]bool{}
 	for _, name := range prog.Order {
 		fn := prog.Funcs[name]
 		for _, b := range fn.Blocks {
 			for _, in := range b.Instrs {
-				if (in.Op == ir.OpMetaLoad || in.Op == ir.OpMetaStore) && in.Field != nil {
-					s := out[in.Field]
+				if in.Op != ir.OpMetaLoad && in.Op != ir.OpMetaStore {
+					continue
+				}
+				for _, fld := range metaFieldsOf(prog, in) {
+					s := out[fld]
 					if s == nil {
 						s = map[string]bool{}
-						out[in.Field] = s
+						out[fld] = s
 					}
 					s[name] = true
 				}
 			}
+		}
+	}
+	return out
+}
+
+// metaFieldsOf resolves a metadata access to the fields it touches: the
+// named field for a field access, every overlapping field for a raw
+// (PAC-combined) byte-range access.
+func metaFieldsOf(prog *ir.Program, in *ir.Instr) []*types.ProtoField {
+	if in.Field != nil {
+		return []*types.ProtoField{in.Field}
+	}
+	lo, hi := int(in.Off)*8, (int(in.Off)+in.Width)*8
+	var out []*types.ProtoField
+	for _, fld := range prog.Types.Metadata.Fields {
+		if fld.BitOff < hi && lo < fld.BitOff+fld.Bits {
+			out = append(out, fld)
 		}
 	}
 	return out
@@ -107,12 +131,12 @@ func localizeMetadata(prog *ir.Program, plan *aggregate.Plan, m *aggregate.Merge
 			if other == e {
 				continue
 			}
-			if touchesField(other.Func, fld) {
+			if touchesField(prog, other.Func, fld) {
 				inOthers = true
 				break
 			}
 		}
-		if !inOthers && touchesField(e.Func, fld) {
+		if !inOthers && touchesField(prog, e.Func, fld) {
 			eligible[fld] = true
 		}
 	}
@@ -134,8 +158,10 @@ func localizeMetadata(prog *ir.Program, plan *aggregate.Plan, m *aggregate.Merge
 	for _, fld := range flds {
 		reg := e.Func.NewReg(ir.ClassWord)
 		for _, b := range e.Func.Blocks {
+			var out []*ir.Instr
 			for _, in := range b.Instrs {
-				if in.Field != fld {
+				if in.Field != fld || (in.Op != ir.OpMetaLoad && in.Op != ir.OpMetaStore) {
+					out = append(out, in)
 					continue
 				}
 				switch in.Op {
@@ -143,25 +169,46 @@ func localizeMetadata(prog *ir.Program, plan *aggregate.Plan, m *aggregate.Merge
 					in.Op = ir.OpMov
 					in.Field = nil
 					in.Args = []ir.Reg{reg}
-					st.AccessesRemoved++
 				case ir.OpMetaStore:
-					in.Op = ir.OpMov
+					// An SRAM store truncates the value to the field's
+					// width and a load zero-extends it back, so the
+					// register must hold the masked value, not the raw
+					// 32-bit store operand.
+					val := in.Args[1]
 					in.Field = nil
 					in.Dst = []ir.Reg{reg}
-					in.Args = []ir.Reg{in.Args[1]}
-					st.AccessesRemoved++
+					if fld.Bits < 32 {
+						mr := e.Func.NewReg(ir.ClassWord)
+						out = append(out, &ir.Instr{Op: ir.OpConst, Pos: in.Pos,
+							Dst: []ir.Reg{mr}, Imm: uint64(1)<<uint(fld.Bits) - 1})
+						in.Op = ir.OpAnd
+						in.Args = []ir.Reg{val, mr}
+					} else {
+						in.Op = ir.OpMov
+						in.Args = []ir.Reg{val}
+					}
 				}
+				st.AccessesRemoved++
+				out = append(out, in)
 			}
+			b.Instrs = out
 		}
 		st.FieldsLocalized++
 	}
 }
 
-func touchesField(fn *ir.Func, fld *types.ProtoField) bool {
+// touchesField reports whether fn accesses fld, counting raw byte-range
+// accesses that overlap the field's bits.
+func touchesField(prog *ir.Program, fn *ir.Func, fld *types.ProtoField) bool {
 	for _, b := range fn.Blocks {
 		for _, in := range b.Instrs {
-			if (in.Op == ir.OpMetaLoad || in.Op == ir.OpMetaStore) && in.Field == fld {
-				return true
+			if in.Op != ir.OpMetaLoad && in.Op != ir.OpMetaStore {
+				continue
+			}
+			for _, f := range metaFieldsOf(prog, in) {
+				if f == fld {
+					return true
+				}
 			}
 		}
 	}

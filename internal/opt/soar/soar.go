@@ -430,16 +430,19 @@ func (a *analyzer) step(fn *ir.Func, in *ir.Instr, cur map[ir.Reg]lat) bool {
 		}
 		var out lat
 		if src.st == known {
+			// The offset may go negative (front growth): the executors
+			// keep packet bytes in place and move the head into the
+			// buffer headroom, so codegen's BufHeadroom+off addressing
+			// stays exact. The host interpreter instead re-bases the
+			// packet start on growth, so any other live handle's offset
+			// is no longer trustworthy — invalidate them.
 			no := src.off - int32(size)
 			if no < 0 {
-				// Front growth: every other live handle's offset shifts;
-				// the new handle lands at 0. Invalidate other handles.
 				for r := range cur {
 					if r != in.Args[0] {
 						cur[r] = bottomLat(1)
 					}
 				}
-				no = 0
 			}
 			out = knownLat(no)
 		} else {
