@@ -38,22 +38,28 @@ func benchCfg() harness.RunConfig {
 
 // BenchmarkFigure6 regenerates the memory micro-experiment: forwarding
 // rate vs. memory accesses per 64-byte packet for each level and width,
-// six MEs running a pure access loop.
+// six MEs running a pure access loop. The sweep runs once per engine —
+// the points are bit-identical across engines, so the sub-benchmarks
+// compare host wall-clock for the same simulation.
 func BenchmarkFigure6(b *testing.B) {
-	var last []harness.Fig6Point
-	for i := 0; i < b.N; i++ {
-		pts, err := harness.Figure6(50_000, 300_000)
-		if err != nil {
-			b.Fatal(err)
+	run := func(b *testing.B, engine ixp.EngineSpec) {
+		var last []harness.Fig6Point
+		for i := 0; i < b.N; i++ {
+			pts, err := harness.Figure6Engine(50_000, 300_000, engine)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = pts
 		}
-		last = pts
-	}
-	b.Log("\n" + harness.FormatFigure6(last))
-	for _, p := range last {
-		if p.Accesses == 2 && p.Bytes == 8 {
-			b.ReportMetric(p.Gbps, "Gbps@dram8Bx2")
+		b.Log("\n" + harness.FormatFigure6(last))
+		for _, p := range last {
+			if p.Accesses == 2 && p.Bytes == 8 {
+				b.ReportMetric(p.Gbps, "Gbps@dram8Bx2")
+			}
 		}
 	}
+	b.Run("serial", func(b *testing.B) { run(b, nil) })
+	b.Run("compiled", func(b *testing.B) { run(b, ixp.EngineCompiled{}) })
 }
 
 // BenchmarkTable1 regenerates the per-packet dynamic memory access table
@@ -135,11 +141,12 @@ func BenchmarkCompiler(b *testing.B) {
 }
 
 // BenchmarkSimulator measures raw simulation speed (cycles simulated per
-// wall second) on the optimized L3-Switch, on the serial engine and on
-// the parallel sharded engine at several shard counts. The engines are
+// wall second) on the optimized L3-Switch: the serial interpreter, the
+// parallel sharded engine at several shard counts, the staged-compilation
+// engine, and the compiled+sharded composition. The engines are
 // bit-identical, so the sub-benchmarks measure the same simulation; the
-// shard count is encoded in the sub-benchmark name (not the GOMAXPROCS
-// suffix) so benchjson keys serial and parallel entries apart.
+// engine variant is encoded in the sub-benchmark name (not the GOMAXPROCS
+// suffix) so benchjson keys each entry as its own series.
 func BenchmarkSimulator(b *testing.B) {
 	a := apps.L3Switch()
 	res, err := harness.Compile(a, driver.LevelSWC, 7)
@@ -170,6 +177,10 @@ func BenchmarkSimulator(b *testing.B) {
 			run(b, ixp.EngineParallel{Shards: shards})
 		})
 	}
+	b.Run("compiled", func(b *testing.B) { run(b, ixp.EngineCompiled{}) })
+	b.Run("compiled-shards=4", func(b *testing.B) {
+		run(b, ixp.EngineCompiled{Shards: 4})
+	})
 }
 
 // BenchmarkCluster measures the multi-NPU line-card simulation: the

@@ -28,10 +28,11 @@ type Benchmark struct {
 	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 	// Engine and Shards are parsed from engine-variant sub-benchmark
-	// names ("…/serial", "…/parallel-shards=4") so simulator numbers
-	// from different engines are never compared as one series. Chips is
-	// parsed from cluster sub-benchmarks ("…/chips=4") — the multi-NPU
-	// line-card size, a different series per chip count.
+	// names ("…/serial", "…/parallel-shards=4", "…/compiled",
+	// "…/compiled-shards=4") so simulator numbers from different engines
+	// are never compared as one series. Chips is parsed from cluster
+	// sub-benchmarks ("…/chips=4") — the multi-NPU line-card size, a
+	// different series per chip count.
 	Engine string `json:"engine,omitempty"`
 	Shards int    `json:"shards,omitempty"`
 	Chips  int    `json:"chips,omitempty"`
@@ -115,9 +116,16 @@ func parseLine(line, pkg string) (Benchmark, bool) {
 		switch {
 		case elem == "serial":
 			b.Engine = "serial"
+		case elem == "compiled":
+			b.Engine = "compiled"
 		case strings.HasPrefix(elem, "parallel-shards="):
 			if n, err := strconv.Atoi(strings.TrimPrefix(elem, "parallel-shards=")); err == nil {
 				b.Engine = "parallel"
+				b.Shards = n
+			}
+		case strings.HasPrefix(elem, "compiled-shards="):
+			if n, err := strconv.Atoi(strings.TrimPrefix(elem, "compiled-shards=")); err == nil {
+				b.Engine = "compiled"
 				b.Shards = n
 			}
 		case strings.HasPrefix(elem, "chips="):

@@ -26,9 +26,11 @@
 // never traced.
 //
 // With -engine parallel every measured machine runs on the sharded
-// simulation engine (-shards worker goroutines per point; results are
-// bit-identical to the serial default, and the report records the engine
-// and shard count per point).
+// simulation engine (-shards worker goroutines per point); with -engine
+// compiled it runs staged-compilation dispatch, where predecoded runs
+// execute as specialized native closures (optionally sharded with
+// -shards). Results are bit-identical to the serial default, and the
+// report records the engine and shard count per point.
 //
 // -cpuprofile/-memprofile profile the benchmark process itself (for
 // `go tool pprof`), covering compilation and every sweep worker — the

@@ -8,6 +8,7 @@ import (
 	"shangrila/internal/apps"
 	"shangrila/internal/driver"
 	"shangrila/internal/ir"
+	"shangrila/internal/ixp"
 	"shangrila/internal/packet"
 	"shangrila/internal/profiler"
 	"shangrila/internal/rts"
@@ -41,6 +42,12 @@ const (
 	// DivMissing: a reference frame was never transmitted by the
 	// compiled program within the cycle budget (wrong drop).
 	DivMissing DivergenceKind = "missing-frame"
+	// DivPerf: a cross-level performance metamorphism violation — an
+	// optimized build needed more simulated cycles than PerfBound allows
+	// relative to BASE to reproduce the reference frames. Optimization
+	// levels legitimately reshape timing, so the bound is deliberately
+	// loose; only gross regressions flag.
+	DivPerf DivergenceKind = "perf-regression"
 )
 
 // Divergence is one observed disagreement between two semantic views of
@@ -77,6 +84,12 @@ type DiffReport struct {
 	Injected    int          `json:"injected"`
 	RefFrames   int          `json:"ref_frames"`
 	Divergences []Divergence `json:"divergences,omitempty"`
+	// LevelCycles records, per matched level, the simulated cycles the
+	// compiled build ran until every reference frame had appeared —
+	// chunk-granular (multiples of ChunkCycles) and fully deterministic,
+	// which is what makes the fuzz performance metamorphism check
+	// (PerfBound) reproducible.
+	LevelCycles map[string]int64 `json:"level_cycles,omitempty"`
 }
 
 // OK reports whether every level matched the reference exactly.
@@ -112,6 +125,12 @@ type DiffConfig struct {
 	MaxCycles    int64  // total cycle budget per level (default 600k)
 	CaptureLimit int    // max frames captured (default 8*TraceN)
 	FirstOnly    bool   // stop at the first divergent level
+
+	// Engine selects the simulation engine compiled levels run on (nil =
+	// serial). The engines are bit-identical, so the fuzz corpus and the
+	// golden suite replay under ixp.EngineCompiled must reproduce the
+	// serial verdicts exactly.
+	Engine ixp.EngineSpec
 }
 
 func (c *DiffConfig) fill() {
@@ -231,7 +250,7 @@ func (rep *DiffReport) diffLevel(a *apps.App, lvl driver.Level, s *settings, cfg
 	}
 	trc = priv
 	rt, err := rts.New(res.Image, res.Prog, trc, rts.Options{
-		NumMEs: cfg.NumMEs, CaptureLimit: cfg.CaptureLimit})
+		NumMEs: cfg.NumMEs, CaptureLimit: cfg.CaptureLimit, Engine: cfg.Engine})
 	if err != nil {
 		rep.add(Divergence{Kind: DivRun, LevelA: "host", LevelB: name,
 			PacketIndex: -1, Detail: err.Error()})
@@ -252,6 +271,7 @@ func (rep *DiffReport) diffLevel(a *apps.App, lvl driver.Level, s *settings, cfg
 	// frame must eventually appear.
 	seen := map[string]bool{}
 	checked := 0
+	used := int64(0) // simulated cycles actually run at this level
 	matched := func() bool { return len(seen) == len(refSet) }
 	for cycles := int64(0); cycles < cfg.MaxCycles && !matched(); cycles += cfg.ChunkCycles {
 		if err := rt.Run(cfg.ChunkCycles); err != nil {
@@ -259,6 +279,7 @@ func (rep *DiffReport) diffLevel(a *apps.App, lvl driver.Level, s *settings, cfg
 				PacketIndex: -1, Detail: err.Error()})
 			return false
 		}
+		used += cfg.ChunkCycles
 		for ; checked < len(rt.TxCapture); checked++ {
 			f := string(rt.TxCapture[checked].Frame)
 			if _, ok := refSet[f]; !ok {
@@ -284,6 +305,10 @@ func (rep *DiffReport) diffLevel(a *apps.App, lvl driver.Level, s *settings, cfg
 			}
 		}
 	}
+	if rep.LevelCycles == nil {
+		rep.LevelCycles = map[string]int64{}
+	}
+	rep.LevelCycles[name] = used
 	return true
 }
 

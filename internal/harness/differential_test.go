@@ -210,6 +210,54 @@ func TestEngineDifferentialParallel(t *testing.T) {
 	}
 }
 
+// TestEngineDifferentialCompiled replays the full differential suite on
+// the staged-compilation engine — both dispatch shapes: Shards 0 (the
+// single-goroutine compiled dispatcher) and Shards 3 (compiled closures
+// running inside the parallel engine's shard phases) — and asserts the
+// canonical output is byte-identical to the serial goldens. This is the
+// compiled engine's correctness contract: constant folding, wired-zero
+// elision and batched cycle accounting may change host speed, never
+// simulated state.
+func TestEngineDifferentialCompiled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential suite is slow; run without -short")
+	}
+	dir := filepath.Join("testdata", "engine")
+	for _, shards := range []int{0, 3} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			for _, a := range apps.All() {
+				for _, lvl := range driver.Levels() {
+					res, err := Compile(a, lvl, 1234)
+					if err != nil {
+						t.Fatalf("%s at %v: %v", a.Name, lvl, err)
+					}
+					for _, mes := range []int{1, 5} {
+						name := fmt.Sprintf("%s-%s-%dme", a.Name, lvl, mes)
+						t.Run(name, func(t *testing.T) {
+							snap := runDifferentialPoint(t, a, res, mes, ixp.EngineCompiled{Shards: shards})
+							got, err := json.MarshalIndent(snap, "", "  ")
+							if err != nil {
+								t.Fatal(err)
+							}
+							got = append(got, '\n')
+							path := filepath.Join(dir, name+".json")
+							want, err := os.ReadFile(path)
+							if err != nil {
+								t.Fatalf("missing golden (run TestEngineDifferential with -update-golden): %v", err)
+							}
+							if string(got) != string(want) {
+								t.Errorf("compiled engine diverged from serial golden %s\ngot:\n%s\nwant:\n%s",
+									path, got, want)
+							}
+						})
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestAppsPacketDifferential is the packet-level leg of the differential
 // suite, consuming the public oracle: every example application's
 // transmitted frames at every optimization level must match the host

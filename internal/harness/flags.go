@@ -3,6 +3,7 @@ package harness
 import (
 	"flag"
 	"fmt"
+	"strings"
 
 	"shangrila/internal/driver"
 	"shangrila/internal/ixp"
@@ -29,10 +30,12 @@ type CommonFlags struct {
 	Flows   int
 	Zipf    float64
 
-	// Simulation engine selection. Engine "serial" (the default) runs
-	// the single-goroutine event loop; "parallel" shards MEs across
-	// worker goroutines with bit-identical results. Shards 0 means
-	// min(NumMEs, GOMAXPROCS).
+	// Simulation engine selection; the valid names are
+	// ixp.EngineNames() — "serial" (the default single-goroutine event
+	// loop), "parallel" (MEs sharded across worker goroutines) and
+	// "compiled" (staged closure dispatch) — all bit-identical. Shards
+	// 0 means min(NumMEs, GOMAXPROCS) for parallel and single-goroutine
+	// dispatch for compiled.
 	Engine string
 	Shards int
 
@@ -59,8 +62,9 @@ func RegisterCommonFlags(fs *flag.FlagSet) *CommonFlags {
 	fs.Float64Var(&f.Gbps, "gbps", 0, "offered load in Gbps (0 = legacy line-rate trace playback)")
 	fs.IntVar(&f.Flows, "flows", 256, "workload flow population size")
 	fs.Float64Var(&f.Zipf, "zipf", 0, "Zipf flow-popularity exponent (0 = uniform)")
-	fs.StringVar(&f.Engine, "engine", "serial", "simulation engine: serial|parallel (bit-identical results)")
-	fs.IntVar(&f.Shards, "shards", 0, "parallel engine worker shards (0 = min(NumMEs, GOMAXPROCS))")
+	fs.StringVar(&f.Engine, "engine", "serial",
+		"simulation engine: "+strings.Join(ixp.EngineNames(), "|")+" (bit-identical results)")
+	fs.IntVar(&f.Shards, "shards", 0, "engine worker shards (parallel: 0 = min(NumMEs, GOMAXPROCS); compiled: 0 = single-goroutine dispatch)")
 	fs.Float64Var(&f.ChurnRate, "churn-rate", 0, "control-plane updates per second (0 = churn experiment default)")
 	fs.IntVar(&f.ChurnBurst, "churn-burst", 0, "back-to-back updates per churn arrival (0 = default)")
 	fs.StringVar(&f.ChurnArrival, "churn-arrival", "", "churn arrival process: fixed|poisson (default fixed)")
@@ -91,19 +95,11 @@ func (f *CommonFlags) ChurnSpec() (*workload.ChurnSpec, error) {
 
 // EngineSpec returns the engine the -engine/-shards flags select (nil
 // for the serial default, so callers can pass it straight to
-// WithEngine).
+// WithEngine). Parsing delegates to ixp.ParseEngine, the single source
+// of truth for valid names — registry-generated usage text and this
+// parser cannot drift apart.
 func (f *CommonFlags) EngineSpec() (ixp.EngineSpec, error) {
-	switch f.Engine {
-	case "", "serial":
-		if f.Shards != 0 {
-			return nil, fmt.Errorf("-shards requires -engine parallel")
-		}
-		return nil, nil
-	case "parallel":
-		return ixp.EngineParallel{Shards: f.Shards}, nil
-	default:
-		return nil, fmt.Errorf("unknown engine %q (want serial or parallel)", f.Engine)
-	}
+	return ixp.ParseEngine(f.Engine, f.Shards)
 }
 
 // DriverLevel returns the -O flag as a driver level, validated.

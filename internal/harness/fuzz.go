@@ -168,6 +168,56 @@ func RunFuzz(cfg FuzzConfig) *FuzzResult {
 	return res
 }
 
+// Slack terms of the performance metamorphism bound. Optimization
+// passes may pessimize individual programs (spills, code growth), and
+// LevelCycles is chunk-granular, so the bound must absorb both a real
+// constant-factor slowdown and up to two chunks of quantization noise
+// before flagging. The factor is deliberately generous: the check hunts
+// gross cost-model regressions (a pass looping a hot path, an
+// accidentally quadratic lowering), not single-digit-percent drift.
+const (
+	perfSlackFactor = 2
+	perfSlackChunks = 2
+)
+
+// PerfBound returns the maximum simulated cycles an optimized build may
+// take to reproduce the reference frames, given the BASE build's cycles
+// and the differential chunk size: optimizing must not make a program
+// more than perfSlackFactor× slower than unoptimized, modulo chunk
+// quantization. This is the metamorphic relation the fuzzer checks
+// across levels — no external oracle needed, BASE is the yardstick.
+func PerfBound(baseCycles, chunkCycles int64) int64 {
+	return perfSlackFactor*baseCycles + perfSlackChunks*chunkCycles
+}
+
+// perfDivergences applies PerfBound to a matched report: every level
+// whose recorded cycles exceed the bound derived from BASE's yields one
+// DivPerf divergence. Reports without a BASE measurement (level subset
+// runs) or with any functional divergence are out of scope — cycle
+// counts of non-matching levels are not comparable.
+func perfDivergences(rep *DiffReport, chunkCycles int64) []Divergence {
+	base, ok := rep.LevelCycles[driver.LevelBase.String()]
+	if !ok {
+		return nil
+	}
+	bound := PerfBound(base, chunkCycles)
+	var out []Divergence
+	for _, name := range rep.Levels {
+		if name == driver.LevelBase.String() {
+			continue
+		}
+		cyc, ok := rep.LevelCycles[name]
+		if !ok || cyc <= bound {
+			continue
+		}
+		out = append(out, Divergence{Kind: DivPerf, LevelA: driver.LevelBase.String(),
+			LevelB: name, PacketIndex: -1,
+			Detail: fmt.Sprintf("optimized build needed %d cycles vs %d at BASE (bound %d = %d*base + %d*chunk)",
+				cyc, base, bound, perfSlackFactor, perfSlackChunks)})
+	}
+	return out
+}
+
 // fuzzProgram generates, differentials and (on divergence) minimizes one
 // seed, plus one invalid-mutant frontend check.
 func fuzzProgram(cfg FuzzConfig, seed uint64) fuzzOne {
@@ -175,7 +225,20 @@ func fuzzProgram(cfg FuzzConfig, seed uint64) fuzzOne {
 	one := fuzzOne{done: true, features: spec.Features()}
 
 	dc := DiffConfig{Seed: seed, TraceN: cfg.TraceN}
+	dc.fill() // concrete ChunkCycles up front: PerfBound needs it below
 	rep := DifferentialWith(dc, spec.Build(), cfg.Levels...)
+	if rep.OK() {
+		// Functional match at every level — now the cross-level
+		// performance metamorphism: the optimized builds must not be
+		// grossly slower (in simulated cycles) than BASE.
+		if perf := perfDivergences(rep, dc.ChunkCycles); len(perf) != 0 {
+			f := &FuzzFailure{Seed: seed, Spec: string(mustSpecJSON(spec))}
+			for _, d := range perf {
+				f.Divergences = append(f.Divergences, d.String())
+			}
+			one.failure = f
+		}
+	}
 	if !rep.OK() {
 		if cfg.Minimize {
 			spec = bakergen.Minimize(spec, func(c *bakergen.Spec) bool {

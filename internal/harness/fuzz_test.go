@@ -37,6 +37,69 @@ func TestFuzzCampaign(t *testing.T) {
 	}
 }
 
+// TestPerfDivergences pins the cross-level performance metamorphism
+// check on synthetic reports: levels within PerfBound pass, a level past
+// it yields exactly one DivPerf divergence against BASE, and reports
+// without a BASE measurement are out of scope.
+func TestPerfDivergences(t *testing.T) {
+	const chunk = int64(60_000)
+	base := driver.LevelBase.String()
+	rep := &DiffReport{
+		App:    "synthetic",
+		Levels: []string{base, "-O1", "+SWC"},
+		LevelCycles: map[string]int64{
+			base:   120_000,
+			"-O1":  PerfBound(120_000, chunk), // exactly at the bound: passes
+			"+SWC": PerfBound(120_000, chunk) + chunk,
+		},
+	}
+	divs := perfDivergences(rep, chunk)
+	if len(divs) != 1 {
+		t.Fatalf("got %d divergences, want 1: %v", len(divs), divs)
+	}
+	d := divs[0]
+	if d.Kind != DivPerf || d.LevelA != base || d.LevelB != "+SWC" || d.PacketIndex != -1 {
+		t.Fatalf("wrong divergence shape: %+v", d)
+	}
+
+	// No BASE measurement (level-subset run): nothing comparable.
+	sub := &DiffReport{Levels: []string{"-O1"},
+		LevelCycles: map[string]int64{"-O1": 1 << 40}}
+	if got := perfDivergences(sub, chunk); got != nil {
+		t.Fatalf("subset run produced divergences: %v", got)
+	}
+
+	// The bound itself: factor on base plus chunk-quantization slack.
+	if got, want := PerfBound(100, 7), int64(perfSlackFactor*100+perfSlackChunks*7); got != want {
+		t.Fatalf("PerfBound(100, 7) = %d, want %d", got, want)
+	}
+}
+
+// TestDifferentialRecordsLevelCycles: a clean real differential records
+// a deterministic chunk-granular cycle count for every level — the
+// input the fuzz performance check consumes.
+func TestDifferentialRecordsLevelCycles(t *testing.T) {
+	spec := bakergen.NewSpec(501)
+	dc := DiffConfig{Seed: 501, TraceN: 8}
+	dc.fill()
+	rep := DifferentialWith(dc, spec.Build())
+	if !rep.OK() {
+		t.Fatalf("differential diverged:\n%s", rep)
+	}
+	for _, name := range rep.Levels {
+		cyc, ok := rep.LevelCycles[name]
+		if !ok {
+			t.Fatalf("no cycle record for matched level %s: %v", name, rep.LevelCycles)
+		}
+		if cyc <= 0 || cyc%dc.ChunkCycles != 0 {
+			t.Fatalf("level %s cycles %d not a positive multiple of chunk %d", name, cyc, dc.ChunkCycles)
+		}
+	}
+	if divs := perfDivergences(rep, dc.ChunkCycles); len(divs) != 0 {
+		t.Fatalf("clean program flagged by perf check: %v", divs)
+	}
+}
+
 // TestFuzzBudget: an already-expired budget stops dispatch without
 // losing accounting coherence.
 func TestFuzzBudget(t *testing.T) {

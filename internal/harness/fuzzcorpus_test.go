@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"shangrila/internal/bakergen"
+	"shangrila/internal/ixp"
 )
 
 // TestFuzzCorpusReplay replays every checked-in minimized reproducer from
@@ -38,6 +40,21 @@ func TestFuzzCorpusReplay(t *testing.T) {
 			rep := DifferentialWith(DiffConfig{Seed: spec.Seed, TraceN: 12}, spec.Build())
 			if !rep.OK() {
 				t.Errorf("corpus reproducer diverges again:\n%s", rep)
+			}
+			// Replay on the staged-compilation engine: the corpus programs
+			// are exactly the adversarial inputs (cross-decap rebasing,
+			// front-growth clamping, metadata localization) a closure
+			// compiler could mis-specialize, so the compiled verdict — and
+			// the per-level cycle counts, which are deterministic — must
+			// reproduce the serial run exactly.
+			crep := DifferentialWith(DiffConfig{Seed: spec.Seed, TraceN: 12,
+				Engine: ixp.EngineCompiled{}}, spec.Build())
+			if !crep.OK() {
+				t.Errorf("corpus reproducer diverges on compiled engine:\n%s", crep)
+			}
+			if !reflect.DeepEqual(rep.LevelCycles, crep.LevelCycles) {
+				t.Errorf("compiled engine level cycles diverge: serial %v compiled %v",
+					rep.LevelCycles, crep.LevelCycles)
 			}
 		})
 	}

@@ -162,11 +162,13 @@ func WithMetricsRegistry(reg *metrics.Registry) Option {
 }
 
 // WithEngine selects the simulation engine the measured machine runs on
-// (nil keeps the serial default). Both engines are bit-identical — same
-// reports, same goldens — so EngineParallel trades worker goroutines for
-// wall-clock time without changing any measured number:
+// (nil keeps the serial default). All engines — serial, parallel,
+// compiled — are bit-identical: same reports, same goldens. They trade
+// worker goroutines (EngineParallel) or load-time closure staging
+// (EngineCompiled, optionally sharded) for wall-clock time without
+// changing any measured number:
 //
-//	harness.WithEngine(ixp.EngineParallel{Shards: 4})
+//	harness.WithEngine(ixp.EngineCompiled{Shards: 4})
 func WithEngine(spec ixp.EngineSpec) Option {
 	return func(s *settings) { s.engine = spec }
 }

@@ -1,0 +1,674 @@
+package ixp
+
+import "shangrila/internal/cg"
+
+// Staged block compilation. compileProg lowers a predecoded program one
+// more rung (the Sham playbook, stage 2): every straight-line run that
+// can start a thread activation is specialized into a native Go closure
+// at load time, with operands bound at closure-construction time:
+//
+//   - Constant and affine folding. A staging pass abstractly interprets
+//     the run over a constant/affine lattice (cval) seeded by the
+//     wired-zero register and immediates. Instructions whose sources are
+//     all known fold away entirely; add/sub chains of known amounts onto
+//     one register fold into a single pending delta; known operands of
+//     dynamic instructions are inlined into the emitted closure (shift
+//     amounts pre-masked, zero divisors folded to the architected 0).
+//     Registers whose value at the run's end is a known constant are
+//     materialized by one batched store, pending deltas by one add —
+//     intermediate register states inside a run are unobservable, so
+//     only the final state must match the interpreter.
+//
+//   - Shape-specialized emission. Each surviving instruction becomes a
+//     closure specialized on its ALU op and operand shape (reg/reg,
+//     reg/const, const/reg, unary), so the hot loop runs without dKind
+//     dispatch, aluEval's op switch, or the fused/budget bookkeeping of
+//     execRun. Closures chain through a quad-tree sequencer, keeping
+//     call depth logarithmic in the run length.
+//
+//   - Block-edge accounting. A compiled run executes only when it fits
+//     the activation budget whole, so its instruction and cycle counts
+//     batch into the activation accumulators in one step, exactly as the
+//     interpreter's run accounting does.
+//
+// Run terminators (branches, memory, rings, CAM, yields) compile into
+// exit closures returning a typed block-exit (cExit) that the dispatcher
+// (compiled.go) maps onto scheduler state — the same protocol for every
+// terminator kind, replacing runME's dispatch switch.
+//
+// Bit-identity with the interpreter is by construction:
+//
+//   - Run closures are compiled only at static entry points — pc 0,
+//     branch targets (cg.Program.Leaders), the slot after a terminator,
+//     and fused-pair tail slots (budget-split resume points). A thread
+//     entering a run anywhere else (a mid-run budget split, or a runtime
+//     SetPC stage entry) falls back to execRun on the shared dProg until
+//     it reaches the next entry point, so partial runs follow the
+//     interpreter instruction by instruction.
+//   - Inside a run, instruction count equals slot count (a fused head's
+//     weight-2 covers its own slot and the tail's), so the staging
+//     compiler walks slot by slot, treating fused heads as their head
+//     instruction, and next-pc is entry + run length.
+//   - Exit closures perform the identical state mutations, in the
+//     identical order, as runME's dispatch cases; the dispatcher applies
+//     the identical scheduling, tracing and statistics as runME's
+//     prologue and epilogue.
+
+// regFile is an ME thread's register file plus the wired-zero slot.
+type regFile = [cg.NumRegs + 1]uint32
+
+// cExitKind classifies a block exit.
+type cExitKind uint8
+
+const (
+	cexNext  cExitKind = iota // continue at cExit.next within the activation
+	cexBlock                  // thread blocked; evReady scheduled at cExit.at
+	cexYield                  // voluntary yield (ctx_arb)
+	cexHalt                   // thread halted
+	cexFault                  // machine check; the closure already called m.fail
+)
+
+// cExit is the typed block-exit an exit closure returns: what the
+// activation does next, and where the thread resumes.
+type cExit struct {
+	kind   cExitKind
+	reason YieldReason // cexBlock: YieldMem or YieldRing
+	next   int32       // resume pc
+	at     int64       // cexBlock: absolute evReady time
+}
+
+// cCtx is the dispatcher-to-closure context for exit closures. The
+// dispatcher syncs its activation accumulators into it before each exit
+// closure and back after, so closures that charge extra cycles (CAM,
+// Local Memory) or consume budget (fused branch tails) mutate the same
+// accounting the interpreter does. It lives as a value field on Machine,
+// keeping the steady state allocation-free.
+type cCtx struct {
+	m      *Machine
+	mx     *ME
+	th     *Thread
+	regs   *regFile
+	ti     int
+	cycles int64
+	instrs uint64
+	budget int64
+}
+
+// cSlot is one staged instruction slot: a compiled run body (entry
+// points only), or an exit closure (terminators).
+type cSlot struct {
+	run    func(*regFile)    // non-nil only at compiled run entry points
+	exit   func(*cCtx) cExit // non-nil exactly when runLen == 0
+	runLen int32             // dInstr.run of the slot
+	next   int32             // pc after the whole run (entry + runLen)
+}
+
+// cProg is the staged form of one predecoded program. It is immutable
+// after construction, so machines and shard workers share it freely.
+type cProg struct {
+	slots []cSlot
+}
+
+// compileProg stages a predecoded program. Entry points are the pcs a
+// thread activation can start a run at without having split it: program
+// entry, branch targets, terminator fall-throughs, and fused tails.
+func compileProg(d *dProg, p *cg.Program) *cProg {
+	code := d.code
+	cp := &cProg{slots: make([]cSlot, len(code))}
+	leaders := p.Leaders()
+	for i := range code {
+		s := &cp.slots[i]
+		in := &code[i]
+		if in.run > 0 {
+			s.runLen = in.run
+			s.next = int32(i) + in.run // slot count == instruction count
+			if isRunEntry(code, leaders, i) {
+				s.run = compileRun(code, i, in.run)
+			}
+			continue
+		}
+		s.exit = compileExit(code, i)
+	}
+	return cp
+}
+
+// isRunEntry reports whether a thread activation can begin at slot i
+// with the run intact (as opposed to resuming a split run mid-way).
+func isRunEntry(code []dInstr, leaders []bool, i int) bool {
+	if i == 0 || (i < len(leaders) && leaders[i]) {
+		return true
+	}
+	switch k := code[i-1].kind; {
+	case k >= lastSimpleKind:
+		return true // fall-through past a terminator
+	case k == dFusedALUImmALUImm, k == dFusedImmedALU, k == dFusedImmedALUImm:
+		return true // budget-split resume at a fused tail
+	}
+	return false
+}
+
+// cval is the staging compiler's lattice value for a register:
+//
+//   - cvUnk: the register holds whatever the emitted ops so far left in
+//     it (at run entry, its architectural value).
+//   - cvConst: the register's value is the known constant v; the write
+//     that produced it folded away and is materialized at the run's end.
+//   - cvAffine: the register's value is its current runtime content plus
+//     the pending delta v — an add/sub chain folded onto one deferred
+//     `r[d] += v`. Self-based only (delta over the register's own
+//     value), so materialization never depends on another register's
+//     entry value and ordering hazards cannot arise. A chain that nets
+//     to delta 0 vanishes entirely.
+type cval struct {
+	kind uint8
+	v    uint32
+}
+
+const (
+	cvUnk uint8 = iota
+	cvConst
+	cvAffine
+)
+
+// constStore is one batched end-of-run materialization of a register
+// whose final value folded to a constant.
+type constStore struct {
+	reg int16
+	val uint32
+}
+
+// compileRun stages the n-instruction straight-line run at pc into one
+// closure over the register file. The walk abstractly interprets the
+// run: fused heads are treated as their head instruction and the tail
+// slot follows on its own, so exactly n slots are consumed.
+func compileRun(code []dInstr, pc int, n int32) func(*regFile) {
+	var st [cg.NumRegs + 1]cval
+	st[zeroReg] = cval{kind: cvConst} // wired zero
+	var ops []func(*regFile)
+
+	setConst := func(d int16, v uint32) {
+		st[d] = cval{kind: cvConst, v: v}
+	}
+	setDyn := func(d int16) {
+		st[d] = cval{}
+	}
+	// materialize flushes a pending affine delta before the register is
+	// read by an emitted op (its runtime content would otherwise be stale
+	// by the delta). Constants never need this: every read of a cvConst
+	// register folds or inlines.
+	materialize := func(a int16) {
+		if st[a].kind == cvAffine {
+			if delta := st[a].v; delta != 0 {
+				ops = append(ops, emitAddDelta(a, delta))
+			}
+			st[a] = cval{}
+		}
+	}
+	// stageALU folds or emits one ALU instruction with register source a
+	// and source b either register (bReg) or immediate (bImm).
+	stageALU := func(op cg.ALUOp, d, a int16, bReg int16, bImm uint32, bIsImm bool) {
+		if isUnaryALU(op) {
+			if st[a].kind == cvConst {
+				setConst(d, aluEval(op, st[a].v, 0))
+				return
+			}
+			materialize(a)
+			ops = append(ops, emitALUUnary(op, d, a))
+			setDyn(d)
+			return
+		}
+		bv := cval{kind: cvConst, v: bImm}
+		if !bIsImm {
+			bv = st[bReg]
+		}
+		// Add/sub of a known amount onto the same register folds into the
+		// pending delta — counter chains of any length stage to one op.
+		if (op == cg.AAdd || op == cg.ASub) && d == a && bv.kind == cvConst {
+			switch st[a].kind {
+			case cvConst:
+				setConst(a, aluEval(op, st[a].v, bv.v))
+				return
+			case cvUnk, cvAffine:
+				delta := st[a].v // 0 when cvUnk
+				if op == cg.AAdd {
+					delta += bv.v
+				} else {
+					delta -= bv.v
+				}
+				st[a] = cval{kind: cvAffine, v: delta}
+				return
+			}
+		}
+		av := st[a]
+		if !bIsImm && bv.kind == cvAffine {
+			materialize(bReg)
+			bv = st[bReg]
+		}
+		switch {
+		case av.kind == cvConst && bv.kind == cvConst:
+			setConst(d, aluEval(op, av.v, bv.v))
+		case (op == cg.ADivU || op == cg.ARemU) && bv.kind == cvConst && bv.v == 0:
+			setConst(d, 0) // architected zero regardless of the dividend
+		case bv.kind == cvConst:
+			materialize(a)
+			ops = append(ops, emitALUConstB(op, d, a, bv.v))
+			setDyn(d)
+		case av.kind == cvConst:
+			ops = append(ops, emitALUConstA(op, d, av.v, bReg))
+			setDyn(d)
+		default:
+			materialize(a)
+			if bReg != a {
+				materialize(bReg)
+			}
+			ops = append(ops, emitALURR(op, d, a, bReg))
+			setDyn(d)
+		}
+	}
+
+	for i, left := pc, n; left > 0; left-- {
+		in := &code[i]
+		switch in.kind {
+		case dNop:
+		case dALU:
+			stageALU(in.alu, in.dst, in.srcA, in.srcB, 0, false)
+		case dALUImm, dFusedALUImmALUImm:
+			stageALU(in.alu, in.dst, in.srcA, 0, in.imm, true)
+		case dImmed, dFusedImmedALU, dFusedImmedALUImm:
+			setConst(in.dst, in.imm)
+		}
+		i++
+	}
+
+	var cs []constStore
+	for r := 0; r < cg.NumRegs; r++ {
+		switch st[r].kind {
+		case cvConst:
+			cs = append(cs, constStore{reg: int16(r), val: st[r].v})
+		case cvAffine:
+			if st[r].v != 0 {
+				ops = append(ops, emitAddDelta(int16(r), st[r].v))
+			}
+		}
+	}
+	if len(cs) > 0 {
+		ops = append(ops, emitConstStores(cs))
+	}
+	return seqOps(ops)
+}
+
+// emitAddDelta materializes a folded add/sub chain: the register's
+// pending delta applied in one step.
+func emitAddDelta(d int16, delta uint32) func(*regFile) {
+	return func(r *regFile) { r[d] += delta }
+}
+
+func isUnaryALU(op cg.ALUOp) bool {
+	return op == cg.ANot || op == cg.ANeg || op == cg.AMov
+}
+
+// emitALURR stages op with two dynamic register sources.
+func emitALURR(op cg.ALUOp, d, a, b int16) func(*regFile) {
+	switch op {
+	case cg.AAdd:
+		return func(r *regFile) { r[d] = r[a] + r[b] }
+	case cg.ASub:
+		return func(r *regFile) { r[d] = r[a] - r[b] }
+	case cg.AMul:
+		return func(r *regFile) { r[d] = r[a] * r[b] }
+	case cg.AAnd:
+		return func(r *regFile) { r[d] = r[a] & r[b] }
+	case cg.AOr:
+		return func(r *regFile) { r[d] = r[a] | r[b] }
+	case cg.AXor:
+		return func(r *regFile) { r[d] = r[a] ^ r[b] }
+	case cg.AShl:
+		return func(r *regFile) { r[d] = r[a] << (r[b] & 31) }
+	case cg.AShrU:
+		return func(r *regFile) { r[d] = r[a] >> (r[b] & 31) }
+	case cg.AShrS:
+		return func(r *regFile) { r[d] = uint32(int32(r[a]) >> (r[b] & 31)) }
+	case cg.ADivU:
+		return func(r *regFile) {
+			if r[b] == 0 {
+				r[d] = 0
+			} else {
+				r[d] = r[a] / r[b]
+			}
+		}
+	case cg.ARemU:
+		return func(r *regFile) {
+			if r[b] == 0 {
+				r[d] = 0
+			} else {
+				r[d] = r[a] % r[b]
+			}
+		}
+	}
+	return func(r *regFile) { r[d] = 0 } // aluEval's default for unknown ops
+}
+
+// emitALUConstB stages op with a dynamic a and constant b (the ALUImm
+// shape, and reg/reg ops whose b folded). Shift amounts pre-mask.
+func emitALUConstB(op cg.ALUOp, d, a int16, b uint32) func(*regFile) {
+	switch op {
+	case cg.AAdd:
+		return func(r *regFile) { r[d] = r[a] + b }
+	case cg.ASub:
+		return func(r *regFile) { r[d] = r[a] - b }
+	case cg.AMul:
+		return func(r *regFile) { r[d] = r[a] * b }
+	case cg.AAnd:
+		return func(r *regFile) { r[d] = r[a] & b }
+	case cg.AOr:
+		return func(r *regFile) { r[d] = r[a] | b }
+	case cg.AXor:
+		return func(r *regFile) { r[d] = r[a] ^ b }
+	case cg.AShl:
+		sh := b & 31
+		return func(r *regFile) { r[d] = r[a] << sh }
+	case cg.AShrU:
+		sh := b & 31
+		return func(r *regFile) { r[d] = r[a] >> sh }
+	case cg.AShrS:
+		sh := b & 31
+		return func(r *regFile) { r[d] = uint32(int32(r[a]) >> sh) }
+	case cg.ADivU:
+		if b == 0 { // folded by the stager; kept for safety
+			return func(r *regFile) { r[d] = 0 }
+		}
+		return func(r *regFile) { r[d] = r[a] / b }
+	case cg.ARemU:
+		if b == 0 {
+			return func(r *regFile) { r[d] = 0 }
+		}
+		return func(r *regFile) { r[d] = r[a] % b }
+	}
+	return func(r *regFile) { r[d] = 0 }
+}
+
+// emitALUConstA stages op with a constant a and dynamic b.
+func emitALUConstA(op cg.ALUOp, d int16, a uint32, b int16) func(*regFile) {
+	switch op {
+	case cg.AAdd:
+		return func(r *regFile) { r[d] = a + r[b] }
+	case cg.ASub:
+		return func(r *regFile) { r[d] = a - r[b] }
+	case cg.AMul:
+		return func(r *regFile) { r[d] = a * r[b] }
+	case cg.AAnd:
+		return func(r *regFile) { r[d] = a & r[b] }
+	case cg.AOr:
+		return func(r *regFile) { r[d] = a | r[b] }
+	case cg.AXor:
+		return func(r *regFile) { r[d] = a ^ r[b] }
+	case cg.AShl:
+		return func(r *regFile) { r[d] = a << (r[b] & 31) }
+	case cg.AShrU:
+		return func(r *regFile) { r[d] = a >> (r[b] & 31) }
+	case cg.AShrS:
+		return func(r *regFile) { r[d] = uint32(int32(a) >> (r[b] & 31)) }
+	case cg.ADivU:
+		return func(r *regFile) {
+			if r[b] == 0 {
+				r[d] = 0
+			} else {
+				r[d] = a / r[b]
+			}
+		}
+	case cg.ARemU:
+		return func(r *regFile) {
+			if r[b] == 0 {
+				r[d] = 0
+			} else {
+				r[d] = a % r[b]
+			}
+		}
+	}
+	return func(r *regFile) { r[d] = 0 }
+}
+
+// emitALUUnary stages ANot/ANeg/AMov (the ops that ignore source b).
+func emitALUUnary(op cg.ALUOp, d, a int16) func(*regFile) {
+	switch op {
+	case cg.ANot:
+		return func(r *regFile) { r[d] = ^r[a] }
+	case cg.ANeg:
+		return func(r *regFile) { r[d] = -r[a] }
+	default: // AMov
+		return func(r *regFile) { r[d] = r[a] }
+	}
+}
+
+// emitConstStores materializes the registers whose final run value
+// folded to a constant, in one batched closure.
+func emitConstStores(cs []constStore) func(*regFile) {
+	switch len(cs) {
+	case 1:
+		d, v := cs[0].reg, cs[0].val
+		return func(r *regFile) { r[d] = v }
+	case 2:
+		d0, v0 := cs[0].reg, cs[0].val
+		d1, v1 := cs[1].reg, cs[1].val
+		return func(r *regFile) {
+			r[d0] = v0
+			r[d1] = v1
+		}
+	default:
+		cs = append([]constStore(nil), cs...)
+		return func(r *regFile) {
+			for _, s := range cs {
+				r[s.reg] = s.val
+			}
+		}
+	}
+}
+
+// cNop is the body of a run that folded away completely.
+func cNop(*regFile) {}
+
+// seqOps chains emitted closures, reducing in quads so the call depth
+// stays logarithmic in the run length.
+func seqOps(ops []func(*regFile)) func(*regFile) {
+	switch len(ops) {
+	case 0:
+		return cNop
+	case 1:
+		return ops[0]
+	case 2:
+		f0, f1 := ops[0], ops[1]
+		return func(r *regFile) {
+			f0(r)
+			f1(r)
+		}
+	case 3:
+		f0, f1, f2 := ops[0], ops[1], ops[2]
+		return func(r *regFile) {
+			f0(r)
+			f1(r)
+			f2(r)
+		}
+	case 4:
+		f0, f1, f2, f3 := ops[0], ops[1], ops[2], ops[3]
+		return func(r *regFile) {
+			f0(r)
+			f1(r)
+			f2(r)
+			f3(r)
+		}
+	}
+	var quads []func(*regFile)
+	for i := 0; i < len(ops); i += 4 {
+		j := i + 4
+		if j > len(ops) {
+			j = len(ops)
+		}
+		quads = append(quads, seqOps(ops[i:j]))
+	}
+	return seqOps(quads)
+}
+
+// compileExit stages the terminator at pc into an exit closure. Each
+// closure performs exactly the state mutations of runME's corresponding
+// dispatch case (the dispatcher has already applied the uniform
+// instruction/cycle/budget step) and returns the typed block-exit.
+func compileExit(code []dInstr, pc int) func(*cCtx) cExit {
+	in := &code[pc]
+	fall := int32(pc + 1)
+	switch in.kind {
+	case dBr:
+		t := in.target
+		return func(*cCtx) cExit { return cExit{next: t} }
+	case dBcc:
+		pred := emitCondRR(in.cond, in.srcA, in.srcB)
+		t := in.target
+		return func(c *cCtx) cExit {
+			if pred(c.regs) {
+				return cExit{next: t}
+			}
+			return cExit{next: fall}
+		}
+	case dBccImm:
+		pred := emitCondRI(in.cond, in.srcA, in.imm)
+		t := in.target
+		return func(c *cCtx) cExit {
+			if pred(c.regs) {
+				return cExit{next: t}
+			}
+			return cExit{next: fall}
+		}
+	case dFusedImmedBcc, dFusedImmedBccImm:
+		// Immediate head plus branch tail. The tail executes only if it
+		// fits the budget; a split resumes at the tail slot, exactly as
+		// runME's fused-branch cases.
+		tail := &code[pc+1]
+		var pred func(*regFile) bool
+		if in.kind == dFusedImmedBcc {
+			pred = emitCondRR(tail.cond, tail.srcA, tail.srcB)
+		} else {
+			pred = emitCondRI(tail.cond, tail.srcA, tail.imm)
+		}
+		d, imm, t, fall2 := in.dst, in.imm, tail.target, int32(pc+2)
+		return func(c *cCtx) cExit {
+			c.regs[d] = imm
+			if c.budget > 0 {
+				c.instrs++
+				c.cycles++
+				c.budget--
+				if pred(c.regs) {
+					return cExit{next: t}
+				}
+				return cExit{next: fall2}
+			}
+			return cExit{next: fall} // split: resume at the tail slot
+		}
+	case dMem:
+		isLocal := in.level == cg.MemLocal
+		return func(c *cCtx) cExit {
+			done, block := c.m.execMem(c.mx, c.th, c.ti, in, c.cycles)
+			if !done {
+				return cExit{kind: cexFault}
+			}
+			if isLocal {
+				c.cycles += c.m.Cfg.LocalLatency - 1
+			}
+			if block > 0 {
+				return cExit{kind: cexBlock, reason: YieldMem, next: fall, at: block}
+			}
+			return cExit{next: fall}
+		}
+	case dCAMLookup:
+		a, d, d2 := in.srcA, in.dst, in.dst2
+		return func(c *cCtx) cExit {
+			hit, entry := c.m.camLookup(c.mx, c.regs[a])
+			c.regs[d] = hit
+			c.regs[d2] = entry
+			c.cycles += 2
+			return cExit{next: fall}
+		}
+	case dCAMWrite:
+		a, b := in.srcA, in.srcB
+		return func(c *cCtx) cExit {
+			e := c.regs[a] % uint32(len(c.mx.cam))
+			c.mx.cam[e] = camEntry{tag: c.regs[b], valid: true}
+			c.m.camTouch(c.mx, int(e))
+			return cExit{next: fall}
+		}
+	case dCAMClear:
+		return func(c *cCtx) cExit {
+			c.m.stats.CAMClears[c.mx.idx]++
+			for i := range c.mx.cam {
+				c.mx.cam[i].valid = false
+			}
+			return cExit{next: fall}
+		}
+	case dRingGet:
+		return func(c *cCtx) cExit {
+			if at := c.m.ringGet(c.mx, c.th, c.ti, in, c.cycles); at > 0 {
+				return cExit{kind: cexBlock, reason: YieldRing, next: fall, at: at}
+			}
+			return cExit{next: fall}
+		}
+	case dRingPut:
+		return func(c *cCtx) cExit {
+			if at := c.m.ringPut(c.mx, c.th, c.ti, in, c.cycles); at > 0 {
+				return cExit{kind: cexBlock, reason: YieldRing, next: fall, at: at}
+			}
+			return cExit{next: fall}
+		}
+	case dCtxArb:
+		return func(*cCtx) cExit { return cExit{kind: cexYield, next: fall} }
+	case dHalt:
+		return func(c *cCtx) cExit {
+			c.th.state = tDead
+			c.mx.setReady(c.ti, false)
+			return cExit{kind: cexHalt, next: fall}
+		}
+	default: // dBad
+		op := in.op
+		return func(c *cCtx) cExit {
+			c.m.fail("ME%d: bad opcode %v", c.mx.idx, op)
+			return cExit{kind: cexFault}
+		}
+	}
+}
+
+// emitCondRR specializes a register/register branch predicate.
+func emitCondRR(cond cg.CondOp, a, b int16) func(*regFile) bool {
+	switch cond {
+	case cg.CEq:
+		return func(r *regFile) bool { return r[a] == r[b] }
+	case cg.CNe:
+		return func(r *regFile) bool { return r[a] != r[b] }
+	case cg.CLtU:
+		return func(r *regFile) bool { return r[a] < r[b] }
+	case cg.CLeU:
+		return func(r *regFile) bool { return r[a] <= r[b] }
+	case cg.CLtS:
+		return func(r *regFile) bool { return int32(r[a]) < int32(r[b]) }
+	case cg.CLeS:
+		return func(r *regFile) bool { return int32(r[a]) <= int32(r[b]) }
+	}
+	return func(*regFile) bool { return false } // condEval's default
+}
+
+// emitCondRI specializes a register/immediate branch predicate.
+func emitCondRI(cond cg.CondOp, a int16, b uint32) func(*regFile) bool {
+	switch cond {
+	case cg.CEq:
+		return func(r *regFile) bool { return r[a] == b }
+	case cg.CNe:
+		return func(r *regFile) bool { return r[a] != b }
+	case cg.CLtU:
+		return func(r *regFile) bool { return r[a] < b }
+	case cg.CLeU:
+		return func(r *regFile) bool { return r[a] <= b }
+	case cg.CLtS:
+		sb := int32(b)
+		return func(r *regFile) bool { return int32(r[a]) < sb }
+	case cg.CLeS:
+		sb := int32(b)
+		return func(r *regFile) bool { return int32(r[a]) <= sb }
+	}
+	return func(*regFile) bool { return false }
+}

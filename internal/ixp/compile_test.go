@@ -1,0 +1,392 @@
+package ixp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"shangrila/internal/cg"
+)
+
+// randALUOps is the full ALU op set the staging compiler specializes.
+var randALUOps = []cg.ALUOp{
+	cg.AAdd, cg.ASub, cg.AMul, cg.AAnd, cg.AOr, cg.AXor,
+	cg.AShl, cg.AShrU, cg.AShrS, cg.ANot, cg.ANeg, cg.AMov,
+	cg.ADivU, cg.ARemU,
+}
+
+// randRunProg generates a random straight-line compute program (ALU,
+// immediates, nops) closed by a yield and a back-branch, exercising the
+// staging compiler's folding and emission paths: wired-zero operands,
+// zero immediates (division corner), fused pairs, dead constant writes.
+func randRunProg(rng *lcg) *cg.Program {
+	n := int(rng.next()%40) + 1
+	var code []*cg.Instr
+	for i := 0; i < n; i++ {
+		reg := func() cg.PReg { return cg.PReg(rng.next() % 8) }
+		src := func() cg.PReg {
+			if rng.next()%8 == 0 {
+				return cg.NoPReg // predecodes to the wired zero
+			}
+			return reg()
+		}
+		imm := func() uint32 {
+			switch rng.next() % 4 {
+			case 0:
+				return 0
+			case 1:
+				return uint32(rng.next() % 5)
+			default:
+				return uint32(rng.next())
+			}
+		}
+		switch rng.next() % 4 {
+		case 0:
+			code = append(code, &cg.Instr{Op: cg.IImmed, Dst: reg(), Imm: imm()})
+		case 1:
+			code = append(code, &cg.Instr{Op: cg.IALU,
+				ALU: randALUOps[rng.next()%uint64(len(randALUOps))],
+				Dst: reg(), SrcA: src(), SrcB: src()})
+		case 2:
+			code = append(code, &cg.Instr{Op: cg.IALUImm,
+				ALU: randALUOps[rng.next()%uint64(len(randALUOps))],
+				Dst: reg(), SrcA: src(), Imm: imm()})
+		default:
+			code = append(code, &cg.Instr{Op: cg.INop})
+		}
+	}
+	code = append(code, &cg.Instr{Op: cg.ICtxArb}, &cg.Instr{Op: cg.IBr, Target: 0})
+	return &cg.Program{Name: "randrun", Code: code}
+}
+
+// TestCompiledRunMatchesInterpreter is the staging compiler's property
+// test: for every compiled run entry point of many random programs, the
+// specialized closure must leave the register file exactly as execRun
+// does, and land on the same next pc.
+func TestCompiledRunMatchesInterpreter(t *testing.T) {
+	var rng lcg = 1
+	for trial := 0; trial < 500; trial++ {
+		p := randRunProg(&rng)
+		d := predecode(p)
+		cp := compileProg(d, p)
+		for pc := range cp.slots {
+			s := &cp.slots[pc]
+			if s.run == nil {
+				continue
+			}
+			var want, got regFile
+			for r := 0; r < cg.NumRegs; r++ {
+				v := uint32(rng.next())
+				want[r], got[r] = v, v
+			}
+			nextPC := execRun(d.code, &want, pc, int64(s.runLen))
+			s.run(&got)
+			if got != want {
+				t.Fatalf("trial %d entry %d: register file diverged\ncompiled:    %v\ninterpreted: %v\nprog: %v",
+					trial, pc, got, want, p.Code)
+			}
+			if int32(nextPC) != s.next {
+				t.Fatalf("trial %d entry %d: next pc %d, interpreter went to %d",
+					trial, pc, s.next, nextPC)
+			}
+		}
+	}
+}
+
+// TestCompiledDeterminism pins the compiled engine — single-goroutine
+// dispatch and every sharded composition — bit-identical to the serial
+// reference across two Run windows on the forwarding loop and the
+// rich shared-state program.
+func TestCompiledDeterminism(t *testing.T) {
+	for _, prog := range []*cg.Program{loopProg(), richProg()} {
+		ref, refSt := buildEngineMachine(t, EngineSerial{}, prog)
+		if err := ref.Run(60_000); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Run(140_000); err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{0, 1, 2, 4, DefaultConfig().NumMEs} {
+			m, st := buildEngineMachine(t, EngineCompiled{Shards: shards}, prog)
+			if name, got := m.EngineInfo(); name != "compiled" || got != shards {
+				t.Fatalf("EngineInfo = (%s, %d), want (compiled, %d)", name, got, shards)
+			}
+			if err := m.Run(60_000); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Run(140_000); err != nil {
+				t.Fatal(err)
+			}
+			compareMachines(t, ref, m, refSt, st,
+				prog.Name+"/compiled-shards="+itoa(shards))
+		}
+	}
+}
+
+// TestCompiledFaultMatchesSerial checks machine checks surface at the
+// same cycle with the same text and statistics under compiled dispatch.
+func TestCompiledFaultMatchesSerial(t *testing.T) {
+	bad := &cg.Program{Name: "bad", Code: []*cg.Instr{
+		{Op: cg.IALUImm, ALU: cg.AAdd, Dst: 1, SrcA: 1, Imm: 1},
+		{Op: cg.IBccImm, Cond: cg.CLtU, SrcA: 1, Imm: 3000, Target: 0},
+		{Op: cg.IMem, Level: cg.MemSRAM, Addr: cg.NoPReg, AddrOff: 1 << 30,
+			NWords: 1, Data: []cg.PReg{2}, Class: cg.ClassAppData},
+		{Op: cg.IBr, Target: 0},
+	}}
+	run := func(spec EngineSpec) (*Machine, error) {
+		m, err := New(DefaultConfig(), WithEngine(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.LoadProgram(0, loopProg())
+		m.LoadProgram(1, bad)
+		return m, m.Run(500_000)
+	}
+	ref, refErr := run(EngineSerial{})
+	if refErr == nil {
+		t.Fatalf("expected a serial fault")
+	}
+	for _, shards := range []int{0, 4} {
+		comp, compErr := run(EngineCompiled{Shards: shards})
+		if compErr == nil {
+			t.Fatalf("shards=%d: expected a fault", shards)
+		}
+		if refErr.Error() != compErr.Error() {
+			t.Errorf("shards=%d: fault text diverged:\nserial:   %v\ncompiled: %v",
+				shards, refErr, compErr)
+		}
+		compareMachines(t, ref, comp, nil, nil, "fault/compiled-shards="+itoa(shards))
+	}
+}
+
+// TestCompiledEngineValidation pins the EngineCompiled configuration
+// surface: typed construction-time failures for out-of-range shard
+// counts, and the serial-dispatch/sharded split EngineInfo reports.
+func TestCompiledEngineValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Engine = EngineCompiled{Shards: -1}
+	var ece *EngineConfigError
+	if _, err := New(cfg); !errors.As(err, &ece) {
+		t.Fatalf("Shards=-1: got %v, want *EngineConfigError", err)
+	} else if ece.Shards != -1 || ece.NumMEs != cfg.NumMEs {
+		t.Errorf("error fields = %+v", ece)
+	}
+	cfg.Engine = EngineCompiled{Shards: cfg.NumMEs + 1}
+	if _, err := New(cfg); !errors.As(err, &ece) {
+		t.Fatalf("Shards=NumMEs+1: got %v, want *EngineConfigError", err)
+	}
+	m, err := New(DefaultConfig(), WithEngine(EngineCompiled{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name, shards := m.EngineInfo(); name != "compiled" || shards != 0 {
+		t.Errorf("EngineInfo = (%s, %d), want (compiled, 0)", name, shards)
+	}
+	m, err = New(DefaultConfig(), WithEngine(EngineCompiled{Shards: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name, shards := m.EngineInfo(); name != "compiled" || shards != 3 {
+		t.Errorf("EngineInfo = (%s, %d), want (compiled, 3)", name, shards)
+	}
+}
+
+// TestParseEngine pins the single source of truth for engine names:
+// every listed name parses to a spec reporting that name, and unknown
+// names are rejected with the full valid set.
+func TestParseEngine(t *testing.T) {
+	for _, name := range EngineNames() {
+		spec, err := ParseEngine(name, 0)
+		if err != nil {
+			t.Fatalf("ParseEngine(%q): %v", name, err)
+		}
+		got := "serial" // nil spec is the serial default
+		if spec != nil {
+			got = spec.EngineName()
+		}
+		if got != name {
+			t.Errorf("ParseEngine(%q) → spec %q", name, got)
+		}
+	}
+	if _, err := ParseEngine("", 0); err != nil {
+		t.Errorf("empty engine name should default to serial: %v", err)
+	}
+	if _, err := ParseEngine("serial", 2); err == nil {
+		t.Errorf("serial with shards should be rejected")
+	}
+	_, err := ParseEngine("warp", 0)
+	if err == nil {
+		t.Fatalf("unknown engine accepted")
+	}
+	for _, name := range EngineNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-engine error %q does not list %q", err, name)
+		}
+	}
+	spec, err := ParseEngine("compiled", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec, ok := spec.(EngineCompiled); !ok || ec.Shards != 4 {
+		t.Errorf("ParseEngine(compiled, 4) = %#v", spec)
+	}
+}
+
+// fillerALUProg builds filler ALUImm instructions followed by the given
+// closing instructions and the loop-back branch.
+func fillerALUProg(filler int, closing ...*cg.Instr) *cg.Program {
+	code := make([]*cg.Instr, 0, filler+len(closing)+1)
+	for i := 0; i < filler; i++ {
+		code = append(code, &cg.Instr{Op: cg.IALUImm, ALU: cg.AAdd, Dst: 0, SrcA: 0, Imm: 1})
+	}
+	code = append(code, closing...)
+	code = append(code, &cg.Instr{Op: cg.IBr, Target: 0})
+	return &cg.Program{Name: "filler", Code: code}
+}
+
+// compareThreadState asserts every thread's architectural state (pc,
+// scheduler state, full register file) and the ME scheduler cursors are
+// identical between two machines.
+func compareThreadState(t *testing.T, ref, got *Machine, label string) {
+	t.Helper()
+	for i := range ref.MEs {
+		rmx, gmx := ref.MEs[i], got.MEs[i]
+		if rmx.rrNext != gmx.rrNext || rmx.readyMask != gmx.readyMask {
+			t.Errorf("%s: ME%d scheduler diverged: (rrNext=%d mask=%x) vs (rrNext=%d mask=%x)",
+				label, i, rmx.rrNext, rmx.readyMask, gmx.rrNext, gmx.readyMask)
+		}
+		for j := range rmx.threads {
+			a, b := rmx.threads[j], gmx.threads[j]
+			if a.pc != b.pc || a.state != b.state || a.regs != b.regs {
+				t.Errorf("%s: ME%d thread %d diverged: pc %d/%d state %d/%d",
+					label, i, j, a.pc, b.pc, a.state, b.state)
+			}
+		}
+	}
+}
+
+// TestCompiledBlockExitEdges pins the block-exit edge cases identical
+// across the interpreted and compiled engines:
+//
+//   - the activation budget splitting a fused superinstruction, so the
+//     next activation enters the pair at its tail label;
+//   - a run ending exactly at a voluntary yield with the budget's last
+//     instruction;
+//   - budget exhaustion mid-run, resuming at a pc that is not a static
+//     entry point.
+func TestCompiledBlockExitEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *cg.Program
+	}{
+		// 4095 filler + IImmed/IALU fused pair: the 4096-instruction
+		// budget executes the fused head alone and resumes at the tail.
+		{"fused-tail-entry", fillerALUProg(4095,
+			&cg.Instr{Op: cg.IImmed, Dst: 1, Imm: 5},
+			&cg.Instr{Op: cg.IALU, ALU: cg.AAdd, Dst: 2, SrcA: 1, SrcB: 0},
+			&cg.Instr{Op: cg.ICtxArb})},
+		// 4095-instruction run, then the yield consumes the budget's
+		// exact last unit.
+		{"yield-at-budget-edge", fillerALUProg(4095, &cg.Instr{Op: cg.ICtxArb})},
+		// A 6000-instruction run: the budget exhausts mid-run and the
+		// thread resumes inside it, off the compiled entry points.
+		{"budget-split-mid-run", fillerALUProg(6000, &cg.Instr{Op: cg.ICtxArb})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			build := func(spec EngineSpec) *Machine {
+				cfg := DefaultConfig()
+				cfg.SampleInterval = 0
+				m, err := New(cfg, WithEngine(spec))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for me := 0; me < cfg.NumMEs; me++ {
+					m.LoadProgram(me, tc.prog)
+				}
+				// Two windows so resume points cross Run boundaries too.
+				if err := m.Run(9_000); err != nil {
+					t.Fatal(err)
+				}
+				if err := m.Run(21_000); err != nil {
+					t.Fatal(err)
+				}
+				return m
+			}
+			ref := build(EngineSerial{})
+			comp := build(EngineCompiled{})
+			compareMachines(t, ref, comp, nil, nil, tc.name)
+			compareThreadState(t, ref, comp, tc.name)
+		})
+	}
+}
+
+// TestCompiledRunSteadyStateAllocFree extends the zero-alloc regression
+// to the compiled dispatcher: staged closures, the exit-closure context
+// and the block-exit protocol must not allocate in the steady state.
+func TestCompiledRunSteadyStateAllocFree(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SampleInterval = 0
+	m, err := New(cfg, WithEngine(EngineCompiled{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.NumMEs; i++ {
+		m.LoadProgram(i, computeProg())
+	}
+	if err := m.Run(50_000); err != nil { // warm-up: grow buckets, registries
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := m.Run(500); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state compiled Run allocates %v objects per call, want 0", avg)
+	}
+}
+
+// BenchmarkEngineALU measures raw host throughput of the execution
+// engines on an ALU-dominated kernel — the code shape staged compilation
+// targets: 96-instruction straight-line runs whose interpreter decode
+// dispatch collapses into one specialized closure call per activation.
+// The engine name is a sub-benchmark element so benchjson keys the
+// entries apart; simcycles/s is the headline.
+func BenchmarkEngineALU(b *testing.B) {
+	prog := fillerALUProg(96, &cg.Instr{Op: cg.ICtxArb})
+	for _, tc := range []struct {
+		name string
+		spec EngineSpec
+	}{
+		{"serial", nil},
+		{"compiled", EngineCompiled{}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.SampleInterval = 0
+			var opts []Option
+			if tc.spec != nil {
+				opts = append(opts, WithEngine(tc.spec))
+			}
+			m, err := New(cfg, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < cfg.NumMEs; i++ {
+				m.LoadProgram(i, prog)
+			}
+			if err := m.Run(50_000); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.Run(10_000); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)*10_000/b.Elapsed().Seconds(), "simcycles/s")
+		})
+	}
+}

@@ -1,0 +1,146 @@
+package ixp
+
+import "math/bits"
+
+// The compiled engine's activation dispatcher: runME with the predecoded
+// dispatch switch replaced by staged closures (compile.go). Thread
+// selection, budget accounting, fault handling, tracing, statistics and
+// round-robin rotation mirror runME line for line — the differential
+// golden suite pins the two bit-identical.
+
+// runMECompiled executes the next ready thread over the staged program.
+func (m *Machine) runMECompiled(meIdx int) {
+	mx := m.MEs[meIdx]
+	if !mx.enabled || mx.dec == nil || mx.cdec == nil {
+		return
+	}
+	// Round-robin pick, exactly as runME.
+	ti := -1
+	nth := len(mx.threads)
+	if nth <= 64 {
+		if mx.readyMask == 0 {
+			return // re-activated when a thread completes
+		}
+		rot := mx.readyMask>>uint(mx.rrNext) | mx.readyMask<<uint(nth-mx.rrNext)
+		ti = mx.rrNext + bits.TrailingZeros64(rot)
+		if ti >= nth {
+			ti -= nth
+		}
+	} else {
+		for k := 0; k < nth; k++ {
+			cand := (mx.rrNext + k) % nth
+			if mx.threads[cand].state == tReady {
+				ti = cand
+				break
+			}
+		}
+		if ti < 0 {
+			return
+		}
+	}
+	th := mx.threads[ti]
+	windowStart := m.now
+	cycles := int64(0)
+	instrs := uint64(0)
+	code := mx.dec.code
+	slots := mx.cdec.slots
+	regs := &th.regs
+	pc := th.pc
+	budget := int64(maxRunInstrs)
+	reason := YieldBudget
+	c := &m.cctx
+	c.m, c.mx, c.th, c.regs, c.ti = m, mx, th, regs, ti
+loop:
+	for budget > 0 {
+		if pc < 0 || pc >= len(slots) {
+			th.pc = pc
+			m.stats.MEInstrs[meIdx] += instrs
+			m.fail("ME%d thread %d: pc %d out of range", meIdx, ti, pc)
+			if m.tracer != nil {
+				m.tracer.ThreadRun(windowStart, meIdx, ti, cycles, YieldFault)
+			}
+			return
+		}
+		s := &slots[pc]
+		if s.runLen > 0 {
+			n := int64(s.runLen)
+			if s.run != nil && n <= budget {
+				// Whole run fits the budget: one native call, one batched
+				// accounting step.
+				s.run(regs)
+				pc = int(s.next)
+			} else {
+				// Mid-run entry or budget split: the interpreter's tight
+				// loop is the semantics of record for partial runs.
+				if n > budget {
+					n = budget
+				}
+				pc = execRun(code, regs, pc, n)
+			}
+			instrs += uint64(n)
+			cycles += n
+			budget -= n
+			continue
+		}
+		// Block edge: the uniform terminator step, then the typed exit.
+		instrs++
+		cycles++
+		budget--
+		c.cycles, c.instrs, c.budget = cycles, instrs, budget
+		ex := s.exit(c)
+		cycles, instrs, budget = c.cycles, c.instrs, c.budget
+		switch ex.kind {
+		case cexNext:
+			pc = int(ex.next)
+		case cexBlock:
+			pc = int(ex.next)
+			th.state = tBlocked
+			mx.setReady(ti, false)
+			m.schedule(ex.at, evReady, meIdx, ti, nil)
+			reason = ex.reason
+			break loop
+		case cexYield:
+			pc = int(ex.next)
+			reason = YieldCtx
+			break loop
+		case cexHalt:
+			pc = int(ex.next)
+			reason = YieldHalt
+			break loop
+		default: // cexFault: the closure recorded the machine check
+			th.pc = pc
+			m.stats.MEInstrs[meIdx] += instrs
+			if m.tracer != nil {
+				m.tracer.ThreadRun(windowStart, meIdx, ti, cycles, YieldFault)
+			}
+			return
+		}
+	}
+	th.pc = pc
+	if m.tracer != nil {
+		m.tracer.ThreadRun(windowStart, meIdx, ti, cycles, reason)
+	}
+	m.stats.MEInstrs[meIdx] += instrs
+	m.stats.MEBusy[meIdx] += cycles
+	if reason == YieldBudget {
+		// Budget exhaustion chunks the event loop without a context
+		// switch, exactly as runME.
+		mx.rrNext = ti
+	} else {
+		mx.rrNext = (ti + 1) % len(mx.threads)
+	}
+	hasReady := mx.readyMask != 0
+	if nth > 64 {
+		hasReady = false
+		for _, t2 := range mx.threads {
+			if t2.state == tReady {
+				hasReady = true
+				break
+			}
+		}
+	}
+	if hasReady {
+		mx.scheduled = true
+		m.schedule(m.now+cycles+1, evActivate, meIdx, 0, nil)
+	}
+}

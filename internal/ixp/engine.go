@@ -3,13 +3,15 @@ package ixp
 import (
 	"fmt"
 	"runtime"
+	"strings"
 )
 
-// Engine selection. The machine's discrete-event core comes in two
+// Engine selection. The machine's discrete-event core comes in three
 // implementations with bit-identical observable behavior:
 //
 //   - EngineSerial: the single-goroutine timing-wheel event loop
-//     (eventq.go). The default.
+//     (eventq.go) over predecoded blocks. The default and the reference
+//     implementation.
 //
 //   - EngineParallel: the sharded engine (parallel.go). Microengines are
 //     partitioned across worker goroutines that execute ME-local work
@@ -20,14 +22,50 @@ import (
 //     stats, goldens, stall breakdowns, latency histograms — is
 //     byte-identical to EngineSerial at any shard count.
 //
-// Select one at construction: ixp.New(cfg, ixp.WithEngine(ixp.EngineParallel{Shards: 4})).
+//   - EngineCompiled: staged block compilation (compile.go/compiled.go).
+//     At load time every straight-line run of the predecoded program is
+//     specialized into a native Go closure — constants folded,
+//     wired-zero reads elided, fused pairs inlined — with cycle and
+//     statistics accounting batched at block edges; terminators return a
+//     typed block-exit the dispatcher maps onto scheduler state. Shards
+//     composes it with the sharded engine: positive counts run the
+//     compiled closures inside EngineParallel's shard phase.
+//
+// Select one at construction: ixp.New(cfg, ixp.WithEngine(ixp.EngineCompiled{})).
 
 // EngineSpec selects a simulation engine implementation. The zero spec
 // (a nil Config.Engine) means EngineSerial.
 type EngineSpec interface {
-	// EngineName is the engine's stable identifier ("serial", "parallel"),
+	// EngineName is the engine's stable identifier (one of EngineNames),
 	// used by report schemas and CLI flags.
 	EngineName() string
+}
+
+// EngineNames lists the valid engine identifiers in CLI presentation
+// order. It is the single source of truth shared by ParseEngine, the
+// -engine flag help and the report schemas, so usage text can never
+// drift from what actually parses.
+func EngineNames() []string { return []string{"serial", "parallel", "compiled"} }
+
+// ParseEngine resolves an -engine/-shards flag pair into an EngineSpec
+// (nil for the serial default, ready for Config.Engine or WithEngine).
+// It accepts exactly the names EngineNames lists; anything else errors
+// with the valid set.
+func ParseEngine(name string, shards int) (EngineSpec, error) {
+	switch name {
+	case "", "serial":
+		if shards != 0 {
+			return nil, fmt.Errorf("ixp: -shards requires -engine parallel or compiled")
+		}
+		return nil, nil
+	case "parallel":
+		return EngineParallel{Shards: shards}, nil
+	case "compiled":
+		return EngineCompiled{Shards: shards}, nil
+	default:
+		return nil, fmt.Errorf("ixp: unknown engine %q (valid: %s)",
+			name, strings.Join(EngineNames(), ", "))
+	}
 }
 
 // EngineSerial selects the single-goroutine event loop (the default).
@@ -46,6 +84,20 @@ type EngineParallel struct {
 
 // EngineName implements EngineSpec.
 func (EngineParallel) EngineName() string { return "parallel" }
+
+// EngineCompiled selects the staged-compilation engine: predecoded runs
+// execute as specialized Go closures built at load time (compile.go),
+// bit-identical to EngineSerial. Shards composes it with the sharded
+// engine — 0 runs the single-goroutine event loop with compiled
+// dispatch; 1..NumMEs partitions MEs across that many workers whose
+// shard phases execute the compiled closures. Config.Validate rejects
+// negative counts and counts above NumMEs with an *EngineConfigError.
+type EngineCompiled struct {
+	Shards int
+}
+
+// EngineName implements EngineSpec.
+func (EngineCompiled) EngineName() string { return "compiled" }
 
 // EngineConfigError reports an engine configuration Config.Validate
 // rejected: a shard count outside 0..NumMEs, or a memory-controller
@@ -81,16 +133,26 @@ func (c *Config) lookahead() int64 {
 
 // validateEngine is the Config.Validate leg for the engine selection.
 func (c *Config) validateEngine() error {
-	p, ok := c.Engine.(EngineParallel)
-	if !ok {
+	var shards int
+	sharded := false
+	switch sp := c.Engine.(type) {
+	case EngineParallel:
+		shards, sharded = sp.Shards, true
+		if sp.Shards < 0 || sp.Shards > c.NumMEs {
+			return &EngineConfigError{Shards: sp.Shards, NumMEs: c.NumMEs,
+				Reason: fmt.Sprintf("shard count must be 0 (auto) to NumMEs, got %d", sp.Shards)}
+		}
+	case EngineCompiled:
+		shards, sharded = sp.Shards, sp.Shards > 0
+		if sp.Shards < 0 || sp.Shards > c.NumMEs {
+			return &EngineConfigError{Shards: sp.Shards, NumMEs: c.NumMEs,
+				Reason: fmt.Sprintf("shard count must be 0 (serial dispatch) to NumMEs, got %d", sp.Shards)}
+		}
+	default:
 		return nil
 	}
-	if p.Shards < 0 || p.Shards > c.NumMEs {
-		return &EngineConfigError{Shards: p.Shards, NumMEs: c.NumMEs,
-			Reason: fmt.Sprintf("shard count must be 0 (auto) to NumMEs, got %d", p.Shards)}
-	}
-	if c.lookahead() < 1 {
-		return &EngineConfigError{Shards: p.Shards, NumMEs: c.NumMEs,
+	if sharded && c.lookahead() < 1 {
+		return &EngineConfigError{Shards: shards, NumMEs: c.NumMEs,
 			Reason: "conservative lookahead is empty: every memory controller needs latency+service of at least 1 cycle"}
 	}
 	return nil
@@ -127,27 +189,56 @@ func buildEngine(m *Machine) engine {
 	switch sp := m.Cfg.Engine.(type) {
 	case EngineParallel:
 		return newParallelEngine(m, m.Cfg.resolveShards(sp.Shards))
+	case EngineCompiled:
+		if sp.Shards > 0 {
+			pe := newParallelEngine(m, m.Cfg.resolveShards(sp.Shards))
+			pe.compiled = true
+			return pe
+		}
+		return &serialEngine{compiled: true}
 	default:
 		return &serialEngine{}
 	}
 }
 
-// EngineInfo reports the resolved engine selection: the engine name and,
-// for the parallel engine, the effective shard count (0 for serial).
-// Report schemas record both so measurements from different engines are
-// never silently merged.
+// EngineInfo reports the resolved engine selection: the engine name and
+// the effective shard count (0 for single-goroutine dispatch). Report
+// schemas record both so measurements from different engines are never
+// silently merged.
 func (m *Machine) EngineInfo() (name string, shards int) {
-	if p, ok := m.eng.(*parallelEngine); ok {
-		return "parallel", p.shards
+	switch e := m.eng.(type) {
+	case *parallelEngine:
+		if e.compiled {
+			return "compiled", e.shards
+		}
+		return "parallel", e.shards
+	case *serialEngine:
+		if e.compiled {
+			return "compiled", 0
+		}
 	}
 	return "serial", 0
+}
+
+// compiledDispatch reports whether the engine executes activations
+// through the staged-closure dispatcher; LoadProgram stages programs
+// eagerly only then.
+func (m *Machine) compiledDispatch() bool {
+	switch e := m.eng.(type) {
+	case *serialEngine:
+		return e.compiled
+	case *parallelEngine:
+		return e.compiled
+	}
+	return false
 }
 
 // ---------------------------------------------------------------------------
 // Serial engine: the single-goroutine timing-wheel event loop.
 
 type serialEngine struct {
-	q eventQueue
+	q        eventQueue
+	compiled bool // dispatch activations through the staged closures
 }
 
 func (s *serialEngine) push(e event) { s.q.push(e) }
@@ -178,7 +269,11 @@ func (s *serialEngine) run(m *Machine, cycles int64) error {
 		switch ev.kind {
 		case evActivate:
 			m.MEs[ev.me].scheduled = false
-			m.runME(int(ev.me))
+			if s.compiled {
+				m.runMECompiled(int(ev.me))
+			} else {
+				m.runME(int(ev.me))
+			}
 		case evReady:
 			m.readyThread(int(ev.me), int(ev.thread))
 			// Drain further wakeups sharing this timestamp: they are the

@@ -369,6 +369,7 @@ type ME struct {
 	idx     int
 	prog    *cg.Program
 	dec     *dProg // predecoded block form of prog (see predecode.go)
+	cdec    *cProg // staged closure form, set only under a compiled engine
 	threads []*Thread
 	local   []byte
 	cam     []camEntry
@@ -451,6 +452,13 @@ type Machine struct {
 	// decCache memoizes predecoded programs so reloading the same
 	// cg.Program on several MEs (replicated pipeline stages) decodes once.
 	decCache map[*cg.Program]*dProg
+
+	// compCache memoizes staged programs (compile.go) the same way;
+	// populated only under a compiled engine. cctx is the dispatcher's
+	// exit-closure context, held by value so the steady state stays
+	// allocation-free.
+	compCache map[*dProg]*cProg
+	cctx      cCtx
 
 	// cbs is the callback registry: events are pointer-free, so a
 	// scheduled closure parks here and the event carries its index. The
@@ -560,6 +568,17 @@ func (m *Machine) LoadProgram(me int, prog *cg.Program) {
 		m.decCache[prog] = d
 	}
 	mx.dec = d
+	if m.compiledDispatch() {
+		cp, ok := m.compCache[d]
+		if !ok {
+			cp = compileProg(d, prog)
+			if m.compCache == nil {
+				m.compCache = map[*dProg]*cProg{}
+			}
+			m.compCache[d] = cp
+		}
+		mx.cdec = cp
+	}
 	mx.enabled = true
 	for i, t := range mx.threads {
 		t.pc = 0

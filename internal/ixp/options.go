@@ -21,9 +21,9 @@ func WithMedia(media Media) Option {
 }
 
 // WithEngine selects the simulation engine (EngineSerial, the default,
-// or EngineParallel). The spec lands in Config.Engine, so Validate
-// rejects invalid shard counts at construction with an
-// *EngineConfigError.
+// EngineParallel, or EngineCompiled — all bit-identical). The spec lands
+// in Config.Engine, so Validate rejects invalid shard counts at
+// construction with an *EngineConfigError.
 func WithEngine(spec EngineSpec) Option {
 	return func(m *Machine) { m.Cfg.Engine = spec }
 }

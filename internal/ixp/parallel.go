@@ -200,9 +200,10 @@ func (ms *meShard) create(t int64, kind evKind, thread int32) *meEvent {
 // parallelEngine is the sharded event core. See the package comment
 // above for the two-phase protocol.
 type parallelEngine struct {
-	m      *Machine
-	shards int
-	w      int64 // conservative lookahead window width
+	m        *Machine
+	shards   int
+	compiled bool  // EngineCompiled{Shards>0}: shard phases run staged closures
+	w        int64 // conservative lookahead window width
 
 	global heap4     // non-ME events (ticks, callbacks, samples), true seqs
 	mes    []meShard // per-ME state

@@ -88,6 +88,13 @@ func (p *parallelEngine) shardActivate(acc *accArray, ms *meShard, meIdx int, ev
 	cycles := int64(0)
 	instrs := uint64(0)
 	code := mx.dec.code
+	// Under EngineCompiled{Shards>0} the staged slots accelerate the
+	// straight-line runs; terminators keep the deferring dispatch below,
+	// which already confines shared state to the replay.
+	var cslots []cSlot
+	if mx.cdec != nil {
+		cslots = mx.cdec.slots
+	}
 	regs := &th.regs
 	pc := th.pc
 	budget := int64(maxRunInstrs)
@@ -107,6 +114,16 @@ loop:
 		in := &code[pc]
 		if in.run > 0 {
 			n := int64(in.run)
+			if cslots != nil {
+				if s := &cslots[pc]; s.run != nil && n <= budget {
+					s.run(regs)
+					pc = int(s.next)
+					instrs += uint64(n)
+					cycles += n
+					budget -= n
+					continue
+				}
+			}
 			if n > budget {
 				n = budget
 			}
